@@ -1,0 +1,122 @@
+"""Extension: ablations of design choices DESIGN.md calls out.
+
+Not a paper figure — these benches isolate three decisions the paper
+makes without sweeping them:
+
+1. **BSn = 64 vs 128** (Sec. IV-B2 mentions both: 64B vs 128B global
+   transactions). Wider tiles amortize LHS re-reads across fewer column
+   blocks at the cost of more shared memory per block.
+2. **MMA stacking on/off** for emulated precision at V < 8 (Fig. 10b):
+   stacking halves the issued MMAs.
+3. **SR-BCRS storage overhead vs BCRS**: the stride padding the format
+   trades for layout-free LHS loads.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.report import render_table
+from repro.bench.runner import build_spmm_workload, time_magicube_spmm
+from repro.dlmc.generator import MatrixSpec
+from repro.formats import dense_to_bcrs, dense_to_srbcrs
+from repro.dlmc.generator import generate_matrix
+from repro.gpu.mma import mma_shape_for
+from repro.kernels import MagicubeSpMM, SpMMConfig
+from repro.kernels.emulation import mma_count_per_tile, plan_for
+
+SPEC = MatrixSpec("rn50", 256, 2304, 0.8, seed=77)
+
+
+def test_bsn_tile_width(benchmark):
+    """BSn 64 vs 128: wider tiles win at large N, tie at small N."""
+
+    def run():
+        rows = []
+        for n in (128, 512):
+            w = build_spmm_workload(SPEC, 8, n)
+            t64 = time_magicube_spmm(w, 8, 8, bsn=64)
+            t128 = time_magicube_spmm(w, 8, 8, bsn=128)
+            rows.append([n, t64 * 1e6, t128 * 1e6, t64 / t128])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n=== Design ablation: SpMM BSn tile width (L8-R8, V=8, s=0.8) ===")
+    print(render_table(["N", "BSn=64 (us)", "BSn=128 (us)", "64/128"], rows))
+    # wider tiles help more at larger N (fewer LHS re-reads)
+    assert rows[1][3] >= rows[0][3] * 0.95
+
+
+def test_mma_stacking_benefit(benchmark):
+    """Stacking halves the MMA count for 2-digit emulation at V=4."""
+
+    def run():
+        rows = []
+        for v in (8, 4, 2):
+            plan = plan_for(16, 8)
+            per_tile = mma_count_per_tile(plan, v)
+            unstacked = plan.products
+            rows.append([v, unstacked, per_tile, unstacked / per_tile])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n=== Design ablation: MMA stacking (L16-R8 emulation) ===")
+    print(render_table(["V", "MMAs unstacked", "MMAs stacked", "saving"], rows))
+    assert rows[1][3] == 2.0  # V=4: 2 digits stack into one MMA
+    assert rows[0][3] == 1.0  # V=8: no headroom
+
+
+def test_srbcrs_storage_overhead(benchmark):
+    """SR-BCRS pays stride padding for its layout-free loads."""
+
+    def run():
+        rows = []
+        for sparsity in (0.7, 0.9, 0.98):
+            spec = MatrixSpec("rn50", 256, 2304, sparsity, seed=5)
+            dense = generate_matrix(spec, 8, bits=8)
+            bcrs = dense_to_bcrs(dense, 8)
+            stride = mma_shape_for(8).k
+            sr = dense_to_srbcrs(dense, 8, stride)
+            rows.append(
+                [
+                    sparsity,
+                    bcrs.storage_bytes(8),
+                    sr.storage_bytes(8),
+                    sr.storage_bytes(8) / bcrs.storage_bytes(8),
+                    sr.padding_ratio,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n=== Design ablation: SR-BCRS vs BCRS storage (int8, V=8) ===")
+    print(
+        render_table(
+            ["sparsity", "BCRS bytes", "SR-BCRS bytes", "ratio", "pad ratio"], rows
+        )
+    )
+    # overhead is modest at DL sparsities and grows toward 0.98 where
+    # rows have few vectors relative to the stride
+    assert rows[0][3] < rows[2][3]
+    assert rows[0][3] < 1.3
+
+
+def test_smallest_mma_shape_choice(benchmark):
+    """The paper picks m8n8k16/m8n8k32; larger m shapes waste rows at
+    V <= 8 — quantify the utilization."""
+
+    def run():
+        from repro.gpu.mma import supported_shapes
+
+        rows = []
+        for bits in (8, 4):
+            for shape in supported_shapes(bits):
+                util = min(8, shape.m) / shape.m  # V=8 workload
+                rows.append([f"int{bits}", shape.name, f"{util * 100:.0f}%"])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n=== Design ablation: MMA shape utilization at V=8 ===")
+    print(render_table(["precision", "shape", "m-dim utilization"], rows))
+    # the chosen smallest shapes are the only fully-utilized ones
+    assert rows[0][2] == "100%" and rows[3][2] == "100%"
+    assert all(r[2] == "50%" for r in (rows[1], rows[2], rows[4], rows[5]))

@@ -1,0 +1,50 @@
+"""Fig. 11: SpMM optimization ablation on one DLMC matrix (N=512).
+
+Variants accumulate: basic -> conflict-free shared memory -> + RHS
+prefetch -> + column-index shuffling (int4 paths). The paper's headline:
+every step helps, and shuffling lifts L4-R4/V=8/s=0.7 by ~1.45x on top
+of the rest.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import ABLATION_VARIANTS, fig11_ablation
+from repro.bench.report import render_table
+
+
+def test_fig11_optimization_ablation(benchmark):
+    results = run_once(benchmark, fig11_ablation)
+    variant_names = [name for name, _ in ABLATION_VARIANTS]
+    headers = ["sparsity", "precision", "V"] + [
+        n.replace("conflict-free", "cf").replace(" + ", "+") for n in variant_names
+    ]
+    rows = []
+    for (sparsity, precision, v), cell in sorted(results.items()):
+        rows.append([sparsity, precision, v] + [cell[n] for n in variant_names])
+    print("\n=== Fig. 11: SpMM ablation (TOP/s, M=256 K=2304 N=512) ===")
+    print(render_table(headers, rows))
+
+    for key, cell in results.items():
+        tops = [cell[n] for n in variant_names]
+        # each cumulative optimization never hurts
+        assert tops[0] <= tops[1] + 1e-9, key
+        assert tops[1] <= tops[2] + 1e-9, key
+        assert tops[2] <= tops[3] + 1e-9, key
+
+    # shuffling matters specifically on the int4 RHS paths
+    int4 = results[(0.7, "L4-R4", 8)]
+    shuffle_gain = (
+        int4["conflict-free + prefetch + col-index shuffling"]
+        / int4["conflict-free + prefetch"]
+    )
+    benchmark.extra_info["l4r4_shuffle_gain"] = shuffle_gain
+    assert shuffle_gain > 1.1
+    # ... and is a no-op on pure int8 paths
+    int8 = results[(0.7, "L8-R8", 8)]
+    assert (
+        abs(
+            int8["conflict-free + prefetch + col-index shuffling"]
+            - int8["conflict-free + prefetch"]
+        )
+        < 1e-9
+    )

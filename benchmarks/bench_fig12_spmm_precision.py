@@ -1,0 +1,46 @@
+"""Fig. 12: Magicube SpMM TOP/s across sparsity x precision x V (N=512).
+
+Paper shapes to reproduce: lower precision => higher throughput (with
+the L16-R4 < L8-R8 exception at extreme sparsity, where emulation
+overhead outweighs the memory saving); larger V => higher throughput;
+absolute peak in the tens of TOP/s.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig12_spmm_precision
+from repro.bench.report import render_table
+
+
+def test_fig12_spmm_precision_sweep(benchmark, dlmc_count):
+    results = run_once(benchmark, fig12_spmm_precision, count=dlmc_count)
+    headers = ["sparsity", "precision", "V=2", "V=4", "V=8"]
+    rows = []
+    for sparsity, per_precision in results.items():
+        for precision, per_v in per_precision.items():
+            rows.append([sparsity, precision, per_v[2], per_v[4], per_v[8]])
+    print("\n=== Fig. 12: Magicube SpMM TOP/s (N=512, geomean) ===")
+    print(render_table(headers, rows))
+
+    for sparsity, per_precision in results.items():
+        # longer vectors help wherever the kernels are actually busy; at
+        # extreme sparsity tiny matrices go launch-bound and flatten
+        if sparsity <= 0.9:
+            for per_v in per_precision.values():
+                assert per_v[8] > per_v[2]
+        # the monotone precision ladder at V=8 (native pairs)
+        assert per_precision["L4-R4"][8] > per_precision["L8-R8"][8]
+        assert per_precision["L8-R8"][8] > per_precision["L16-R16"][8]
+        # same-LHS, narrower RHS is never slower
+        assert per_precision["L8-R4"][8] >= per_precision["L8-R8"][8] * 0.95
+
+    # the paper's Fig. 12 exception: at extreme sparsity the L16-R4
+    # emulation overhead cancels its memory saving relative to L8-R8 —
+    # the int4-RHS advantage shrinks as sparsity grows
+    gap_low = results[0.5]["L8-R4"][8] / results[0.5]["L8-R8"][8]
+    gap_high = results[0.98]["L8-R4"][8] / results[0.98]["L8-R8"][8]
+    assert gap_high < gap_low
+    assert results[0.98]["L16-R4"][8] < results[0.98]["L8-R4"][8] * 1.02
+    benchmark.extra_info["peak_tops_l4r4_v8"] = max(
+        res["L4-R4"][8] for res in results.values()
+    )

@@ -1,0 +1,33 @@
+"""Fig. 13: Magicube SDDMM TOP/s, basic vs LHS-prefetch variants.
+
+Paper shape: lower precision is faster, but — unlike SpMM — prefetching
+the LHS block brings no benefit, because the A tile is shared and reused
+by all warps and its latency already hides behind the resident blocks.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig13_sddmm_precision
+from repro.bench.report import render_table
+
+
+def test_fig13_sddmm_precision_sweep(benchmark, dlmc_count):
+    results = run_once(benchmark, fig13_sddmm_precision, count=dlmc_count)
+    headers = ["sparsity", "precision", "basic", "prefetch", "gain"]
+    rows = []
+    for sparsity, per_precision in results.items():
+        for precision, cell in per_precision.items():
+            gain = cell["prefetch"] / cell["basic"]
+            rows.append([sparsity, precision, cell["basic"], cell["prefetch"], gain])
+    print("\n=== Fig. 13: Magicube SDDMM TOP/s (K=256, geomean) ===")
+    print(render_table(headers, rows))
+
+    gains = []
+    for sparsity, per_precision in results.items():
+        # precision ladder holds for SDDMM too
+        assert per_precision["L4-R4"]["basic"] > per_precision["L16-R16"]["basic"]
+        for cell in per_precision.values():
+            gains.append(cell["prefetch"] / cell["basic"])
+    # prefetch is NOT beneficial: within a few percent everywhere
+    assert max(gains) < 1.25
+    benchmark.extra_info["max_prefetch_gain"] = max(gains)

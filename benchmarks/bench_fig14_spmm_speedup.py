@@ -1,0 +1,60 @@
+"""Fig. 14: SpMM speedup over cublasHgemm across libraries.
+
+Paper shapes: Magicube beats every sparse library; practical speedup
+over dense fp16 appears above ~0.7 sparsity; cuBLAS-int8 sits *below*
+cuBLAS-fp16; Magicube L8-R8 averages ~1.4x over cuSPARSE-int8 and
+L16-R8 well over vectorSparse.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.figures import fig14_spmm_speedup
+from repro.bench.report import render_series
+from repro.bench.runner import geomean
+from repro.dlmc.dataset import SPARSITIES
+
+
+def test_fig14_spmm_speedup(benchmark, dlmc_count):
+    results = run_once(
+        benchmark, fig14_spmm_speedup, count=dlmc_count, n_values=(128, 256)
+    )
+    for (v, n), panel in sorted(results.items()):
+        libraries = list(next(iter(panel.values())))
+        series = {lib: [panel[s][lib] for s in SPARSITIES] for lib in libraries}
+        print(f"\n=== Fig. 14 panel V={v}, N={n}: speedup vs cuBLAS fp16 ===")
+        print(render_series("sparsity", list(SPARSITIES), series))
+
+    # -- paper shape assertions on the V=8, N=256 panel ------------------
+    panel = results[(8, 256)]
+    # cuBLAS int8 below fp16 (i.e. below 1.0) at every sparsity
+    assert all(panel[s]["cuBLAS (int8)"] < 1.0 for s in SPARSITIES)
+    # Magicube reaches practical speedup above 0.7 sparsity
+    assert panel[0.9]["Magicube (L8-R8)"] > 1.0
+    assert panel[0.98]["Magicube (L4-R4)"] > 1.0
+    # Magicube L8-R8 vs cuSPARSE int8: ~1.4x average (paper: 1.44x)
+    ratio_bell = geomean(
+        panel[s]["Magicube (L8-R8)"] / panel[s]["cuSPARSE (int8)"] for s in SPARSITIES
+    )
+    assert 1.0 < ratio_bell < 2.2
+    # Magicube L16-R8 vs vectorSparse: well above 1 (paper: 2.50x avg)
+    ratio_vs = geomean(
+        panel[s]["Magicube (L16-R8)"] / panel[s]["vectorSparse (fp16)"]
+        for s in SPARSITIES
+    )
+    assert ratio_vs > 1.3
+    # Magicube L8-R8 vs cuBLAS int8 (paper: 2.88x average)
+    ratio_cublas8 = geomean(
+        panel[s]["Magicube (L8-R8)"] / panel[s]["cuBLAS (int8)"] for s in SPARSITIES
+    )
+    assert ratio_cublas8 > 1.5
+    # speedups grow with sparsity for Magicube
+    mg = [panel[s]["Magicube (L8-R8)"] for s in SPARSITIES]
+    assert mg[-1] > mg[0]
+    benchmark.extra_info.update(
+        {
+            "avg_vs_cusparse_int8": ratio_bell,
+            "avg_vs_vectorsparse": ratio_vs,
+            "avg_vs_cublas_int8": ratio_cublas8,
+        }
+    )

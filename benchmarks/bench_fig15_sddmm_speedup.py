@@ -1,0 +1,37 @@
+"""Fig. 15: SDDMM speedup over cublasHgemm across libraries.
+
+Paper shapes: crossover above ~0.7 sparsity, lower precision faster,
+Magicube L16-R16 ~1.6x over vectorSparse at V=8, K=256.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig15_sddmm_speedup
+from repro.bench.report import render_series
+from repro.bench.runner import geomean
+from repro.dlmc.dataset import SPARSITIES
+
+
+def test_fig15_sddmm_speedup(benchmark, dlmc_count):
+    results = run_once(
+        benchmark, fig15_sddmm_speedup, count=dlmc_count, k_values=(128, 256)
+    )
+    for (v, k), panel in sorted(results.items()):
+        libraries = list(next(iter(panel.values())))
+        series = {lib: [panel[s][lib] for s in SPARSITIES] for lib in libraries}
+        print(f"\n=== Fig. 15 panel V={v}, K={k}: speedup vs cuBLAS fp16 ===")
+        print(render_series("sparsity", list(SPARSITIES), series))
+
+    panel = results[(8, 256)]
+    # Magicube reaches practical speedup at high sparsity
+    assert panel[0.9]["Magicube (L8-R8)"] > 1.0
+    # lower precision faster at every sparsity
+    for s in SPARSITIES:
+        assert panel[s]["Magicube (L4-R4)"] >= panel[s]["Magicube (L16-R16)"]
+    # L16-R16 vs vectorSparse fp16 (paper: 1.58x average at V=8, K=256)
+    ratio = geomean(
+        panel[s]["Magicube (L16-R16)"] / panel[s]["vectorSparse (fp16)"]
+        for s in SPARSITIES
+    )
+    assert ratio > 1.1
+    benchmark.extra_info["avg_l16r16_vs_vectorsparse"] = ratio

@@ -1,0 +1,59 @@
+"""Fig. 17: end-to-end sparse-Transformer inference latency.
+
+All 8 panels (sparsity x seq_len x heads), batch 2/8, six backends.
+Paper shapes: Magicube 1.43-1.63x over vectorSparse at s=0.9/seq 4096,
+growing to 1.62-1.92x at seq 8192; dense OOMs at seq 8192 batch 8;
+heads 4->8 roughly doubles latency; higher sparsity helps the sparse
+schemes only.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig17_latency
+from repro.bench.report import render_table
+from repro.transformer.inference import MAGICUBE_16_8, VECTOR_SPARSE
+
+
+def test_fig17_end_to_end_latency(benchmark):
+    results = run_once(benchmark, fig17_latency)
+    for (sparsity, seq, heads), panel in sorted(results.items()):
+        print(
+            f"\n=== Fig. 17 panel: sparsity={sparsity} seq_len={seq} "
+            f"num_heads={heads} (latency ms) ==="
+        )
+        backends = list(next(iter(panel.values())))
+        rows = []
+        for batch, row in panel.items():
+            rows.append(
+                [batch]
+                + [f"{row[b]:.2f}" if row[b] is not None else "OOM" for b in backends]
+            )
+        print(render_table(["batch"] + backends, rows))
+
+    # -- paper shape assertions -----------------------------------------
+    vs, mg = VECTOR_SPARSE.label, MAGICUBE_16_8.label
+    p = results[(0.9, 4096, 4)]
+    speedup_4096 = p[2][vs] / p[2][mg]
+    assert 1.2 < speedup_4096 < 2.3
+    p8 = results[(0.9, 8192, 4)]
+    speedup_8192 = p8[2][vs] / p8[2][mg]
+    assert speedup_8192 > speedup_4096  # longer sequences widen the gap
+
+    # dense OOM exactly at seq 8192 / batch 8 (both head counts)
+    dense = "PyTorch (cuDNN, fp16)"
+    assert results[(0.9, 8192, 4)][8][dense] is None
+    assert results[(0.9, 8192, 8)][8][dense] is None
+    assert results[(0.9, 8192, 4)][2][dense] is not None
+    assert results[(0.9, 4096, 8)][8][dense] is not None
+
+    # heads 4 -> 8 roughly doubles every backend's latency
+    a = results[(0.9, 4096, 4)][2][mg]
+    b = results[(0.9, 4096, 8)][2][mg]
+    assert 1.4 < b / a < 2.6
+
+    # sparsity 0.95 cuts the sparse backends' latency, not the dense one
+    assert results[(0.95, 4096, 4)][2][mg] < results[(0.9, 4096, 4)][2][mg]
+    assert results[(0.95, 4096, 4)][2][dense] == results[(0.9, 4096, 4)][2][dense]
+
+    benchmark.extra_info["speedup_vs_vectorsparse_4096"] = speedup_4096
+    benchmark.extra_info["speedup_vs_vectorsparse_8192"] = speedup_8192

@@ -1,0 +1,16 @@
+"""Table I: supported precisions and sparsity constraints per library."""
+
+from conftest import run_once
+
+from repro.baselines import LIBRARIES, capability_table
+
+
+def test_table1_capabilities(benchmark):
+    table = run_once(benchmark, capability_table)
+    print("\n=== Table I: sparse-matrix library capabilities ===")
+    print(table)
+    benchmark.extra_info["rows"] = len(LIBRARIES)
+    # Magicube's unique cell: mixed precision on Tensor cores
+    magicube = next(l for l in LIBRARIES if l.name == "Magicube")
+    assert magicube.mixed and magicube.int4 and magicube.tensor_cores
+    assert not any(l.mixed for l in LIBRARIES if l.name != "Magicube")

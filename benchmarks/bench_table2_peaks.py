@@ -1,0 +1,32 @@
+"""Table II: peak TFLOPS/TOPS and tensor-core share per GPU."""
+
+from conftest import run_once
+
+from repro.bench.report import render_table
+from repro.gpu.device import get_device, list_devices
+
+
+def build_rows():
+    rows = []
+    for name in ("V100", "A100", "H100"):
+        dev = get_device(name)
+        cells = [name]
+        for precision in ("fp16", "int8", "int4"):
+            if dev.supports(precision):
+                rate = dev.peaks[precision]
+                cells.append(f"{rate.total:g} ({rate.tensor_fraction * 100:.1f}%)")
+            else:
+                cells.append("-")
+        rows.append(cells)
+    return rows
+
+
+def test_table2_peak_throughput(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print("\n=== Table II: total peak TFLOPS/TOPS (tensor-core share) ===")
+    print(render_table(["GPU", "fp16", "int8", "int4"], rows))
+    # the paper's three GPUs plus the MI250X extension (Discussion a)
+    assert set(list_devices()) >= {"V100", "A100", "H100"}
+    # the paper's headline cells
+    assert rows[1][3] == "1248 (100.0%)"  # A100 int4: all tensor cores
+    assert rows[0][2] == "-"  # V100: no int8 tensor cores

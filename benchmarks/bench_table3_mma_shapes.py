@@ -1,0 +1,31 @@
+"""Table III: MMA shapes supported on Tensor cores for int4/int8."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.report import render_table
+from repro.gpu.mma import mma_shape_for, mma_tile, supported_shapes
+
+
+def build_and_verify():
+    rows = []
+    for bits in (4, 8):
+        shapes = supported_shapes(bits)
+        rows.append([f"int{bits}/uint{bits}", ", ".join(s.name for s in shapes)])
+    # functionally verify the highlighted (smallest) shapes execute
+    rng = np.random.default_rng(0)
+    for bits in (8, 4):
+        s = mma_shape_for(bits)
+        lim = 1 << (bits - 1)
+        a = rng.integers(-lim, lim, size=(s.m, s.k))
+        b = rng.integers(-lim, lim, size=(s.k, s.n))
+        np.testing.assert_array_equal(mma_tile(a, b, bits), a @ b)
+    return rows
+
+
+def test_table3_mma_shapes(benchmark):
+    rows = run_once(benchmark, build_and_verify)
+    print("\n=== Table III: matrix shapes for mma on Tensor cores ===")
+    print(render_table(["Precision", "Supported shapes"], rows))
+    assert rows[0][1] == "m8n8k32, m16n8k32, m16n8k64"
+    assert rows[1][1] == "m8n8k16, m16n8k16, m16n8k32"

@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper. Results print
+to stdout (run with ``-s`` to see the rows) and are attached to
+``benchmark.extra_info`` for machine consumption. Environment variable
+``REPRO_BENCH_COUNT`` scales the DLMC subsample per sparsity level
+(default 3; the paper's full grid is 256).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def dlmc_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_COUNT", "3"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment sweep with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

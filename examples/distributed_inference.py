@@ -1,0 +1,31 @@
+"""Tensor-parallel sparse-Transformer inference (paper Discussion b).
+
+Magicube as the backend compute library of an operator-parallel system:
+attention heads shard across GPUs, activations all-reduce over NVLink.
+Prints the scaling curve and where communication starts to dominate.
+
+Run:  python examples/distributed_inference.py
+"""
+
+from repro.transformer.distributed import TensorParallelConfig, estimate_latency_distributed
+from repro.transformer.inference import MAGICUBE_8_8, VECTOR_SPARSE, InferenceConfig
+
+base = InferenceConfig(seq_len=8192, num_heads=8, batch=8, sparsity=0.9)
+print(f"model: seq={base.seq_len}, heads={base.num_heads}, batch={base.batch}, "
+      f"sparsity={base.sparsity}, 4 layers\n")
+
+print(f"{'GPUs':>4}  {'Magicube 8b-8b':>16}  {'speedup':>8}  {'comm %':>7}"
+      f"  {'vectorSparse':>14}")
+for g in (1, 2, 4, 8):
+    cfg = TensorParallelConfig(base=base, num_gpus=g)
+    m = estimate_latency_distributed(cfg, MAGICUBE_8_8)
+    v = estimate_latency_distributed(cfg, VECTOR_SPARSE)
+    sp = f"{m['speedup_vs_1gpu']:.2f}x" if m["speedup_vs_1gpu"] else "-"
+    print(
+        f"{g:>4}  {m['total_s'] * 1e3:>14.2f}ms  {sp:>8}  "
+        f"{m['comm_fraction'] * 100:>6.1f}%  {v['total_s'] * 1e3:>12.2f}ms"
+    )
+
+print("\nScaling is near-linear while the per-GPU attention work dominates")
+print("and flattens as the fixed all-reduce volume takes over — Magicube's")
+print("faster kernels reach the communication wall earlier (Amdahl).")

@@ -1,0 +1,47 @@
+"""Mixed-precision SpMM across the full Table IV ladder.
+
+Sweeps every supported Lx-Ry pair over sparsity levels on a DLMC-style
+matrix and prints the Fig. 12-style TOP/s ladder, demonstrating the
+emulation (L16-*, L12-*) and MMA-stacking (V < 8) machinery.
+
+Run:  python examples/mixed_precision_spmm.py
+"""
+
+import numpy as np
+
+from repro import SparseMatrix, spmm, supported_precisions
+from repro.dlmc import MatrixSpec, generate_matrix
+
+N = 256
+print(f"{'sparsity':>8}  " + "".join(f"{p:>10}" for p in supported_precisions()))
+for sparsity in (0.7, 0.8, 0.9, 0.95):
+    spec = MatrixSpec("rn50", rows=256, cols=2304, sparsity=sparsity, seed=3)
+    rng = np.random.default_rng(5)
+    cells = []
+    for precision in supported_precisions("spmm"):
+        l_bits = int(precision.split("-")[0][1:])
+        r_bits = int(precision.split("-")[1][1:])
+        dense = generate_matrix(spec, vector_length=8, bits=min(l_bits, 8))
+        A = SparseMatrix.from_dense(dense, vector_length=8, precision=precision)
+        rhs = rng.integers(-(1 << (r_bits - 1)), 1 << (r_bits - 1), size=(2304, N))
+        r = spmm(A, rhs, precision=precision)
+        # every precision pair computes the exact integer product
+        assert np.array_equal(r.output, dense.astype(np.int64) @ rhs)
+        cells.append(f"{r.tops:10.1f}")
+    print(f"{sparsity:>8}  " + "".join(cells))
+
+print("\nAll pairs verified exact. Lower precision -> higher TOP/s;")
+print("emulated pairs (L16-*, L12-*) cost extra MMAs but stay competitive")
+print("because the kernels are bandwidth-bound (Sec. IV-D of the paper).")
+
+# --- MMA stacking: short vectors recover utilization under emulation ----
+print("\nMMA stacking at V=4 (Fig. 10b):")
+for v in (8, 4):
+    spec = MatrixSpec("rn50", rows=256, cols=2304, sparsity=0.8, seed=4)
+    dense = generate_matrix(spec, vector_length=v, bits=8)
+    A = SparseMatrix.from_dense(dense, vector_length=v, precision="L16-R8")
+    rhs = np.random.default_rng(6).integers(-128, 128, size=(2304, N))
+    r = spmm(A, rhs, precision="L16-R8")
+    mma_ops = r.stats.mma_ops["int8"]
+    print(f"  V={v}: {mma_ops / 1e6:8.1f}M MMA ops "
+          f"({'2 digit-MMAs stacked into 1' if v == 4 else '2 MMAs per tile'})")

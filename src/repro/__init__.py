@@ -1,0 +1,52 @@
+"""repro — reproduction of "Efficient Quantized Sparse Matrix Operations
+on Tensor Cores" (Magicube; Li, Osawa, Hoefler; SC 2022).
+
+A production-style Python library implementing the paper's sparse-matrix
+system — the SR-BCRS format, quantized SpMM/SDDMM kernels with online
+transpose and mixed-precision emulation, the baseline comparators, the
+DLMC workload generator, and the quantized sparse-Transformer
+application — on a bit-accurate Tensor-core simulator substrate with a
+calibrated A100 cost model (see DESIGN.md for the substitution map).
+
+Quick start::
+
+    import numpy as np
+    from repro import SparseMatrix, spmm
+
+    A = SparseMatrix.from_dense(pruned_weights, vector_length=8)
+    r = spmm(A, activations, precision="L8-R8")
+    r.output, r.time_s, r.tops
+"""
+
+from repro.core.api import OpResult, SparseMatrix, sddmm, spmm
+from repro.core.precision import Precision, parse_precision, supported_precisions
+from repro.errors import (
+    ConfigError,
+    DeviceError,
+    FormatError,
+    LayoutError,
+    MagicubeError,
+    PrecisionError,
+    QuantizationError,
+    ShapeError,
+)
+from repro.version import __version__
+
+__all__ = [
+    "SparseMatrix",
+    "spmm",
+    "sddmm",
+    "OpResult",
+    "Precision",
+    "parse_precision",
+    "supported_precisions",
+    "MagicubeError",
+    "PrecisionError",
+    "FormatError",
+    "ShapeError",
+    "LayoutError",
+    "DeviceError",
+    "QuantizationError",
+    "ConfigError",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Comparator libraries (paper Table I and Figs. 14-15 baselines).
+
+Each baseline is a functional kernel (computes the true result) plus a
+cost accounting matching that library's algorithm and data layout:
+
+- :mod:`repro.baselines.cublas` — dense GEMM, fp16 and int8 (the paper's
+  normalization baseline ``cublasHgemm`` and the int8 comparison).
+- :mod:`repro.baselines.cusparse` — Blocked-ELL SpMM on Tensor cores
+  (fp16/int8) and scalar-CSR SpMM for reference.
+- :mod:`repro.baselines.cusparselt` — 2:4 structured sparsity GEMM.
+- :mod:`repro.baselines.sputnik` — fine-grained CSR SpMM/SDDMM on CUDA
+  cores (fp32/fp16).
+- :mod:`repro.baselines.vector_sparse` — BCRS (column-vector) SpMM and
+  SDDMM on Tensor cores in fp16: the state of the art the paper beats.
+- :mod:`repro.baselines.calibration` — every efficiency constant used by
+  the cost models, with its paper-derived justification.
+- :mod:`repro.baselines.capabilities` — the Table I feature matrix.
+"""
+
+from repro.baselines.calibration import cost_model_for
+from repro.baselines.capabilities import LIBRARIES, LibraryCapability, capability_table
+from repro.baselines.cublas import CublasGemm
+from repro.baselines.cusparse import CusparseBlockedEllSpMM, CusparseCsrSpMM
+from repro.baselines.cusparselt import CusparseLt24Gemm
+from repro.baselines.sputnik import SputnikSpMM
+from repro.baselines.vector_sparse import VectorSparseSDDMM, VectorSparseSpMM
+
+__all__ = [
+    "cost_model_for",
+    "LIBRARIES",
+    "LibraryCapability",
+    "capability_table",
+    "CublasGemm",
+    "CusparseBlockedEllSpMM",
+    "CusparseCsrSpMM",
+    "CusparseLt24Gemm",
+    "SputnikSpMM",
+    "VectorSparseSpMM",
+    "VectorSparseSDDMM",
+]

@@ -1,0 +1,93 @@
+"""The Table I feature matrix: what each sparse library supports.
+
+Reproduced verbatim from the paper so the Table-I bench can print it and
+the tests can pin it against the implemented baselines' actual
+capabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LibraryCapability:
+    """One row of Table I."""
+
+    name: str
+    fp16: bool
+    int8: bool
+    int4: bool
+    mixed: bool
+    sparsity_granularity: str
+    dl_friendly: bool
+    tensor_cores: bool
+
+
+LIBRARIES: tuple[LibraryCapability, ...] = (
+    LibraryCapability(
+        name="cuSPARSE",
+        fp16=True,
+        int8=True,
+        int4=False,
+        mixed=False,
+        sparsity_granularity="fine-grained / block",
+        dl_friendly=False,
+        tensor_cores=True,  # only the Blocked-ELL path
+    ),
+    LibraryCapability(
+        name="cuSPARSELt",
+        fp16=True,
+        int8=True,
+        int4=True,
+        mixed=False,
+        sparsity_granularity="2:4 structured",
+        dl_friendly=True,
+        tensor_cores=True,
+    ),
+    LibraryCapability(
+        name="Sputnik",
+        fp16=True,
+        int8=False,
+        int4=False,
+        mixed=False,
+        sparsity_granularity="fine-grained",
+        dl_friendly=True,
+        tensor_cores=False,
+    ),
+    LibraryCapability(
+        name="vectorSparse",
+        fp16=True,
+        int8=False,
+        int4=False,
+        mixed=False,
+        sparsity_granularity="1-D block",
+        dl_friendly=True,
+        tensor_cores=True,
+    ),
+    LibraryCapability(
+        name="Magicube",
+        fp16=False,
+        int8=True,
+        int4=True,
+        mixed=True,
+        sparsity_granularity="1-D block",
+        dl_friendly=True,
+        tensor_cores=True,
+    ),
+)
+
+
+def capability_table() -> str:
+    """Render Table I as aligned text."""
+    header = f"{'Library':<14}{'fp16':<6}{'int8':<6}{'int4':<6}{'mixed':<7}{'granularity':<22}{'DL?':<5}{'TC':<4}"
+    lines = [header, "-" * len(header)]
+    for lib in LIBRARIES:
+        tick = lambda b: "yes" if b else "-"  # noqa: E731
+        lines.append(
+            f"{lib.name:<14}{tick(lib.fp16):<6}{tick(lib.int8):<6}"
+            f"{tick(lib.int4):<6}{tick(lib.mixed):<7}"
+            f"{lib.sparsity_granularity:<22}"
+            f"{tick(lib.dl_friendly):<5}{tick(lib.tensor_cores):<4}"
+        )
+    return "\n".join(lines)

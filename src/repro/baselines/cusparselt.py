@@ -1,0 +1,100 @@
+"""cuSPARSELt baseline: 2:4 structured sparsity on Sparse Tensor cores.
+
+Ampere's Sparse Tensor cores double the dense peak for matrices in the
+2:4 pattern (exactly 2 nonzeros in every group of 4 along K, i.e.
+sparsity fixed at 50%). Table I's point: the layout constraint is rigid
+— general 1-D block matrices do not qualify, which is Magicube's whole
+motivation. The baseline therefore (a) validates the pattern and (b)
+runs at 2x the dense peak when it applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError, PrecisionError, ShapeError
+from repro.gpu.memory import TrafficCounter
+from repro.gpu.timing import KernelStats
+
+
+def is_2to4(dense: np.ndarray) -> bool:
+    """True iff every group of 4 along K has at most 2 nonzeros."""
+    d = np.asarray(dense)
+    if d.ndim != 2 or d.shape[1] % 4 != 0:
+        return False
+    groups = d.reshape(d.shape[0], -1, 4)
+    return bool(((groups != 0).sum(axis=2) <= 2).all())
+
+
+def prune_2to4(dense: np.ndarray) -> np.ndarray:
+    """Magnitude-prune a dense matrix to the 2:4 pattern."""
+    d = np.asarray(dense).copy()
+    if d.shape[1] % 4 != 0:
+        raise ShapeError(f"K={d.shape[1]} must be a multiple of 4")
+    groups = np.abs(d.reshape(d.shape[0], -1, 4))
+    # zero the two smallest of each group
+    order = np.argsort(groups, axis=2)
+    out = d.reshape(d.shape[0], -1, 4)
+    rows, grps = np.indices(order.shape[:2])
+    out[rows, grps, order[:, :, 0]] = 0
+    out[rows, grps, order[:, :, 1]] = 0
+    return out.reshape(d.shape)
+
+
+@dataclass
+class CusparseLtResult:
+    output: np.ndarray
+    stats: KernelStats
+
+
+class CusparseLt24Gemm:
+    """Structured-sparse GEMM, fp16 or int8, requiring the 2:4 pattern."""
+
+    def __init__(self, precision: str = "fp16") -> None:
+        if precision not in ("fp16", "int8", "int4"):
+            raise PrecisionError(f"cuSPARSELt models fp16/int8/int4, got {precision}")
+        self.precision = precision
+        self.library_profile = "cusparselt"
+
+    @property
+    def element_bytes(self) -> float:
+        return {"fp16": 2, "int8": 1, "int4": 0.5}[self.precision]
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> CusparseLtResult:
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ShapeError(f"incompatible shapes {a.shape} @ {b.shape}")
+        if not is_2to4(a):
+            raise FormatError(
+                "cuSPARSELt requires the 2:4 structured-sparsity pattern "
+                "(sparsity constrained to 50%)"
+            )
+        if self.precision in ("int8", "int4"):
+            out = a.astype(np.int64) @ b.astype(np.int64)
+        else:
+            out = (
+                a.astype(np.float32).astype(np.float16).astype(np.float32)
+                @ b.astype(np.float32).astype(np.float16).astype(np.float32)
+            )
+        return CusparseLtResult(output=out, stats=self._account(a.shape, b.shape))
+
+    def _account(self, a_shape, b_shape) -> KernelStats:
+        m, k = a_shape
+        n = b_shape[1]
+        eb = self.element_bytes
+        base = "fp16" if self.precision == "fp16" else self.precision
+        stats = KernelStats(name=f"cusparselt-{self.precision}")
+        # sparse tensor cores skip the zero half: half the dense MMA work
+        # at the dense peak == "double peak performance"
+        stats.mma_ops[base] = m * n * k  # = 2*m*n*k / 2
+        stats.useful_ops = m * n * k
+        t = TrafficCounter()
+        t.read("a_compressed", int(m * k * eb / 2) + m * k // 8)  # values + metadata
+        t.read("b", int(k * n * eb))
+        t.write("c", m * n * 2)
+        stats.traffic = t
+        stats.prefetch = True
+        return stats

@@ -1,0 +1,72 @@
+"""Sputnik baseline (Gale et al., SC'20): fine-grained CSR on CUDA cores.
+
+Sputnik exploits deep-learning sparsity properties (many nonzeros per
+row, row reordering for load balance) to make scalar CSR SpMM fast on
+CUDA cores in fp32/fp16. Its structural ceiling is the CUDA-core peak —
+no Tensor cores (Table I) — which is why every Tensor-core sparse kernel
+passes it at low precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PrecisionError, ShapeError
+from repro.formats.csr import CSRMatrix
+from repro.gpu.memory import TrafficCounter
+from repro.gpu.timing import KernelStats
+
+
+@dataclass
+class SputnikResult:
+    output: np.ndarray
+    stats: KernelStats
+
+
+class SputnikSpMM:
+    """Fine-grained CSR SpMM, fp32 or fp16 (CUDA cores)."""
+
+    def __init__(self, precision: str = "fp32") -> None:
+        if precision not in ("fp32", "fp16"):
+            raise PrecisionError(f"Sputnik supports fp32/fp16, got {precision}")
+        self.precision = precision
+        self.library_profile = "sputnik"
+
+    @property
+    def element_bytes(self) -> int:
+        return 4 if self.precision == "fp32" else 2
+
+    def __call__(self, lhs: CSRMatrix, rhs: np.ndarray) -> SputnikResult:
+        rhs = np.asarray(rhs)
+        if rhs.ndim != 2 or rhs.shape[0] != lhs.shape[1]:
+            raise ShapeError(f"RHS must be ({lhs.shape[1]}, N), got {rhs.shape}")
+        m, k = lhs.shape
+        n = rhs.shape[1]
+        out = np.zeros((m, n), dtype=np.float32)
+        rows = np.repeat(np.arange(m), np.diff(lhs.row_ptrs))
+        vals = lhs.values.astype(np.float32)
+        if self.precision == "fp16":
+            vals = vals.astype(np.float16).astype(np.float32)
+        contrib = vals[:, None] * rhs[lhs.col_indices].astype(np.float32)
+        np.add.at(out, rows, contrib)
+        return SputnikResult(output=out, stats=self._account(lhs, n))
+
+    def _account(self, lhs: CSRMatrix, n: int) -> KernelStats:
+        m, k = lhs.shape
+        eb = self.element_bytes
+        stats = KernelStats(name=f"sputnik-{self.precision}")
+        stats.mma_ops[f"{self.precision}_cuda"] = 2 * lhs.nnz * n
+        stats.useful_ops = 2 * lhs.nnz * n
+        t = TrafficCounter()
+        t.read("lhs_values", lhs.nnz * eb)
+        t.read("lhs_indices", lhs.nnz * 4)
+        # Sputnik's vector loads reuse B rows within a row's tile: charge
+        # one B-row read per nonzero but let the L2 absorb re-reads
+        rhs_access = lhs.nnz * n * eb
+        t.read("rhs", rhs_access, min(k * n * eb, rhs_access))
+        t.write("output", m * n * eb)
+        stats.traffic = t
+        stats.prefetch = True  # Sputnik uses software pipelining
+        return stats

@@ -1,0 +1,20 @@
+"""Benchmark harness: workload construction, sweeps, and reporting.
+
+Each figure/table of the paper's evaluation has an experiment function
+in :mod:`repro.bench.figures` returning structured rows; the
+``benchmarks/`` pytest-benchmark targets drive them and print the same
+rows the paper reports. :mod:`repro.bench.runner` holds the shared
+workload builders (format construction, RHS generation, per-library
+execution), :mod:`repro.bench.report` the text renderers.
+"""
+
+from repro.bench.runner import SpmmWorkload, build_spmm_workload, geomean
+from repro.bench.report import render_table, render_series
+
+__all__ = [
+    "SpmmWorkload",
+    "build_spmm_workload",
+    "geomean",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,204 @@
+"""Command-line experiment runner: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro.bench                 # every table and figure
+    python -m repro.bench fig14 table2    # a subset
+    python -m repro.bench --count 16      # denser DLMC subsample
+    python -m repro.bench --list
+
+Prints the same rows the paper reports; heavy sweeps honour ``--count``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _print_table1() -> None:
+    from repro.baselines import capability_table
+
+    print(capability_table())
+
+
+def _print_table2() -> None:
+    from repro.bench.report import render_table
+    from repro.gpu.device import get_device
+
+    rows = []
+    for name in ("V100", "A100", "H100", "MI250X"):
+        dev = get_device(name)
+        cells = [name]
+        for precision in ("fp16", "int8", "int4"):
+            if dev.supports(precision):
+                rate = dev.peaks[precision]
+                cells.append(f"{rate.total:g} ({rate.tensor_fraction * 100:.1f}%)")
+            else:
+                cells.append("-")
+        rows.append(cells)
+    print(render_table(["GPU", "fp16", "int8", "int4"], rows))
+
+
+def _print_table3() -> None:
+    from repro.bench.report import render_table
+    from repro.gpu.mma import supported_shapes
+
+    rows = [
+        [f"int{bits}/uint{bits}", ", ".join(s.name for s in supported_shapes(bits))]
+        for bits in (4, 8)
+    ]
+    print(render_table(["Precision", "Supported shapes"], rows))
+
+
+def _print_table4() -> None:
+    from repro.bench.report import render_table
+    from repro.kernels import plan_for, supported_pairs
+
+    rows = []
+    for op in ("spmm", "sddmm"):
+        emulated, native = [], []
+        for l, r in supported_pairs(op):
+            name = f"L{l}-R{r}"
+            (native if plan_for(l, r, op).is_native else emulated).append(name)
+        rows.append([op.upper(), ", ".join(emulated), ", ".join(native)])
+    print(render_table(["Op", "Emulated", "Native"], rows))
+
+
+def _print_fig11(count: int) -> None:
+    from repro.bench.figures import ABLATION_VARIANTS, fig11_ablation
+    from repro.bench.report import render_table
+
+    results = fig11_ablation()
+    names = [n for n, _ in ABLATION_VARIANTS]
+    rows = [
+        [s, p, v] + [cell[n] for n in names]
+        for (s, p, v), cell in sorted(results.items())
+    ]
+    print(render_table(["sparsity", "precision", "V"] + names, rows))
+
+
+def _print_fig12(count: int) -> None:
+    from repro.bench.figures import fig12_spmm_precision
+    from repro.bench.report import render_table
+
+    results = fig12_spmm_precision(count=count)
+    rows = []
+    for sparsity, per_precision in results.items():
+        for precision, per_v in per_precision.items():
+            rows.append([sparsity, precision, per_v[2], per_v[4], per_v[8]])
+    print(render_table(["sparsity", "precision", "V=2", "V=4", "V=8"], rows))
+
+
+def _print_fig13(count: int) -> None:
+    from repro.bench.figures import fig13_sddmm_precision
+    from repro.bench.report import render_table
+
+    results = fig13_sddmm_precision(count=count)
+    rows = []
+    for sparsity, per_precision in results.items():
+        for precision, cell in per_precision.items():
+            rows.append([sparsity, precision, cell["basic"], cell["prefetch"]])
+    print(render_table(["sparsity", "precision", "basic", "prefetch"], rows))
+
+
+def _print_fig14(count: int) -> None:
+    from repro.bench.figures import fig14_spmm_speedup
+    from repro.bench.report import render_series
+    from repro.dlmc.dataset import SPARSITIES
+
+    results = fig14_spmm_speedup(count=count)
+    for (v, n), panel in sorted(results.items()):
+        libs = list(next(iter(panel.values())))
+        series = {lib: [panel[s][lib] for s in SPARSITIES] for lib in libs}
+        print(render_series("sparsity", list(SPARSITIES), series,
+                            title=f"-- V={v} N={n} --"))
+        print()
+
+
+def _print_fig15(count: int) -> None:
+    from repro.bench.figures import fig15_sddmm_speedup
+    from repro.bench.report import render_series
+    from repro.dlmc.dataset import SPARSITIES
+
+    results = fig15_sddmm_speedup(count=count)
+    for (v, k), panel in sorted(results.items()):
+        libs = list(next(iter(panel.values())))
+        series = {lib: [panel[s][lib] for s in SPARSITIES] for lib in libs}
+        print(render_series("sparsity", list(SPARSITIES), series,
+                            title=f"-- V={v} K={k} --"))
+        print()
+
+
+def _print_fig17(count: int) -> None:
+    from repro.bench.figures import fig17_latency
+    from repro.bench.report import render_table
+
+    results = fig17_latency()
+    for (sparsity, seq, heads), panel in sorted(results.items()):
+        print(f"-- sparsity={sparsity} seq={seq} heads={heads} (ms) --")
+        backends = list(next(iter(panel.values())))
+        rows = [
+            [b] + [f"{row[b]:.2f}" if row[b] is not None else "OOM"
+                   for row in panel.values()]
+            for b in backends
+        ]
+        print(render_table(["backend", "batch=2", "batch=8"], rows))
+        print()
+
+
+def _print_table5(count: int) -> None:
+    from repro.bench.figures import table5_accuracy
+    from repro.bench.report import render_table
+
+    results = table5_accuracy()
+    rows = [[k, f"{v * 100:.2f}%"] for k, v in results.items()]
+    print(render_table(["scheme", "accuracy"], rows))
+
+
+EXPERIMENTS = {
+    "table1": ("Table I: library capabilities", lambda c: _print_table1()),
+    "table2": ("Table II: peak TOPS per GPU", lambda c: _print_table2()),
+    "table3": ("Table III: MMA shapes", lambda c: _print_table3()),
+    "table4": ("Table IV: precision pairs", lambda c: _print_table4()),
+    "fig11": ("Fig. 11: SpMM ablation", _print_fig11),
+    "fig12": ("Fig. 12: SpMM TOP/s sweep", _print_fig12),
+    "fig13": ("Fig. 13: SDDMM TOP/s sweep", _print_fig13),
+    "fig14": ("Fig. 14: SpMM speedups", _print_fig14),
+    "fig15": ("Fig. 15: SDDMM speedups", _print_fig15),
+    "fig17": ("Fig. 17: e2e Transformer latency", _print_fig17),
+    "table5": ("Table V: accuracy study (trains a model)", _print_table5),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument("experiments", nargs="*", help="subset to run")
+    parser.add_argument("--count", type=int, default=3, help="DLMC matrices per sparsity")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (desc, _) in EXPERIMENTS.items():
+            print(f"{key:<8} {desc}")
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; use --list", file=sys.stderr)
+        return 2
+    for key in selected:
+        desc, fn = EXPERIMENTS[key]
+        print(f"\n=== {desc} ===")
+        t0 = time.time()
+        fn(args.count)
+        print(f"[{key} done in {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

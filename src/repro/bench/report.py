@@ -1,0 +1,38 @@
+"""Plain-text renderers for benchmark results."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Align a list-of-rows table like the paper's tables."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.2f}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: list,
+    series: dict,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render {name: [values]} against an x axis — one figure panel."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x] + [
+            fmt.format(series[name][i]) if series[name][i] is not None else "OOM"
+            for name in series
+        ]
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,22 @@
+"""Public API of the Magicube reproduction.
+
+The facade a downstream user programs against:
+
+- :class:`repro.core.api.SparseMatrix` — construct once from dense /
+  BCRS data, reuse across kernels (it owns the SR-BCRS layout).
+- :func:`repro.core.api.spmm` / :func:`repro.core.api.sddmm` — one-call
+  sparse kernels with precision strings ("L8-R4") and variant knobs.
+- :mod:`repro.core.precision` — the Table IV precision registry.
+"""
+
+from repro.core.api import SparseMatrix, spmm, sddmm
+from repro.core.precision import Precision, parse_precision, supported_precisions
+
+__all__ = [
+    "SparseMatrix",
+    "spmm",
+    "sddmm",
+    "Precision",
+    "parse_precision",
+    "supported_precisions",
+]

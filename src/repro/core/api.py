@@ -1,0 +1,166 @@
+"""High-level API: SparseMatrix + one-call spmm / sddmm.
+
+Typical use::
+
+    import numpy as np
+    from repro import SparseMatrix, spmm
+
+    A = SparseMatrix.from_dense(weights, vector_length=8, precision="L8-R4")
+    result = spmm(A, activations, precision="L8-R4")
+    C = result.output           # exact int64 product
+    t = result.time_s           # modelled A100 execution time
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.calibration import cost_model_for
+from repro.core.precision import Precision, parse_precision
+from repro.errors import ShapeError
+from repro.formats.bcrs import BCRSMatrix
+from repro.formats.convert import bcrs_to_srbcrs, dense_to_bcrs, dense_to_srbcrs
+from repro.formats.srbcrs import SRBCRSMatrix
+from repro.gpu.device import DeviceSpec
+from repro.gpu.mma import mma_shape_for
+from repro.gpu.timing import KernelStats
+from repro.kernels.sddmm import MagicubeSDDMM, SDDMMConfig
+from repro.kernels.spmm import MagicubeSpMM, SpMMConfig
+
+
+class SparseMatrix:
+    """A 1-D-block sparse matrix prepared for Magicube kernels.
+
+    Owns both the BCRS view (for SDDMM masks / interchange) and the
+    SR-BCRS layout at the stride the requested precision needs. Build it
+    once per operand, reuse across calls.
+    """
+
+    def __init__(self, bcrs: BCRSMatrix, stride: int) -> None:
+        self.bcrs = bcrs
+        self.srbcrs: SRBCRSMatrix = bcrs_to_srbcrs(bcrs, stride=stride)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        vector_length: int,
+        precision: str = "L8-R8",
+    ) -> "SparseMatrix":
+        """Compress a dense matrix with V x 1 structured sparsity.
+
+        ``precision`` fixes the SR-BCRS stride (the native MMA k dim of
+        that pair).
+        """
+        p = parse_precision(precision, op="spmm")
+        stride = mma_shape_for(p.native_bits).k
+        bcrs = dense_to_bcrs(np.asarray(dense), vector_length)
+        return cls(bcrs, stride)
+
+    @classmethod
+    def from_bcrs(cls, bcrs: BCRSMatrix, precision: str = "L8-R8") -> "SparseMatrix":
+        """Wrap an existing BCRS matrix (e.g. an SDDMM output)."""
+        p = parse_precision(precision, op="spmm")
+        return cls(bcrs, mma_shape_for(p.native_bits).k)
+
+    # -- views ----------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.bcrs.shape
+
+    @property
+    def vector_length(self) -> int:
+        return self.bcrs.vector_length
+
+    @property
+    def nnz(self) -> int:
+        return self.bcrs.nnz
+
+    @property
+    def sparsity(self) -> float:
+        return self.bcrs.sparsity
+
+    def to_dense(self) -> np.ndarray:
+        return self.bcrs.to_dense()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m, k = self.shape
+        return (
+            f"SparseMatrix({m}x{k}, V={self.vector_length}, "
+            f"sparsity={self.sparsity:.3f})"
+        )
+
+
+@dataclass
+class OpResult:
+    """Result of a high-level spmm / sddmm call."""
+
+    output: np.ndarray | BCRSMatrix | SRBCRSMatrix
+    stats: KernelStats
+    time_s: float
+    tops: float
+
+
+def spmm(
+    lhs: SparseMatrix,
+    rhs: np.ndarray,
+    precision: str = "L8-R8",
+    device: DeviceSpec | str = "A100",
+    l_signed: bool = True,
+    scale: float | None = None,
+    **config_kwargs,
+) -> OpResult:
+    """Sparse x dense -> dense with Magicube's SpMM.
+
+    ``precision`` is a Table IV pair (``"L16-R8"``...); extra keyword
+    arguments reach :class:`~repro.kernels.spmm.SpMMConfig` (ablation
+    knobs, BSn...). The returned ``time_s``/``tops`` come from the
+    calibrated A100 cost model.
+    """
+    p: Precision = parse_precision(precision, op="spmm")
+    cfg = SpMMConfig(
+        l_bits=p.l_bits, r_bits=p.r_bits, l_signed=l_signed, **config_kwargs
+    )
+    kern = MagicubeSpMM(cfg)
+    sr = lhs.srbcrs
+    if sr.stride != kern.required_stride:
+        sr = bcrs_to_srbcrs(lhs.bcrs, stride=kern.required_stride)
+    res = kern(sr, rhs, scale=scale)
+    cm = cost_model_for("magicube", device)
+    return OpResult(
+        output=res.dequantized if res.dequantized is not None else res.output,
+        stats=res.stats,
+        time_s=cm.time(res.stats),
+        tops=cm.tops(res.stats),
+    )
+
+
+def sddmm(
+    a: np.ndarray,
+    b: np.ndarray,
+    mask: SparseMatrix | BCRSMatrix,
+    precision: str = "L8-R8",
+    device: DeviceSpec | str = "A100",
+    output_format: str = "bcrs",
+    **config_kwargs,
+) -> OpResult:
+    """(dense x dense) sampled at a sparse mask with Magicube's SDDMM."""
+    p: Precision = parse_precision(precision, op="sddmm")
+    cfg = SDDMMConfig(
+        l_bits=p.l_bits, r_bits=p.r_bits, output_format=output_format, **config_kwargs
+    )
+    kern = MagicubeSDDMM(cfg)
+    topo = mask.bcrs if isinstance(mask, SparseMatrix) else mask
+    if not isinstance(topo, BCRSMatrix):
+        raise ShapeError("mask must be a SparseMatrix or BCRSMatrix")
+    res = kern(a, b, topo)
+    cm = cost_model_for("magicube", device)
+    return OpResult(
+        output=res.output,
+        stats=res.stats,
+        time_s=cm.time(res.stats),
+        tops=cm.tops(res.stats),
+    )

@@ -1,0 +1,54 @@
+"""Precision registry for the public API (paper Table IV).
+
+Precisions are spelled ``"Lx-Ry"`` (x-bit LHS times y-bit RHS), matching
+the paper's figures. :func:`parse_precision` validates against Table IV
+for the requested operation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import PrecisionError
+from repro.kernels.emulation import plan_for, supported_pairs
+
+_PATTERN = re.compile(r"^L(\d+)-R(\d+)$")
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A validated precision pair for one operation."""
+
+    l_bits: int
+    r_bits: int
+    op: str
+
+    @property
+    def name(self) -> str:
+        return f"L{self.l_bits}-R{self.r_bits}"
+
+    @property
+    def is_native(self) -> bool:
+        return plan_for(self.l_bits, self.r_bits, self.op).is_native
+
+    @property
+    def native_bits(self) -> int:
+        return plan_for(self.l_bits, self.r_bits, self.op).native_bits
+
+
+def parse_precision(spec: str, op: str = "spmm") -> Precision:
+    """Parse and validate an ``"Lx-Ry"`` string against Table IV."""
+    m = _PATTERN.match(spec.strip())
+    if not m:
+        raise PrecisionError(
+            f"precision must look like 'L8-R4', got {spec!r}"
+        )
+    l_bits, r_bits = int(m.group(1)), int(m.group(2))
+    plan_for(l_bits, r_bits, op)  # raises if outside Table IV
+    return Precision(l_bits=l_bits, r_bits=r_bits, op=op)
+
+
+def supported_precisions(op: str = "spmm") -> list[str]:
+    """All Table-IV precision names for one operation, highest first."""
+    return [f"L{l}-R{r}" for l, r in supported_pairs(op)]

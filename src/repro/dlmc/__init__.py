@@ -1,0 +1,24 @@
+"""Synthetic stand-in for the Deep Learning Matrix Collection (DLMC).
+
+The paper evaluates on 1,536 DLMC sparse matrices — 256 per sparsity in
+{0.5, 0.7, 0.8, 0.9, 0.95, 0.98}, drawn from pruned ResNet-50 and
+Transformer models — each *dilated* by replacing every nonzero scalar
+with a 1-D vector of length V in {2, 4, 8}. Without the dataset (it is
+a network download), this package generates a deterministic synthetic
+collection with the same shape grid, sparsity levels, per-row nonzero
+imbalance, and dilation semantics.
+"""
+
+from repro.dlmc.generator import MatrixSpec, generate_pattern, generate_matrix
+from repro.dlmc.dataset import dlmc_collection, SPARSITIES, VECTOR_LENGTHS
+from repro.dlmc.dilate import dilate_pattern
+
+__all__ = [
+    "MatrixSpec",
+    "generate_pattern",
+    "generate_matrix",
+    "dlmc_collection",
+    "dilate_pattern",
+    "SPARSITIES",
+    "VECTOR_LENGTHS",
+]

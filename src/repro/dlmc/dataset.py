@@ -1,0 +1,56 @@
+"""The synthetic DLMC collection: the paper's evaluation grid.
+
+256 matrices per sparsity level across the ResNet-50 and Transformer
+shape families (paper Sec. V: "covers all the sparse matrices from
+ResNet-50 model and part of sparse matrices from Transformer model"),
+six sparsity levels, three dilation vector lengths = the 1,536-matrix
+grid of Figs. 12-15. ``count`` subsamples deterministically for quick
+runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dlmc.generator import RN50_SHAPES, TRANSFORMER_SHAPES, MatrixSpec
+
+#: the paper's sparsity grid
+SPARSITIES: tuple[float, ...] = (0.5, 0.7, 0.8, 0.9, 0.95, 0.98)
+#: the paper's dilation vector lengths
+VECTOR_LENGTHS: tuple[int, ...] = (2, 4, 8)
+#: matrices per sparsity level in the full collection
+FULL_COUNT = 256
+
+
+def dlmc_collection(
+    sparsity: float, count: int = FULL_COUNT, seed: int = 2022
+) -> list[MatrixSpec]:
+    """``count`` matrix specs at one sparsity level (deterministic).
+
+    Shapes cycle through the ResNet-50 family (as in DLMC, the bulk of
+    the collection) interleaved with Transformer shapes; each instance
+    gets a distinct seed so patterns differ even at equal shape.
+    """
+    if sparsity not in SPARSITIES:
+        raise ValueError(f"sparsity must be one of {SPARSITIES}, got {sparsity}")
+    shapes = list(RN50_SHAPES) + list(TRANSFORMER_SHAPES)
+    rng = np.random.default_rng(seed + int(sparsity * 1000))
+    specs = []
+    for i in range(count):
+        rows, cols = shapes[i % len(shapes)]
+        model = "rn50" if i % len(shapes) < len(RN50_SHAPES) else "transformer"
+        specs.append(
+            MatrixSpec(
+                model=model,
+                rows=rows,
+                cols=cols,
+                sparsity=sparsity,
+                seed=int(rng.integers(0, 2**31)),
+            )
+        )
+    return specs
+
+
+def full_grid(count: int = FULL_COUNT, seed: int = 2022) -> dict[float, list[MatrixSpec]]:
+    """The whole collection: ``{sparsity: [specs]}`` (1,536 at full count)."""
+    return {s: dlmc_collection(s, count=count, seed=seed) for s in SPARSITIES}

@@ -1,0 +1,23 @@
+"""Pattern dilation: scalar nonzeros -> 1-D vectors (paper Sec. V).
+
+"A sparse matrix from DLMC is dilated by replacing each scalar with 1-D
+vectors (V = 2, 4, 8)": every row of the base pattern becomes V rows,
+and a nonzero at (r, c) becomes the dense vector rows ``rV..rV+V-1`` of
+column c.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def dilate_pattern(pattern: np.ndarray, vector_length: int) -> np.ndarray:
+    """Dilate a boolean (rows, cols) pattern to (rows * V, cols)."""
+    if vector_length < 1 or vector_length > 8:
+        raise ConfigError(f"vector length must be in [1, 8], got {vector_length}")
+    p = np.asarray(pattern, dtype=bool)
+    if p.ndim != 2:
+        raise ConfigError("pattern must be 2-D")
+    return np.repeat(p, vector_length, axis=0)

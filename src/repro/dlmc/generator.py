@@ -1,0 +1,167 @@
+"""Synthetic DLMC matrix generator.
+
+DLMC matrices come from magnitude pruning of real models, which leaves
+two statistical signatures that matter for SpMM performance and that
+this generator reproduces:
+
+- the shape grid of the source layers (ResNet-50 conv-as-GEMM shapes,
+  Transformer projection/FFN shapes), and
+- *per-row nonzero imbalance*: pruned rows keep different numbers of
+  weights (roughly log-normal around the target density), which drives
+  the ELL padding tax and load-balance effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: ResNet-50 conv layers as GEMM (out_channels, in_channels x kh x kw),
+#: medium shapes first so that subsampled runs stay representative of
+#: the full collection (which mid-size layers dominate)
+RN50_SHAPES: tuple[tuple[int, int], ...] = (
+    (256, 512),
+    (128, 1152),
+    (256, 1024),
+    (512, 1024),
+    (256, 2304),
+    (128, 256),
+    (512, 2048),
+    (64, 576),
+    (512, 4608),
+    (64, 64),
+)
+#: Transformer projection / FFN shapes (d_model 512 family, as in the
+#: DLMC transformer subset)
+TRANSFORMER_SHAPES: tuple[tuple[int, int], ...] = (
+    (512, 512),
+    (1024, 512),
+    (2048, 512),
+    (512, 2048),
+    (1024, 1024),
+    (512, 1024),
+)
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One matrix of the collection (pre-dilation pattern shape)."""
+
+    model: str  # "rn50" or "transformer"
+    rows: int
+    cols: int
+    sparsity: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.model not in ("rn50", "transformer"):
+            raise ConfigError(f"unknown model family {self.model!r}")
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ConfigError(f"sparsity must be in [0, 1), got {self.sparsity}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.model}_{self.rows}x{self.cols}_s{self.sparsity:g}_{self.seed}"
+
+
+def generate_pattern(spec: MatrixSpec, rows: int | None = None) -> np.ndarray:
+    """Boolean nonzero pattern with per-row imbalance.
+
+    Each row's nonzero count is drawn log-normally around the target
+    density (clipped to [1, cols]), then that many distinct column
+    positions are chosen uniformly. Deterministic in ``spec.seed``.
+    ``rows`` overrides the row count (the dilation path generates one
+    pattern row per V-row strip).
+    """
+    rng = np.random.default_rng(spec.seed)
+    n_rows = spec.rows if rows is None else rows
+    density = 1.0 - spec.sparsity
+    target = density * spec.cols
+    # sigma 0.35: moderate imbalance, matching pruned-layer statistics
+    row_nnz = np.clip(
+        np.rint(rng.lognormal(np.log(max(target, 1.0)), 0.35, size=n_rows)),
+        1,
+        spec.cols,
+    ).astype(np.int64)
+    pattern = np.zeros((n_rows, spec.cols), dtype=bool)
+    for r in range(n_rows):
+        cols = rng.choice(spec.cols, size=int(row_nnz[r]), replace=False)
+        pattern[r, cols] = True
+    return pattern
+
+
+def generate_matrix(
+    spec: MatrixSpec,
+    vector_length: int,
+    bits: int = 8,
+    signed: bool = True,
+) -> np.ndarray:
+    """A V-dilated integer matrix of shape ``(spec.rows, spec.cols)``.
+
+    Following the paper's methodology (Sec. V and Fig. 11, where the
+    same M=256 x K=2304 matrix is used at V=2 and V=8): the nonzero
+    *pattern* is vector-structured — one pattern row per V-row strip,
+    dilated down the strip — so the matrix shape is independent of V and
+    the scalar sparsity matches the spec.
+    """
+    from repro.dlmc.dilate import dilate_pattern
+
+    if spec.rows % vector_length != 0:
+        raise ConfigError(
+            f"rows {spec.rows} not divisible by vector length {vector_length}"
+        )
+    pattern = generate_pattern(spec, rows=spec.rows // vector_length)
+    dilated = dilate_pattern(pattern, vector_length)
+    rng = np.random.default_rng(spec.seed + 1)
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    vals = rng.integers(lo, hi + 1, size=dilated.shape, dtype=np.int64)
+    out = np.where(dilated, vals, 0)
+    # keep dilated vectors fully dense in spirit: a vector with an
+    # all-zero draw keeps structure by forcing its first element nonzero
+    strips = out.reshape(-1, vector_length, spec.cols)
+    mask3 = dilated.reshape(-1, vector_length, spec.cols)
+    dead = mask3.any(axis=1) & ~(strips != 0).any(axis=1)
+    if dead.any():
+        s, c = np.nonzero(dead)
+        strips[s, 0, c] = 1
+    return out.reshape(dilated.shape).astype(np.int32)
+
+
+def generate_blocked_ell(
+    spec: MatrixSpec, block_size: int = 8, bits: int = 8
+) -> "np.ndarray":
+    """A *block-sparse* dense matrix with the spec's sparsity.
+
+    The paper's cuSPARSE methodology (after Chen et al.): "the
+    Blocked-ELL format with the same sparsity and problem size as BCRS
+    and SR-BCRS is generated" — i.e. cuSPARSE gets a matrix whose
+    nonzeros already come in ``bs x bs`` blocks at the same overall
+    sparsity, not a lossy re-blocking of the 1-D-block matrix. Returns
+    the dense matrix; compress with ``dense_to_blocked_ell``.
+    """
+    rng = np.random.default_rng(spec.seed + 2)
+    brows = spec.rows // block_size
+    bcols = spec.cols // block_size
+    density = 1.0 - spec.sparsity
+    target = max(density * bcols, 1.0)
+    row_blocks = np.clip(
+        np.rint(rng.lognormal(np.log(target), 0.25, size=brows)), 1, bcols
+    ).astype(np.int64)
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    out = np.zeros((spec.rows, spec.cols), dtype=np.int32)
+    for r in range(brows):
+        cols = rng.choice(bcols, size=int(row_blocks[r]), replace=False)
+        for c in cols:
+            block = rng.integers(lo, hi + 1, size=(block_size, block_size))
+            block.flat[0] = max(block.flat[0], 1)  # never an all-zero block
+            out[
+                r * block_size : (r + 1) * block_size,
+                c * block_size : (c + 1) * block_size,
+            ] = block
+    return out

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro (Magicube reproduction) library.
+
+All library-raised exceptions derive from :class:`MagicubeError` so that
+callers can catch a single type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class MagicubeError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PrecisionError(MagicubeError):
+    """An unsupported precision (pair) was requested.
+
+    Raised e.g. when asking SpMM for an ``Lx-Ry`` combination outside
+    Table IV of the paper, or when operand bit widths do not match the
+    declared precision.
+    """
+
+
+class FormatError(MagicubeError):
+    """A sparse-format invariant was violated.
+
+    Covers malformed row pointers, out-of-range column indices, vector
+    length / stride mismatches, and invalid conversions.
+    """
+
+
+class ShapeError(MagicubeError):
+    """Operand shapes are inconsistent with the requested operation."""
+
+
+class LayoutError(MagicubeError):
+    """A Tensor-core data-layout requirement was violated.
+
+    The MMA primitives require a row-major LHS and a column-major RHS
+    fragment; this error signals a fragment fed in the wrong layout or
+    with the wrong per-thread distribution.
+    """
+
+
+class DeviceError(MagicubeError):
+    """An unknown device or unsupported device capability was requested."""
+
+
+class QuantizationError(MagicubeError):
+    """Invalid quantization parameters (zero scale, bad bit width, ...)."""
+
+
+class ConfigError(MagicubeError):
+    """Invalid kernel/launch configuration (tile sizes, warp counts...)."""

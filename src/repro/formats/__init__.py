@@ -1,0 +1,55 @@
+"""Sparse matrix formats.
+
+The deep-learning-friendly structured sparsity the paper targets is
+*1-D block* sparsity: the M x K sparse matrix is split into M/V row
+strips, and within a strip each nonzero is a dense V x 1 column vector
+(V in {2, 4, 8}).
+
+- :mod:`repro.formats.csr` — scalar CSR (cuSPARSE fine-grained baseline).
+- :mod:`repro.formats.bcrs` — BCRS with 1-D blocks, i.e. the column-vector
+  sparse encoding used by vectorSparse (Fig. 2a/b).
+- :mod:`repro.formats.srbcrs` — **SR-BCRS**, the paper's strided
+  row-major BCRS (Fig. 2c): vectors stored stride-by-stride row-major so
+  a warp's contiguous loads directly satisfy the MMA LHS layout.
+- :mod:`repro.formats.blocked_ell` — Blocked-ELL (cuSPARSE block SpMM).
+- :mod:`repro.formats.shuffle` — block-wise column-index shuffling for
+  the int4 online transpose (Fig. 7).
+- :mod:`repro.formats.convert` — conversions between all of the above.
+- :mod:`repro.formats.validate` — structural invariant checkers.
+"""
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.bcrs import BCRSMatrix
+from repro.formats.srbcrs import SRBCRSMatrix
+from repro.formats.blocked_ell import BlockedEllMatrix
+from repro.formats.shuffle import (
+    SHUFFLE_ORDER,
+    shuffle_block_indices,
+    unshuffle_block_indices,
+    inverse_order,
+)
+from repro.formats.convert import (
+    dense_to_bcrs,
+    dense_to_srbcrs,
+    dense_to_csr,
+    dense_to_blocked_ell,
+    bcrs_to_srbcrs,
+    srbcrs_to_bcrs,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "BCRSMatrix",
+    "SRBCRSMatrix",
+    "BlockedEllMatrix",
+    "SHUFFLE_ORDER",
+    "shuffle_block_indices",
+    "unshuffle_block_indices",
+    "inverse_order",
+    "dense_to_bcrs",
+    "dense_to_srbcrs",
+    "dense_to_csr",
+    "dense_to_blocked_ell",
+    "bcrs_to_srbcrs",
+    "srbcrs_to_bcrs",
+]

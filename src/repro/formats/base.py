@@ -1,0 +1,50 @@
+"""Common base for sparse-matrix formats."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class SparseFormat(abc.ABC):
+    """Minimal interface all sparse formats share."""
+
+    #: matrix dimensions
+    shape: tuple[int, int]
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full dense matrix."""
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored nonzero *scalars* (excluding padding)."""
+
+    @property
+    def density(self) -> float:
+        """nnz / (rows x cols)."""
+        m, k = self.shape
+        return self.nnz / (m * k) if m * k else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """1 - density, the paper's convention (0.9 = 90% zeros)."""
+        return 1.0 - self.density
+
+    @abc.abstractmethod
+    def storage_bytes(self, value_bits: int) -> int:
+        """Bytes needed to store the format with ``value_bits`` values.
+
+        Index/pointer arrays are counted at their natural width; value
+        payloads at ``value_bits`` per element *including padding* — the
+        traffic the kernels actually move.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m, k = self.shape
+        return (
+            f"{type(self).__name__}({m}x{k}, nnz={self.nnz}, "
+            f"sparsity={self.sparsity:.3f})"
+        )

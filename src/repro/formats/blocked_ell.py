@@ -1,0 +1,117 @@
+"""Blocked-ELL format (cuSPARSE's block SpMM input).
+
+cuSPARSE's Tensor-core SpMM consumes Blocked-ELL: the matrix is tiled
+into ``bs x bs`` dense blocks, and every block-row stores the *same*
+number of blocks (the maximum over block-rows), padding short rows with
+explicit zero blocks. Two consequences the paper leans on:
+
+- block size must be >= 8 for cuSPARSE to see speedups (coarse
+  granularity that costs model accuracy), and
+- the ELL padding inflates both storage and compute for matrices with
+  imbalanced rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat
+
+#: column sentinel for padded block slots
+PAD_BLOCK = -1
+
+
+@dataclass
+class BlockedEllMatrix(SparseFormat):
+    """Blocked-ELL sparse matrix.
+
+    ``block_cols`` is ``(block_rows, ell_width)`` holding the *block*
+    column index of each slot (or :data:`PAD_BLOCK`); ``blocks`` is
+    ``(block_rows, ell_width, bs, bs)`` with zero-filled padding slots.
+    """
+
+    shape: tuple[int, int]
+    block_size: int
+    block_cols: np.ndarray
+    blocks: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.block_cols = np.ascontiguousarray(self.block_cols, dtype=np.int32)
+        self.blocks = np.ascontiguousarray(self.blocks)
+        m, k = self.shape
+        bs = self.block_size
+        if bs < 1 or m % bs != 0 or k % bs != 0:
+            raise FormatError(f"shape {self.shape} not tileable by block size {bs}")
+        brows = m // bs
+        if self.block_cols.ndim != 2 or self.block_cols.shape[0] != brows:
+            raise FormatError(f"block_cols must have {brows} rows")
+        ell = self.block_cols.shape[1]
+        if self.blocks.shape != (brows, ell, bs, bs):
+            raise FormatError(
+                f"blocks must be ({brows}, {ell}, {bs}, {bs}), got {self.blocks.shape}"
+            )
+        valid = self.block_cols != PAD_BLOCK
+        if valid.any():
+            vc = self.block_cols[valid]
+            if vc.min() < 0 or vc.max() >= k // bs:
+                raise FormatError("block column index out of range")
+
+    @property
+    def ell_width(self) -> int:
+        """Blocks stored per block-row (including padding)."""
+        return self.block_cols.shape[1]
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, block_size: int) -> "BlockedEllMatrix":
+        """Tile a dense matrix; keep blocks containing any nonzero."""
+        dense = np.asarray(dense)
+        m, k = dense.shape
+        bs = block_size
+        if m % bs != 0 or k % bs != 0:
+            raise FormatError(f"shape {dense.shape} not tileable by {bs}")
+        brows, bcols = m // bs, k // bs
+        tiles = dense.reshape(brows, bs, bcols, bs).swapaxes(1, 2)  # (br, bc, bs, bs)
+        keep = tiles.reshape(brows, bcols, -1).any(axis=2)
+        width = max(int(keep.sum(axis=1).max(initial=0)), 1)
+        block_cols = np.full((brows, width), PAD_BLOCK, dtype=np.int32)
+        blocks = np.zeros((brows, width, bs, bs), dtype=dense.dtype)
+        for r in range(brows):
+            cols = np.nonzero(keep[r])[0]
+            block_cols[r, : cols.size] = cols
+            blocks[r, : cols.size] = tiles[r, cols]
+        return cls(shape=dense.shape, block_size=bs, block_cols=block_cols, blocks=blocks)
+
+    def to_dense(self) -> np.ndarray:
+        m, k = self.shape
+        bs = self.block_size
+        out = np.zeros((m, k), dtype=self.blocks.dtype)
+        for r in range(self.block_cols.shape[0]):
+            for s in range(self.ell_width):
+                c = int(self.block_cols[r, s])
+                if c == PAD_BLOCK:
+                    continue
+                out[r * bs : (r + 1) * bs, c * bs : (c + 1) * bs] += self.blocks[r, s]
+        return out
+
+    @property
+    def nnz(self) -> int:
+        valid = self.block_cols != PAD_BLOCK
+        return int(valid.sum()) * self.block_size * self.block_size
+
+    @property
+    def padded_nnz(self) -> int:
+        """Stored scalars including ELL padding — what the kernel computes on."""
+        return int(self.blocks.size)
+
+    @property
+    def padding_ratio(self) -> float:
+        n = self.nnz
+        return self.padded_nnz / n if n else 1.0
+
+    def storage_bytes(self, value_bits: int) -> int:
+        idx_bytes = self.block_cols.size * 4
+        val_bytes = (self.blocks.size * value_bits + 7) // 8
+        return idx_bytes + val_bytes

@@ -1,0 +1,85 @@
+"""Scalar Compressed Row Storage (CRS/CSR).
+
+The baseline fine-grained format: cuSPARSE's CSR SpMM and Sputnik both
+consume it. Stored as the classic (row_ptrs, col_indices, values)
+triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat
+
+
+@dataclass
+class CSRMatrix(SparseFormat):
+    """CSR sparse matrix.
+
+    ``row_ptrs`` has length M+1; row r's entries live at
+    ``[row_ptrs[r], row_ptrs[r+1])`` of ``col_indices`` / ``values``.
+    """
+
+    shape: tuple[int, int]
+    row_ptrs: np.ndarray
+    col_indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.row_ptrs = np.ascontiguousarray(self.row_ptrs, dtype=np.int64)
+        self.col_indices = np.ascontiguousarray(self.col_indices, dtype=np.int32)
+        self.values = np.ascontiguousarray(self.values)
+        m, k = self.shape
+        if self.row_ptrs.shape != (m + 1,):
+            raise FormatError(f"row_ptrs must have length {m + 1}")
+        if self.row_ptrs[0] != 0 or self.row_ptrs[-1] != self.col_indices.size:
+            raise FormatError("row_ptrs must start at 0 and end at nnz")
+        if np.any(np.diff(self.row_ptrs) < 0):
+            raise FormatError("row_ptrs must be non-decreasing")
+        if self.values.shape != self.col_indices.shape:
+            raise FormatError("values and col_indices must align")
+        if self.col_indices.size and (
+            self.col_indices.min() < 0 or self.col_indices.max() >= k
+        ):
+            raise FormatError("column index out of range")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Compress a dense matrix (exact zeros dropped)."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise FormatError("from_dense expects a 2-D array")
+        rows, cols = np.nonzero(dense)
+        m = dense.shape[0]
+        row_ptrs = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(row_ptrs, rows + 1, 1)
+        row_ptrs = np.cumsum(row_ptrs)
+        return cls(
+            shape=dense.shape,
+            row_ptrs=row_ptrs,
+            col_indices=cols.astype(np.int32),
+            values=dense[rows, cols],
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.values.dtype)
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.row_ptrs))
+        out[rows, self.col_indices] = self.values
+        return out
+
+    @property
+    def nnz(self) -> int:
+        return int(self.col_indices.size)
+
+    def storage_bytes(self, value_bits: int) -> int:
+        ptr_bytes = self.row_ptrs.size * 4
+        idx_bytes = self.col_indices.size * 4
+        val_bytes = (self.values.size * value_bits + 7) // 8
+        return ptr_bytes + idx_bytes + val_bytes
+
+    def row_nnz(self) -> np.ndarray:
+        """Nonzeros per row — the load-balance statistic Sputnik exploits."""
+        return np.diff(self.row_ptrs)

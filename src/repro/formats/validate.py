@@ -1,0 +1,77 @@
+"""Structural validation helpers for sparse formats.
+
+The format constructors already validate on construction; these helpers
+re-check invariants after mutation-free round trips and give tests a
+single entry point per format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.bcrs import BCRSMatrix
+from repro.formats.blocked_ell import PAD_BLOCK, BlockedEllMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.srbcrs import PAD_INDEX, SRBCRSMatrix
+
+
+def validate_csr(m: CSRMatrix) -> None:
+    """Re-run CSR invariants (sorted-within-row is *not* required)."""
+    CSRMatrix(shape=m.shape, row_ptrs=m.row_ptrs, col_indices=m.col_indices, values=m.values)
+
+
+def validate_bcrs(m: BCRSMatrix) -> None:
+    """Re-run BCRS invariants plus per-strip column uniqueness."""
+    BCRSMatrix(
+        shape=m.shape,
+        vector_length=m.vector_length,
+        row_ptrs=m.row_ptrs,
+        col_indices=m.col_indices,
+        values=m.values,
+    )
+    for r in range(m.num_strips):
+        cols, _ = m.strip_vectors(r)
+        if np.unique(cols).size != cols.size:
+            raise FormatError(f"duplicate column index in strip {r}")
+
+
+def validate_srbcrs(m: SRBCRSMatrix) -> None:
+    """Re-run SR-BCRS invariants plus padding-slot cleanliness.
+
+    Padded slots must carry the sentinel index *and* zero values —
+    the kernels accumulate over whole stride groups and rely on padding
+    contributing nothing.
+    """
+    SRBCRSMatrix(
+        shape=m.shape,
+        vector_length=m.vector_length,
+        stride=m.stride,
+        row_starts=m.row_starts,
+        row_ends=m.row_ends,
+        col_indices=m.col_indices,
+        values=m.values,
+    )
+    v = m.vector_length
+    for r in range(m.num_strips):
+        n_valid = int(m.row_ends[r] - m.row_starts[r])
+        for g in range(m.strip_num_groups(r)):
+            cols, tile = m.group(r, g)
+            local_valid = min(max(n_valid - g * m.stride, 0), m.stride)
+            if np.any(cols[:local_valid] == PAD_INDEX):
+                raise FormatError(f"sentinel inside valid region of strip {r}")
+            if np.any(cols[local_valid:] != PAD_INDEX):
+                raise FormatError(f"missing sentinel in padding of strip {r}")
+            if np.any(tile[:, local_valid:] != 0):
+                raise FormatError(f"nonzero values in padding of strip {r}")
+            assert tile.shape == (v, m.stride)
+
+
+def validate_blocked_ell(m: BlockedEllMatrix) -> None:
+    """Re-run Blocked-ELL invariants plus zero padding blocks."""
+    BlockedEllMatrix(
+        shape=m.shape, block_size=m.block_size, block_cols=m.block_cols, blocks=m.blocks
+    )
+    pad = m.block_cols == PAD_BLOCK
+    if pad.any() and np.any(m.blocks[pad] != 0):
+        raise FormatError("padding blocks must be zero")

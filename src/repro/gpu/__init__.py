@@ -1,0 +1,44 @@
+"""Tensor-core GPU simulator substrate.
+
+The paper's kernels are CUDA; this subpackage is the synthetic equivalent
+that lets the same algorithms run and be measured without a GPU:
+
+- :mod:`repro.gpu.device` — device capability tables (Table II of the
+  paper: V100/A100/H100 peak TOPS per precision, SM counts, bandwidths).
+- :mod:`repro.gpu.warp` — warp / thread-block geometry helpers.
+- :mod:`repro.gpu.fragments` — the per-thread register fragment layouts of
+  ``mma.sync`` (Fig. 1): which thread holds which matrix elements.
+- :mod:`repro.gpu.mma` — bit-accurate Matrix-Multiply-Accumulate for the
+  int8 (m8n8k16) and int4 (m8n8k32) shapes, with signed/unsigned operand
+  combinations, plus the full supported-shape registry (Table III).
+- :mod:`repro.gpu.sharedmem` — the 32-bank shared-memory conflict model
+  used to validate the conflict-free layout of Fig. 4.
+- :mod:`repro.gpu.memory` — global-memory coalescing into 32/64/128-byte
+  transactions and DRAM/L2 traffic accounting.
+- :mod:`repro.gpu.pipeline` — the software pipeline of Algorithm 1
+  (prefetch/double buffering) as an analytic schedule.
+- :mod:`repro.gpu.timing` — the cost model mapping operation and traffic
+  counts to seconds / TOP/s on a given device.
+"""
+
+from repro.gpu.device import DeviceSpec, get_device, A100, V100, H100
+from repro.gpu.mma import MmaShape, supported_shapes, mma_shape_for, mma_tile, ref_imma
+from repro.gpu.fragments import FragmentLayout, layout_for
+from repro.gpu.timing import KernelStats, CostModel
+
+__all__ = [
+    "DeviceSpec",
+    "get_device",
+    "A100",
+    "V100",
+    "H100",
+    "MmaShape",
+    "supported_shapes",
+    "mma_shape_for",
+    "mma_tile",
+    "ref_imma",
+    "FragmentLayout",
+    "layout_for",
+    "KernelStats",
+    "CostModel",
+]

@@ -1,0 +1,162 @@
+"""GPU device capability model (paper Table II).
+
+Each :class:`DeviceSpec` records the totals the paper reports — peak
+TFLOPS/TOPS per precision across Tensor cores *plus* CUDA cores, and the
+fraction contributed by Tensor cores — together with the memory-system
+parameters the cost model needs. Numbers are the published A100-SXM4-40GB
+/ V100-SXM2 / H100-SXM5 specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError
+
+#: bytes per shared-memory bank word
+BANK_WIDTH_BYTES = 4
+#: number of shared-memory banks per SM
+NUM_BANKS = 32
+#: threads per warp
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class PeakRate:
+    """Peak arithmetic rate for one precision on one device.
+
+    ``total`` is TFLOPS (fp) or TOPS (int) across Tensor + CUDA cores as
+    in Table II; ``tensor_fraction`` is the Tensor-core share.
+    """
+
+    total: float
+    tensor_fraction: float
+
+    @property
+    def tensor(self) -> float:
+        """Peak rate of the Tensor cores alone (TFLOPS/TOPS)."""
+        return self.total * self.tensor_fraction
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    num_sms: int
+    clock_ghz: float
+    dram_bandwidth_gbs: float
+    l2_bytes: int
+    l2_bandwidth_gbs: float
+    smem_bytes_per_sm: int
+    registers_per_sm_bytes: int
+    #: peak rates keyed by precision name ("fp16", "int8", "int4")
+    peaks: dict = field(default_factory=dict)
+    #: fixed kernel launch overhead, seconds
+    launch_overhead_s: float = 1.2e-6
+    max_warps_per_sm: int = 64
+
+    def peak_tops(self, precision: str, tensor_only: bool = True) -> float:
+        """Peak TOPS (int) / TFLOPS (fp) for ``precision``.
+
+        Raises :class:`DeviceError` for precisions the device lacks —
+        e.g. int4 on V100, mirroring the '-' cells of Table II.
+        """
+        rate = self.peaks.get(precision)
+        if rate is None:
+            raise DeviceError(f"{self.name} has no {precision} tensor-core support")
+        return rate.tensor if tensor_only else rate.total
+
+    def supports(self, precision: str) -> bool:
+        return precision in self.peaks
+
+    @property
+    def smem_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate shared-memory bandwidth: banks x width x clock x SMs."""
+        return NUM_BANKS * BANK_WIDTH_BYTES * self.clock_ghz * 1e9 * self.num_sms
+
+
+V100 = DeviceSpec(
+    name="V100",
+    num_sms=80,
+    clock_ghz=1.53,
+    dram_bandwidth_gbs=900.0,
+    l2_bytes=6 * 2**20,
+    l2_bandwidth_gbs=2100.0,
+    smem_bytes_per_sm=96 * 2**10,
+    registers_per_sm_bytes=256 * 2**10,
+    peaks={
+        "fp16": PeakRate(total=126.0, tensor_fraction=0.889),
+    },
+)
+
+A100 = DeviceSpec(
+    name="A100",
+    num_sms=108,
+    clock_ghz=1.41,
+    dram_bandwidth_gbs=1555.0,
+    l2_bytes=40 * 2**20,
+    l2_bandwidth_gbs=4700.0,
+    smem_bytes_per_sm=192 * 2**10,  # configurable unified L1/shared, per Sec. V
+    registers_per_sm_bytes=256 * 2**10,
+    peaks={
+        "fp16": PeakRate(total=390.0, tensor_fraction=0.80),
+        "int8": PeakRate(total=702.0, tensor_fraction=0.889),
+        "int4": PeakRate(total=1248.0, tensor_fraction=1.0),
+        # CUDA-core-only rates (for Sputnik-style kernels): the non-tensor
+        # remainder of the fp16 row, and the plain fp32 FPU rate
+        "fp16_cuda": PeakRate(total=78.0, tensor_fraction=1.0),
+        "fp32_cuda": PeakRate(total=19.5, tensor_fraction=1.0),
+    },
+)
+
+H100 = DeviceSpec(
+    name="H100",
+    num_sms=132,
+    clock_ghz=1.98,
+    dram_bandwidth_gbs=3350.0,
+    l2_bytes=50 * 2**20,
+    l2_bandwidth_gbs=7000.0,
+    smem_bytes_per_sm=228 * 2**10,
+    registers_per_sm_bytes=256 * 2**10,
+    peaks={
+        "fp16": PeakRate(total=1120.0, tensor_fraction=0.892),
+        "int8": PeakRate(total=1696.0, tensor_fraction=0.943),
+    },
+)
+
+# Discussion (a) of the paper: the techniques carry to other matrix
+# accelerators — AMD's MI250X exposes MFMA wavefront instructions with
+# the same layout constraints. Modelled so the kernels can be costed on
+# it (383 TOP/s int8 via Matrix Cores; per-GCD numbers x2 dies).
+MI250X = DeviceSpec(
+    name="MI250X",
+    num_sms=220,  # compute units across both GCDs
+    clock_ghz=1.70,
+    dram_bandwidth_gbs=3276.0,
+    l2_bytes=16 * 2**20,
+    l2_bandwidth_gbs=6000.0,
+    smem_bytes_per_sm=64 * 2**10,
+    registers_per_sm_bytes=512 * 2**10,
+    peaks={
+        "fp16": PeakRate(total=383.0, tensor_fraction=0.95),
+        "int8": PeakRate(total=383.0, tensor_fraction=1.0),
+    },
+)
+
+_DEVICES = {d.name: d for d in (V100, A100, H100, MI250X)}
+
+
+def get_device(name: str = "A100") -> DeviceSpec:
+    """Look up a device spec by name (case-insensitive)."""
+    try:
+        return _DEVICES[name.upper()]
+    except KeyError:
+        raise DeviceError(
+            f"unknown device {name!r}; available: {sorted(_DEVICES)}"
+        ) from None
+
+
+def list_devices() -> list[str]:
+    """Names of all modelled devices."""
+    return sorted(_DEVICES)

@@ -1,0 +1,160 @@
+"""Per-thread register fragment layouts of ``mma.sync`` (paper Fig. 1).
+
+A warp of 32 threads collectively holds the A (LHS, row-major), B (RHS,
+column-major) and C (accumulator, row-major) tiles of one MMA, with a
+fixed mapping from (thread, register lane) to matrix element. For the
+``m8n8k16`` int8 shape:
+
+- thread ``t`` holds A[t//4, 4*(t%4) : 4*(t%4)+4]   (4 int8 = 1 register)
+- thread ``t`` holds B[4*(t%4) : 4*(t%4)+4, t//4]   (4 int8 = 1 register)
+- thread ``t`` holds C[t//4, 2*(t%4) : 2*(t%4)+2]   (2 int32 registers)
+
+``m8n8k32`` int4 is identical except each thread's A/B register holds 8
+int4 lanes. These mappings are *the* layout constraint that motivates the
+SR-BCRS format and the online-transpose strategies: data must arrive in
+registers exactly this way or the MMA computes garbage.
+
+The distribute/collect functions here are bit-exact: they produce packed
+``uint32`` registers just like the hardware sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LayoutError, ShapeError
+from repro.gpu.device import WARP_SIZE
+from repro.lowp.pack import pack_rows, unpack_rows
+
+
+@dataclass(frozen=True)
+class FragmentLayout:
+    """Thread-to-element mapping for one MMA shape.
+
+    ``m, n, k`` are the MMA tile dims; ``ab_bits`` the A/B element width.
+    ``lanes`` = elements per 32-bit A/B register = ``32 // ab_bits``.
+    """
+
+    m: int
+    n: int
+    k: int
+    ab_bits: int
+
+    @property
+    def lanes(self) -> int:
+        return 32 // self.ab_bits
+
+    # ---- index maps -----------------------------------------------------
+    def a_elements(self, thread: int) -> tuple[int, np.ndarray]:
+        """(row, cols) of the A elements held by ``thread`` (row-major A)."""
+        self._check_thread(thread)
+        row = thread // 4
+        start = (thread % 4) * self.lanes
+        return row, np.arange(start, start + self.lanes)
+
+    def b_elements(self, thread: int) -> tuple[np.ndarray, int]:
+        """(rows, col) of the B elements held by ``thread`` (col-major B)."""
+        self._check_thread(thread)
+        col = thread // 4
+        start = (thread % 4) * self.lanes
+        return np.arange(start, start + self.lanes), col
+
+    def c_elements(self, thread: int) -> tuple[int, np.ndarray]:
+        """(row, cols) of the two int32 accumulators held by ``thread``."""
+        self._check_thread(thread)
+        row = thread // 4
+        start = (thread % 4) * 2
+        return row, np.arange(start, start + 2)
+
+    @staticmethod
+    def _check_thread(thread: int) -> None:
+        if not 0 <= thread < WARP_SIZE:
+            raise LayoutError(f"thread index {thread} outside warp [0, 32)")
+
+    # ---- distribute: matrices -> packed registers -----------------------
+    def distribute_a(self, a: np.ndarray) -> np.ndarray:
+        """Scatter a row-major ``m x k`` tile into per-thread registers.
+
+        Returns a ``(32,)`` uint32 array: one packed A register per
+        thread. The element order inside each register follows the lane
+        order (lowest lane = lowest column).
+        """
+        a = np.asarray(a)
+        if a.shape != (self.m, self.k):
+            raise ShapeError(f"A tile must be {self.m}x{self.k}, got {a.shape}")
+        # thread t reads row t//4, a lane-width slice of columns: this is a
+        # pure reshape of the row-major tile.
+        words = pack_rows(a, self.ab_bits)  # (m, k*bits/32)
+        return np.ascontiguousarray(words).reshape(-1)
+
+    def distribute_b(self, b: np.ndarray) -> np.ndarray:
+        """Scatter a ``k x n`` tile into per-thread registers (col-major).
+
+        The hardware requires B column-major: thread t's register holds a
+        contiguous run of *rows* from column t//4.
+        """
+        b = np.asarray(b)
+        if b.shape != (self.k, self.n):
+            raise ShapeError(f"B tile must be {self.k}x{self.n}, got {b.shape}")
+        words = pack_rows(np.ascontiguousarray(b.T), self.ab_bits)  # (n, k*bits/32)
+        return np.ascontiguousarray(words).reshape(-1)
+
+    def distribute_c(self, c: np.ndarray) -> np.ndarray:
+        """Scatter an ``m x n`` int32 accumulator tile: (32, 2) int32."""
+        c = np.asarray(c, dtype=np.int32)
+        if c.shape != (self.m, self.n):
+            raise ShapeError(f"C tile must be {self.m}x{self.n}, got {c.shape}")
+        return np.ascontiguousarray(c).reshape(WARP_SIZE, 2)
+
+    # ---- collect: packed registers -> matrices --------------------------
+    def collect_a(self, regs: np.ndarray, signed: bool = True) -> np.ndarray:
+        """Gather per-thread A registers back into the ``m x k`` tile."""
+        regs = self._check_regs(regs, self.m * self.k // (self.lanes * WARP_SIZE))
+        return unpack_rows(regs.reshape(self.m, -1), self.ab_bits, signed)
+
+    def collect_b(self, regs: np.ndarray, signed: bool = True) -> np.ndarray:
+        """Gather per-thread B registers back into the ``k x n`` tile."""
+        regs = self._check_regs(regs, self.n * self.k // (self.lanes * WARP_SIZE))
+        cols = unpack_rows(regs.reshape(self.n, -1), self.ab_bits, signed)
+        return np.ascontiguousarray(cols.T)
+
+    def collect_c(self, regs: np.ndarray) -> np.ndarray:
+        """Gather per-thread accumulators back into the ``m x n`` tile."""
+        regs = np.asarray(regs, dtype=np.int32)
+        if regs.shape != (WARP_SIZE, 2):
+            raise LayoutError(f"C fragment must be (32, 2) int32, got {regs.shape}")
+        return regs.reshape(self.m, self.n)
+
+    def _check_regs(self, regs: np.ndarray, per_thread: int) -> np.ndarray:
+        regs = np.asarray(regs, dtype=np.uint32)
+        if regs.size != WARP_SIZE * per_thread:
+            raise LayoutError(
+                f"fragment needs {WARP_SIZE * per_thread} registers, got {regs.size}"
+            )
+        return regs.reshape(-1)
+
+
+#: fragment layouts for the shapes Magicube uses (highlighted in Table III)
+INT8_M8N8K16 = FragmentLayout(m=8, n=8, k=16, ab_bits=8)
+INT4_M8N8K32 = FragmentLayout(m=8, n=8, k=32, ab_bits=4)
+
+_LAYOUTS = {
+    (8, 8, 16, 8): INT8_M8N8K16,
+    (8, 8, 32, 4): INT4_M8N8K32,
+}
+
+
+def layout_for(bits: int) -> FragmentLayout:
+    """The smallest-shape layout for a given operand width (paper choice).
+
+    Magicube deliberately uses the smallest supported MMA shapes —
+    m8n8k16 for int8 and m8n8k32 for int4 — because small m matches small
+    sparsity granularity V <= 8 (Sec. III).
+    """
+    if bits == 8:
+        return INT8_M8N8K16
+    if bits == 4:
+        return INT4_M8N8K32
+    raise LayoutError(f"no native MMA fragment layout for int{bits}")

@@ -1,0 +1,55 @@
+"""Software-pipeline (prefetch / double-buffer) schedule of Algorithm 1.
+
+The SpMM main loop alternates loading the next RHS/LHS blocks with the
+MMA computation of the current step. Without prefetch the two phases
+serialize; with the Algorithm-1 pipeline the global-memory latency of
+step ``i+1`` hides behind the MMA work of step ``i``. This module turns
+per-step phase costs into total schedules, so the ablation benches can
+charge exactly the benefit the paper's Fig. 11 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Total cost of a ``steps``-iteration loop with given phase costs.
+
+    ``load`` is the per-step cost of moving one block from global memory
+    into shared memory (both half-phases of Alg. 1: global->regs and
+    regs->shared); ``compute`` is the per-step MMA (+ register
+    transpose) cost. Units are caller-defined (seconds here).
+    """
+
+    steps: int
+    load: float
+    compute: float
+
+    def serial_time(self) -> float:
+        """No prefetch: every step pays load then compute."""
+        return self.steps * (self.load + self.compute)
+
+    def pipelined_time(self) -> float:
+        """Algorithm 1: loads overlap computes after a cold start.
+
+        Cold start loads the first block (line 7-9); the steady state
+        advances at ``max(load, compute)`` per step; the drain pays the
+        last compute (line 18-20).
+        """
+        if self.steps <= 0:
+            return 0.0
+        steady = (self.steps - 1) * max(self.load, self.compute)
+        return self.load + steady + self.compute
+
+    def speedup(self) -> float:
+        """Serial / pipelined — the benefit Fig. 11's ablation isolates."""
+        p = self.pipelined_time()
+        return self.serial_time() / p if p > 0 else 1.0
+
+
+def overlap_time(load: float, compute: float, steps: int, prefetch: bool) -> float:
+    """Convenience wrapper: total loop time with or without prefetch."""
+    sched = PipelineSchedule(steps=max(int(steps), 1), load=load, compute=compute)
+    return sched.pipelined_time() if prefetch else sched.serial_time()

@@ -1,0 +1,82 @@
+"""Warp and thread-block geometry helpers.
+
+CUDA organizes threads as grid -> thread block -> warp (32 threads). The
+kernels in this library reason about work distribution at warp
+granularity; these helpers keep that arithmetic in one audited place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpu.device import WARP_SIZE
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division (non-negative operands)."""
+    if b <= 0:
+        raise ConfigError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def round_up(a: int, multiple: int) -> int:
+    """Round ``a`` up to the next multiple of ``multiple``."""
+    return ceil_div(a, multiple) * multiple
+
+
+@dataclass(frozen=True)
+class ThreadBlock:
+    """Shape of one thread block: ``warps`` warps of 32 threads."""
+
+    warps: int
+
+    def __post_init__(self) -> None:
+        if self.warps < 1 or self.warps > 32:
+            raise ConfigError(f"thread block must have 1..32 warps, got {self.warps}")
+
+    @property
+    def threads(self) -> int:
+        return self.warps * WARP_SIZE
+
+
+@dataclass(frozen=True)
+class LaunchGrid:
+    """A kernel launch: ``blocks`` thread blocks of shape ``block``."""
+
+    blocks: int
+    block: ThreadBlock
+
+    @property
+    def total_warps(self) -> int:
+        return self.blocks * self.block.warps
+
+    def occupancy_waves(self, num_sms: int, blocks_per_sm: int = 2) -> float:
+        """Number of 'waves' the grid takes to stream through the device.
+
+        A wave is one full complement of resident blocks. The fractional
+        last wave is what causes the tail effect on small grids.
+        """
+        resident = num_sms * blocks_per_sm
+        return max(1.0, self.blocks / resident)
+
+    def utilization(self, num_sms: int, blocks_per_sm: int = 2) -> float:
+        """Fraction of the device kept busy, accounting for the tail wave."""
+        resident = num_sms * blocks_per_sm
+        waves = self.blocks / resident
+        if waves >= 1.0:
+            # full waves are fully utilized; the tail wave is partial
+            full = int(waves)
+            frac = waves - full
+            return (full + frac) / ceil_div(self.blocks, resident)
+        return max(waves, 1.0 / resident)
+
+
+def lane_id(thread: int) -> int:
+    """Lane index of a thread within its warp."""
+    return thread % WARP_SIZE
+
+
+def warp_id(thread: int) -> int:
+    """Warp index of a thread within its block."""
+    return thread // WARP_SIZE

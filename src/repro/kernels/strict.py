@@ -1,0 +1,122 @@
+"""Device-level reference execution of Magicube SpMM.
+
+These executors run the *entire* simulated machinery the way the CUDA
+kernel does — per thread block, per stride group: gather the RHS rows,
+stage them (in shuffled order on the int4 path), perform the online
+transpose on packed registers, build the warp fragments, issue
+``mma_sync`` per MMA with its interleaved column set, and keep the
+accumulators in register fragments until the final store.
+
+They are orders of magnitude slower than the vectorized kernels and
+exist as the ground truth the fast paths are tested against: if the
+SR-BCRS layout, the Fig. 4-6 transpose dataflow, the Fig. 7 bit trick,
+or the fragment mappings were wrong anywhere, these would disagree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.shuffle import SHUFFLE_ORDER
+from repro.formats.srbcrs import PAD_INDEX, SRBCRSMatrix
+from repro.gpu.fragments import INT4_M8N8K32, INT8_M8N8K16
+from repro.gpu.mma import mma_sync
+from repro.kernels.transpose import (
+    int8_mma_columns,
+    online_transpose_int4,
+    online_transpose_int8,
+)
+
+
+def _gather_rows(rhs: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """RHS rows addressed by a group's column indices (zeros for pads)."""
+    safe = np.where(cols == PAD_INDEX, 0, cols)
+    rows = rhs[safe]
+    rows[cols == PAD_INDEX] = 0
+    return rows
+
+
+def spmm_int8_strict(lhs: SRBCRSMatrix, rhs: np.ndarray, bsn: int = 64) -> np.ndarray:
+    """Fragment-level int8 SpMM (L8-R8): the Fig. 3-6 dataflow.
+
+    Requires stride 16 (the m8n8k16 reduction dim) and BSn a multiple
+    of 32. Returns the exact int32->int64 product.
+    """
+    if lhs.stride != 16:
+        raise ShapeError("int8 strict path needs SR-BCRS stride 16")
+    if bsn % 32 != 0:
+        raise ShapeError("BSn must be a multiple of 32")
+    lay = INT8_M8N8K16
+    m, k = lhs.shape
+    n = rhs.shape[1]
+    v = lhs.vector_length
+    n_pad = -(-n // bsn) * bsn
+    rhs_p = np.zeros((k, n_pad), dtype=np.int64)
+    rhs_p[:, :n] = rhs
+    out = np.zeros((m, n_pad), dtype=np.int64)
+
+    for strip in range(lhs.num_strips):
+        for cb in range(n_pad // bsn):
+            col0 = cb * bsn
+            # one accumulator fragment per MMA of the block (bsn/8 MMAs)
+            acc = [np.zeros((32, 2), dtype=np.int32) for _ in range(bsn // 8)]
+            for cols, tile in lhs.iter_groups(strip):
+                # LHS: SR-BCRS rows feed the A fragment directly (pad V->8)
+                a_tile = np.zeros((8, 16), dtype=np.int64)
+                a_tile[:v] = tile
+                a_frags = lay.distribute_a(a_tile)
+                # RHS: stage the gathered rows and transpose online
+                staged = _gather_rows(rhs_p, cols)[:, col0 : col0 + bsn]
+                b_frags = online_transpose_int8(staged)
+                for j in range(bsn // 8):
+                    acc[j] = mma_sync(a_frags, b_frags[j], acc[j], lay)
+            # store: each MMA's columns are the interleaved set of Fig. 6
+            for j in range(bsn // 8):
+                c_tile = lay.collect_c(acc[j])
+                out[strip * v : strip * v + v, col0 + int8_mma_columns(j)] = c_tile[:v]
+    return out[:, :n]
+
+
+def spmm_int4_strict(lhs: SRBCRSMatrix, rhs: np.ndarray, bsn: int = 64) -> np.ndarray:
+    """Fragment-level int4 SpMM (L4-R4) with index shuffling (Fig. 7).
+
+    The column indices are shuffled block-wise, the RHS rows staged in
+    that order, and the nibble mask/shift/OR trick restores the original
+    row order before the fragments are built — exactly the production
+    kernel's dataflow. Requires stride 32.
+    """
+    if lhs.stride != 32:
+        raise ShapeError("int4 strict path needs SR-BCRS stride 32")
+    if bsn % 8 != 0:
+        raise ShapeError("BSn must be a multiple of 8")
+    lay = INT4_M8N8K32
+    m, k = lhs.shape
+    n = rhs.shape[1]
+    v = lhs.vector_length
+    n_pad = -(-n // bsn) * bsn
+    rhs_p = np.zeros((k, n_pad), dtype=np.int64)
+    rhs_p[:, :n] = rhs
+    out = np.zeros((m, n_pad), dtype=np.int64)
+
+    for strip in range(lhs.num_strips):
+        for cb in range(n_pad // bsn):
+            col0 = cb * bsn
+            acc = [np.zeros((32, 2), dtype=np.int32) for _ in range(bsn // 8)]
+            for cols, tile in lhs.iter_groups(strip):
+                a_tile = np.zeros((8, 32), dtype=np.int64)
+                a_tile[:v] = tile
+                a_frags = lay.distribute_a(a_tile)
+                # the kernel gathers by the *pre-shuffled* index array:
+                # staging order = SHUFFLE_ORDER within each 8-row block
+                shuffled_cols = cols.reshape(-1, 8)[:, SHUFFLE_ORDER].reshape(-1)
+                staged = _gather_rows(rhs_p, shuffled_cols)[:, col0 : col0 + bsn]
+                # Fig. 7: int32-granularity bit trick undoes the shuffle
+                b_block = online_transpose_int4(staged)
+                for j in range(bsn // 8):
+                    b_frags = lay.distribute_b(b_block[:, 8 * j : 8 * j + 8])
+                    acc[j] = mma_sync(a_frags, b_frags, acc[j], lay)
+            for j in range(bsn // 8):
+                c_tile = lay.collect_c(acc[j])
+                out[strip * v : strip * v + v, col0 + 8 * j : col0 + 8 * j + 8] = c_tile[:v]
+    return out[:, :n]

@@ -1,0 +1,97 @@
+"""Vectorized 32-bit word manipulation helpers.
+
+These mirror the handful of device-side idioms the paper's kernels use on
+``uint32`` registers: byte extraction/assembly (the ``char``-granularity
+register transpose of Fig. 5) and nibble mask/shift/OR sequences (the
+4-bit transpose of Fig. 7). Keeping them here lets the kernel code read
+like the PTX it stands in for, and lets tests count the bitwise ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+U32 = np.uint32
+#: masks selecting the even nibbles (bits 0-3 of every byte) and odd
+#: nibbles (bits 4-7 of every byte) of a 32-bit word
+LOW_NIBBLE_MASK = U32(0x0F0F0F0F)
+HIGH_NIBBLE_MASK = U32(0xF0F0F0F0)
+
+
+def extract_bytes(words: np.ndarray) -> np.ndarray:
+    """Split uint32 words into bytes, little-endian.
+
+    Shape ``(...,)`` becomes ``(..., 4)`` with byte 0 = bits 0-7.
+    """
+    w = np.asarray(words, dtype=U32)
+    shifts = np.arange(4, dtype=U32) * U32(8)
+    return ((w[..., None] >> shifts) & U32(0xFF)).astype(np.uint8)
+
+
+def assemble_bytes(bytes_: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`extract_bytes`: ``(..., 4)`` uint8 to uint32."""
+    b = np.asarray(bytes_, dtype=np.uint8).astype(U32)
+    if b.shape[-1] != 4:
+        raise ValueError(f"assemble_bytes needs last dim 4, got {b.shape[-1]}")
+    shifts = np.arange(4, dtype=U32) * U32(8)
+    return np.bitwise_or.reduce(b << shifts, axis=-1).astype(U32)
+
+
+def transpose_bytes_4x4(words: np.ndarray) -> np.ndarray:
+    """Transpose a 4x4 byte block held in four uint32 words.
+
+    ``words[..., i]`` is row ``i`` of the block (4 bytes). The result
+    holds the columns: output word ``j`` contains byte ``j`` of each input
+    word, in input-word order. This is exactly the per-thread register
+    transpose of Fig. 5 (int8 granularity, "cast to char").
+    """
+    w = np.asarray(words, dtype=U32)
+    if w.shape[-1] != 4:
+        raise ValueError(f"transpose_bytes_4x4 needs last dim 4, got {w.shape[-1]}")
+    b = extract_bytes(w)           # (..., 4 rows, 4 bytes)
+    bt = np.swapaxes(b, -1, -2)    # (..., 4 bytes, 4 rows)
+    return assemble_bytes(bt)
+
+
+def split_nibbles(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Separate the low and high nibbles of each byte of uint32 words.
+
+    Returns ``(low, high)`` where ``low`` keeps bits 0-3 of every byte in
+    place and ``high`` shifts bits 4-7 of every byte down into bits 0-3.
+    Two masks and one shift per word — the granularity-int32 bit work the
+    Fig. 7 trick is built from.
+    """
+    w = np.asarray(words, dtype=U32)
+    low = w & LOW_NIBBLE_MASK
+    high = (w >> U32(4)) & LOW_NIBBLE_MASK
+    return low, high
+
+
+def interleave_nibble_pairs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two low-nibble-only words: ``a`` keeps even lanes, ``b`` odd.
+
+    ``a`` and ``b`` must have only bits 0-3 of each byte set (as produced
+    by :func:`split_nibbles`). The result packs ``a``'s nibble of byte k
+    into lane 2k and ``b``'s into lane 2k+1 — one shift and one OR.
+    """
+    return (np.asarray(a, U32) | (np.asarray(b, U32) << U32(4))).astype(U32)
+
+
+def gather_nibbles(words: np.ndarray, lane_order: np.ndarray) -> np.ndarray:
+    """Re-order the 8 nibble lanes of each uint32 word.
+
+    ``lane_order[i]`` names the source lane for destination lane ``i``.
+    Used only in *reference* implementations and tests; the production
+    kernels avoid per-nibble gathers — that is the whole point of the
+    index-shuffling strategy (Fig. 7).
+    """
+    w = np.asarray(words, dtype=U32)
+    order = np.asarray(lane_order)
+    if order.shape != (8,):
+        raise ValueError(f"lane_order must have shape (8,), got {order.shape}")
+    out = np.zeros_like(w)
+    for dst in range(8):
+        src = int(order[dst])
+        nib = (w >> U32(4 * src)) & U32(0xF)
+        out |= nib << U32(4 * dst)
+    return out

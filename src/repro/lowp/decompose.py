@@ -1,0 +1,97 @@
+"""Two's-complement digit decomposition for mixed-precision emulation.
+
+Section IV-D of the paper emulates high-precision integer matrix products
+from low-precision MMA primitives by splitting each operand value into
+base-``2^w`` digits:
+
+- **unsigned** values split into unsigned digits:
+  ``a = sum_i d_i * 2^(w*i)`` with every ``d_i`` in ``[0, 2^w)``;
+- **signed** values split so that only the *top* digit is signed: e.g.
+  the int8 value ``-19 = 0b11101101`` splits (w=4) into high nibble
+  ``0b1110`` read as the *signed* int4 ``-2`` and low nibble ``0b1101``
+  read as the *unsigned* uint4 ``13``, since ``-2*16 + 13 = -19``.
+
+Tensor cores support mixed signed×unsigned MMA, which is exactly what
+makes this decomposition implementable (Sec. IV-D2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PrecisionError
+
+
+def digit_weights(src_bits: int, digit_bits: int) -> list[int]:
+    """Scale factors ``2^(w*i)`` for each digit, lowest first."""
+    if src_bits % digit_bits != 0:
+        raise PrecisionError(
+            f"{src_bits}-bit values do not split evenly into {digit_bits}-bit digits"
+        )
+    n = src_bits // digit_bits
+    return [1 << (digit_bits * i) for i in range(n)]
+
+
+def _check_range(a: np.ndarray, src_bits: int, signed: bool) -> np.ndarray:
+    a = np.asarray(a, dtype=np.int64)
+    if signed:
+        lo, hi = -(1 << (src_bits - 1)), (1 << (src_bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << src_bits) - 1
+    if a.size and (a.min() < lo or a.max() > hi):
+        raise PrecisionError(
+            f"values outside the {'signed' if signed else 'unsigned'} "
+            f"{src_bits}-bit range [{lo}, {hi}]"
+        )
+    return a
+
+
+def split_unsigned(a: np.ndarray, src_bits: int, digit_bits: int) -> list[np.ndarray]:
+    """Split unsigned values into unsigned digits, lowest digit first."""
+    a = _check_range(a, src_bits, signed=False)
+    n = src_bits // digit_bits
+    mask = (1 << digit_bits) - 1
+    return [((a >> (digit_bits * i)) & mask).astype(np.int32) for i in range(n)]
+
+
+def split_signed(a: np.ndarray, src_bits: int, digit_bits: int) -> list[np.ndarray]:
+    """Split signed values into digits; only the top digit is signed.
+
+    Returns ``n = src_bits // digit_bits`` arrays, lowest digit first.
+    Digits ``0..n-2`` are unsigned in ``[0, 2^w)``; digit ``n-1`` is
+    signed in ``[-2^(w-1), 2^(w-1))``. ``recombine`` restores the input.
+    """
+    a = _check_range(a, src_bits, signed=True)
+    n = src_bits // digit_bits
+    mask = (1 << digit_bits) - 1
+    raw = a & ((1 << src_bits) - 1)  # two's-complement bit pattern
+    digits = []
+    for i in range(n):
+        d = (raw >> (digit_bits * i)) & mask
+        if i == n - 1:  # reinterpret the top digit as signed
+            sign_bit = 1 << (digit_bits - 1)
+            d = np.where(d >= sign_bit, d - (1 << digit_bits), d)
+        digits.append(d.astype(np.int32))
+    return digits
+
+
+def recombine(digits: list[np.ndarray], digit_bits: int) -> np.ndarray:
+    """Inverse of the split functions: ``sum_i digits[i] * 2^(w*i)``."""
+    acc = np.zeros_like(np.asarray(digits[0], dtype=np.int64))
+    for i, d in enumerate(digits):
+        acc = acc + np.asarray(d, dtype=np.int64) * (1 << (digit_bits * i))
+    return acc
+
+
+def decompose_matrix(
+    a: np.ndarray, src_bits: int, digit_bits: int, signed: bool = True
+) -> list[np.ndarray]:
+    """Digit-decompose a whole matrix for emulated MMA.
+
+    The returned digit matrices have the same shape as ``a`` and dtype
+    int32; feed each to an MMA whose LHS signedness matches (top digit
+    signed iff ``signed``), then combine the int32 accumulators with
+    :func:`digit_weights`:  ``C = sum_i weights[i] * (D_i @ B)``.
+    """
+    split = split_signed if signed else split_unsigned
+    return split(np.asarray(a), src_bits, digit_bits)

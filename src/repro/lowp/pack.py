@@ -1,0 +1,137 @@
+"""Packing and unpacking of low-precision integers into 32-bit words.
+
+CUDA exposes no 4-bit scalar type: int4 operands of ``mma.sync`` are
+supplied as ``uint32`` registers holding eight 4-bit lanes. The paper's
+kernels therefore spend much of their effort marshalling nibbles inside
+registers. This module gives bit-exact, vectorized equivalents.
+
+Lane order is *little-endian*: lane ``i`` of a word occupies bits
+``[w*i, w*(i+1))`` where ``w`` is the lane width. This matches how a
+little-endian byte array reinterprets as ``uint32`` on the GPU.
+
+All functions accept and return NumPy arrays; the packed representation is
+always ``uint32``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: lanes per 32-bit word for each supported lane width
+LANES = {4: 8, 8: 4, 16: 2}
+
+
+def _check_multiple(n: int, lanes: int) -> None:
+    if n % lanes != 0:
+        raise ShapeError(
+            f"flat length {n} is not a multiple of {lanes} lanes per word"
+        )
+
+
+def _to_unsigned(values: np.ndarray, bits: int) -> np.ndarray:
+    """Two's-complement encode signed values into the low ``bits`` bits."""
+    mask = (1 << bits) - 1
+    return (np.asarray(values).astype(np.int64) & mask).astype(np.uint32)
+
+
+def _from_unsigned(raw: np.ndarray, bits: int, signed: bool) -> np.ndarray:
+    """Decode the low ``bits`` bits of ``raw`` as (un)signed integers."""
+    mask = (1 << bits) - 1
+    v = raw.astype(np.int64) & mask
+    if signed:
+        sign_bit = 1 << (bits - 1)
+        v = np.where(v >= sign_bit, v - (1 << bits), v)
+    if bits <= 8:
+        dt = np.int8 if signed else np.uint8
+    elif bits <= 16:
+        dt = np.int16 if signed else np.uint16
+    else:
+        dt = np.int32 if signed else np.uint32
+    return v.astype(dt)
+
+
+def _pack(values: np.ndarray, bits: int) -> np.ndarray:
+    lanes = LANES[bits]
+    flat = np.ascontiguousarray(values).reshape(-1)
+    _check_multiple(flat.size, lanes)
+    enc = _to_unsigned(flat, bits).reshape(-1, lanes)
+    shifts = (np.arange(lanes, dtype=np.uint32) * np.uint32(bits))
+    words = np.bitwise_or.reduce(enc << shifts, axis=1)
+    return words.astype(np.uint32)
+
+
+def _unpack(words: np.ndarray, bits: int, signed: bool, count: int | None) -> np.ndarray:
+    lanes = LANES[bits]
+    flat = np.ascontiguousarray(words).reshape(-1).astype(np.uint32)
+    shifts = (np.arange(lanes, dtype=np.uint32) * np.uint32(bits))
+    raw = (flat[:, None] >> shifts).reshape(-1)
+    out = _from_unsigned(raw, bits, signed)
+    if count is not None:
+        out = out[:count]
+    return out
+
+
+def pack_int4(values: np.ndarray) -> np.ndarray:
+    """Pack signed int4 values (range [-8, 7]) into uint32 words, 8 per word."""
+    return _pack(values, 4)
+
+
+def unpack_int4(words: np.ndarray, count: int | None = None) -> np.ndarray:
+    """Unpack uint32 words into signed int4 values (as int8)."""
+    return _unpack(words, 4, True, count)
+
+
+def pack_uint4(values: np.ndarray) -> np.ndarray:
+    """Pack unsigned int4 values (range [0, 15]) into uint32 words."""
+    return _pack(values, 4)
+
+
+def unpack_uint4(words: np.ndarray, count: int | None = None) -> np.ndarray:
+    """Unpack uint32 words into unsigned int4 values (as uint8)."""
+    return _unpack(words, 4, False, count)
+
+
+def pack_int8(values: np.ndarray) -> np.ndarray:
+    """Pack signed int8 values into uint32 words, 4 per word."""
+    return _pack(values, 8)
+
+
+def unpack_int8(words: np.ndarray, count: int | None = None) -> np.ndarray:
+    """Unpack uint32 words into signed int8 values."""
+    return _unpack(words, 8, True, count)
+
+
+def pack_int16(values: np.ndarray) -> np.ndarray:
+    """Pack signed int16 values into uint32 words, 2 per word."""
+    return _pack(values, 16)
+
+
+def unpack_int16(words: np.ndarray, count: int | None = None) -> np.ndarray:
+    """Unpack uint32 words into signed int16 values."""
+    return _unpack(words, 16, True, count)
+
+
+def pack_rows(matrix: np.ndarray, bits: int) -> np.ndarray:
+    """Pack each row of a 2-D integer matrix into uint32 words.
+
+    Returns an array of shape ``(rows, cols * bits // 32)``. Row length
+    must be a multiple of the lane count (8 for int4, 4 for int8, 2 for
+    int16) — exactly the alignment the GPU kernels require of their tiles.
+    """
+    m = np.asarray(matrix)
+    if m.ndim != 2:
+        raise ShapeError(f"pack_rows expects a 2-D array, got ndim={m.ndim}")
+    lanes = LANES[bits]
+    _check_multiple(m.shape[1], lanes)
+    return _pack(m, bits).reshape(m.shape[0], m.shape[1] // lanes)
+
+
+def unpack_rows(words: np.ndarray, bits: int, signed: bool = True) -> np.ndarray:
+    """Inverse of :func:`pack_rows`: uint32 word rows back to integer rows."""
+    w = np.asarray(words)
+    if w.ndim != 2:
+        raise ShapeError(f"unpack_rows expects a 2-D array, got ndim={w.ndim}")
+    lanes = LANES[bits]
+    return _unpack(w, bits, signed, None).reshape(w.shape[0], w.shape[1] * lanes)

@@ -1,0 +1,40 @@
+"""Sparse Transformer application (paper Sec. V-C, Figs. 16-17, Table V).
+
+End-to-end use of the Magicube kernels: a Transformer encoder whose
+self-attention is sparsified by a 1-D-block attention mask and quantized
+per Fig. 16 (int SDDMM -> fp16 softmax -> int SpMM with fused
+(de)quantization).
+
+- :mod:`repro.transformer.masks` — sparse attention masks with the 8x1
+  vector constraint (strided/local patterns after Child et al.).
+- :mod:`repro.transformer.layers` — NumPy layers with manual backprop.
+- :mod:`repro.transformer.attention` — dense, masked-sparse, and
+  quantized sparse multi-head attention.
+- :mod:`repro.transformer.model` — encoder + classifier.
+- :mod:`repro.transformer.training` — training loop and post-training
+  quantization for the Table V accuracy study.
+- :mod:`repro.transformer.lra` — the synthetic long-range classification
+  task standing in for LRA text classification.
+- :mod:`repro.transformer.inference` — the Fig. 17 end-to-end latency
+  model (PyTorch-dense vs vectorSparse vs Magicube, incl. dense OOM).
+"""
+
+from repro.transformer.masks import strided_vector_mask, random_vector_mask
+from repro.transformer.model import SparseTransformerClassifier, TransformerConfig
+from repro.transformer.inference import (
+    InferenceConfig,
+    estimate_latency,
+    Backend,
+    DenseOOM,
+)
+
+__all__ = [
+    "strided_vector_mask",
+    "random_vector_mask",
+    "SparseTransformerClassifier",
+    "TransformerConfig",
+    "InferenceConfig",
+    "estimate_latency",
+    "Backend",
+    "DenseOOM",
+]

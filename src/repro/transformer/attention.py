@@ -1,0 +1,222 @@
+"""Multi-head attention: dense, masked-sparse, and quantized (Fig. 16).
+
+Three execution paths over the same weights:
+
+- ``forward`` / ``backward`` — float32 masked attention for training
+  (the additive-mask formulation of the sparse pattern).
+- ``forward_quantized`` — the Fig. 16 inference pipeline functionally:
+  Q/K/V quantized to ``qkv_bits``, integer SDDMM with fused dequantize,
+  fp16 softmax with fused quantize to ``softmax_bits`` (unsigned),
+  integer SpMM with fused dequantize. Runs either as dense fake-quant
+  math (fast; used for the Table V accuracy study) or through the real
+  Magicube kernels (``use_kernels=True``; exercised by integration
+  tests — identical results up to fp16 rounding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.bcrs import BCRSMatrix
+from repro.formats.convert import bcrs_to_srbcrs
+from repro.gpu.mma import mma_shape_for
+from repro.kernels.emulation import plan_for
+from repro.kernels.sddmm import MagicubeSDDMM, SDDMMConfig
+from repro.kernels.softmax import sparse_softmax_quantized
+from repro.kernels.spmm import MagicubeSpMM, SpMMConfig
+from repro.lowp.quantize import int_range, symmetric_quantize
+from repro.transformer.layers import Layer, Linear, softmax, softmax_backward
+
+
+class MultiHeadAttention(Layer):
+    """Self-attention with an optional sparse mask."""
+
+    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator) -> None:
+        if d_model % num_heads != 0:
+            raise ShapeError(f"d_model {d_model} not divisible by heads {num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.wq = Linear(d_model, d_model, rng)
+        self.wk = Linear(d_model, d_model, rng)
+        self.wv = Linear(d_model, d_model, rng)
+        self.wo = Linear(d_model, d_model, rng)
+        self._cache: tuple | None = None
+
+    # -- shared helpers --------------------------------------------------
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        b, l, _ = x.shape
+        return x.reshape(b, l, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        b, h, l, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, l, h * d)
+
+    # -- training path ---------------------------------------------------
+    def forward(self, x: np.ndarray, additive_mask: np.ndarray | None = None) -> np.ndarray:
+        """Float masked attention; ``additive_mask`` is (L, L) with 0/-inf."""
+        q = self._split_heads(self.wq.forward(x))
+        k = self._split_heads(self.wk.forward(x))
+        v = self._split_heads(self.wv.forward(x))
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = np.einsum("bhid,bhjd->bhij", q, k) * scale
+        if additive_mask is not None:
+            scores = scores + additive_mask
+        probs = softmax(scores, axis=-1)
+        ctx = np.einsum("bhij,bhjd->bhid", probs, v)
+        out = self.wo.forward(self._merge_heads(ctx))
+        self._cache = (q, k, v, probs, scale)
+        return out
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward before forward")
+        q, k, v, probs, scale = self._cache
+        dctx_merged = self.wo.backward(dy)
+        b, l, _ = dctx_merged.shape
+        dctx = self._split_heads(dctx_merged)
+        dprobs = np.einsum("bhid,bhjd->bhij", dctx, v)
+        dv = np.einsum("bhij,bhid->bhjd", probs, dctx)
+        dscores = softmax_backward(probs, dprobs, axis=-1) * scale
+        dq = np.einsum("bhij,bhjd->bhid", dscores, k)
+        dk = np.einsum("bhij,bhid->bhjd", dscores, q)
+        dx = self.wq.backward(self._merge_heads(dq))
+        dx = dx + self.wk.backward(self._merge_heads(dk))
+        dx = dx + self.wv.backward(self._merge_heads(dv))
+        return dx
+
+    # -- quantized inference path (Fig. 16) -------------------------------
+    def forward_quantized(
+        self,
+        x: np.ndarray,
+        mask: BCRSMatrix,
+        softmax_bits: int = 16,
+        qkv_bits: int = 8,
+        use_kernels: bool = False,
+    ) -> np.ndarray:
+        """Quantized sparse attention.
+
+        ``mask`` is the (L, L) BCRS attention topology. ``softmax_bits``
+        / ``qkv_bits`` are the Fig. 17 ``xb-yb`` knobs.
+        """
+        b, l, _ = x.shape
+        if mask.shape != (l, l):
+            raise ShapeError(f"mask {mask.shape} does not match sequence {l}")
+        q = self._split_heads(self.wq.forward(x))
+        k = self._split_heads(self.wk.forward(x))
+        v = self._split_heads(self.wv.forward(x))
+        scale = 1.0 / np.sqrt(self.d_head)
+        dense_keep = mask.to_dense() != 0
+        if not use_kernels:
+            ctx = self._attend_batched_fake_quant(
+                q, k, v, dense_keep, scale, softmax_bits, qkv_bits
+            )
+            return self.wo.forward(self._merge_heads(ctx))
+        ctx = np.empty_like(q)
+        for bi in range(b):
+            for h in range(self.num_heads):
+                ctx[bi, h] = self._attend_one_quantized(
+                    q[bi, h], k[bi, h], v[bi, h], mask, dense_keep, scale,
+                    softmax_bits, qkv_bits, use_kernels,
+                )
+        return self.wo.forward(self._merge_heads(ctx))
+
+    def _attend_batched_fake_quant(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        dense_keep: np.ndarray,
+        scale: float,
+        softmax_bits: int,
+        qkv_bits: int,
+    ) -> np.ndarray:
+        """Vectorized Fig. 16 pipeline over all (batch, head) pairs.
+
+        Per-(batch, head) symmetric scales, as the kernels use —
+        numerically identical to the per-head loop (tests assert so),
+        just computed with batched einsums.
+        """
+        qmin, qmax = int_range(qkv_bits, signed=True)
+
+        def quant(t: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            amax = np.abs(t).max(axis=(2, 3), keepdims=True)
+            s = np.where(amax > 0, amax / qmax, 1.0)
+            return np.clip(np.rint(t / s), qmin, qmax).astype(np.int64), s
+
+        qq, qs = quant(q)
+        kq, ks = quant(k)
+        vq, vs = quant(v)
+        scores = np.einsum("bhid,bhjd->bhij", qq, kq)
+        score_scale = qs * np.swapaxes(ks, 2, 3) * scale  # (b,h,1,1)
+        logits = np.where(
+            dense_keep, (scores * score_scale).astype(np.float32), -np.inf
+        )
+        probs = softmax(logits, axis=-1).astype(np.float16).astype(np.float32)
+        probs = probs * dense_keep
+        _, pmax = int_range(softmax_bits, signed=False)
+        probs_q = np.clip(np.rint(probs * pmax), 0, pmax).astype(np.int64)
+        ctx = np.einsum("bhij,bhjd->bhid", probs_q, vq)
+        return (ctx * (vs / pmax)).astype(np.float32)
+
+    def _attend_one_quantized(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        mask: BCRSMatrix,
+        dense_keep: np.ndarray,
+        scale: float,
+        softmax_bits: int,
+        qkv_bits: int,
+        use_kernels: bool,
+    ) -> np.ndarray:
+        # quantize Q, K, V (Fig. 16 top row)
+        qq, qp = symmetric_quantize(q, qkv_bits)
+        kq, kp = symmetric_quantize(k, qkv_bits)
+        vq, vp = symmetric_quantize(v, qkv_bits)
+        score_scale = qp.scale * kp.scale * scale
+
+        if use_kernels:
+            return self._attend_kernels(
+                qq, kq, vq, mask, score_scale, vp.scale, softmax_bits, qkv_bits
+            )
+
+        # fake-quant dense math — numerically identical to the kernels'
+        # integer path up to the fp16 softmax rounding
+        scores_int = qq.astype(np.int64) @ kq.astype(np.int64).T
+        logits = np.where(
+            dense_keep, (scores_int * score_scale).astype(np.float32), -np.inf
+        )
+        probs = softmax(logits.astype(np.float32), axis=-1)
+        probs = probs.astype(np.float16).astype(np.float32) * dense_keep
+        _, pmax = int_range(softmax_bits, signed=False)
+        probs_q = np.clip(np.rint(probs * pmax), 0, pmax).astype(np.int64)
+        ctx_int = probs_q @ vq.astype(np.int64)
+        return (ctx_int * (vp.scale / pmax)).astype(np.float32)
+
+    def _attend_kernels(
+        self,
+        qq: np.ndarray,
+        kq: np.ndarray,
+        vq: np.ndarray,
+        mask: BCRSMatrix,
+        score_scale: float,
+        v_scale: float,
+        softmax_bits: int,
+        qkv_bits: int,
+    ) -> np.ndarray:
+        """The real kernel pipeline: SDDMM -> softmax -> SpMM."""
+        sddmm = MagicubeSDDMM(SDDMMConfig(l_bits=qkv_bits, r_bits=qkv_bits))
+        scores = sddmm(qq, kq.T, mask).output  # BCRS of integer scores
+        sm = sparse_softmax_quantized(scores, scale=score_scale, out_bits=softmax_bits)
+        spmm = MagicubeSpMM(
+            SpMMConfig(
+                l_bits=softmax_bits, r_bits=qkv_bits, l_signed=False, fuse_dequant=True
+            )
+        )
+        stride = mma_shape_for(plan_for(softmax_bits, qkv_bits).native_bits).k
+        probs_sr = bcrs_to_srbcrs(sm.output, stride=stride)
+        res = spmm(probs_sr, vq, scale=sm.params.scale * v_scale)
+        return res.dequantized

@@ -1,0 +1,95 @@
+"""Distributed inference extension (paper Discussion b).
+
+The paper positions Magicube as "the backend compute library" for
+data/operator/pipeline-parallel systems (Megatron-LM style). This
+module models the standard *tensor-parallel* split of the sparse
+Transformer: attention heads shard across GPUs, the two all-reduces per
+layer (after the attention output projection and after the MLP) ride
+NVLink. It composes the single-GPU latency model with an alpha-beta
+communication cost, reproducing the expected scaling behaviour: near-
+linear while compute dominates, communication-limited beyond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.transformer.inference import (
+    Backend,
+    InferenceConfig,
+    estimate_latency,
+)
+
+#: NVLink 3.0 per-GPU aggregate bandwidth (A100, GB/s each direction)
+NVLINK_BANDWIDTH_GBS = 300.0
+#: per-collective launch/synchronization latency (NCCL ring setup)
+ALLREDUCE_LATENCY_S = 12e-6
+
+
+@dataclass(frozen=True)
+class TensorParallelConfig:
+    """A tensor-parallel deployment of the sparse Transformer."""
+
+    base: InferenceConfig
+    num_gpus: int = 1
+    nvlink_gbs: float = NVLINK_BANDWIDTH_GBS
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigError(f"num_gpus must be >= 1, got {self.num_gpus}")
+        if self.base.num_heads % self.num_gpus != 0:
+            raise ConfigError(
+                f"{self.base.num_heads} heads do not shard over {self.num_gpus} GPUs"
+            )
+
+
+def allreduce_time(bytes_: int, num_gpus: int, bandwidth_gbs: float) -> float:
+    """Ring all-reduce: 2 (g-1)/g of the buffer crosses each link."""
+    if num_gpus == 1:
+        return 0.0
+    volume = 2 * bytes_ * (num_gpus - 1) / num_gpus
+    return ALLREDUCE_LATENCY_S + volume / (bandwidth_gbs * 1e9)
+
+
+def estimate_latency_distributed(
+    cfg: TensorParallelConfig, backend: Backend
+) -> dict:
+    """Per-forward latency of the tensor-parallel model.
+
+    Heads shard evenly: each GPU runs the single-GPU model at
+    ``heads / g`` and the layer ends with an all-reduce of the
+    activations (fp16, batch x seq x d_model) — twice per layer
+    (attention output + MLP output), as in Megatron-LM.
+    """
+    base = cfg.base
+    g = cfg.num_gpus
+    shard = InferenceConfig(
+        seq_len=base.seq_len,
+        num_heads=base.num_heads // g,
+        batch=base.batch,
+        sparsity=base.sparsity,
+        num_layers=base.num_layers,
+        d_head=base.d_head,
+        vector_length=base.vector_length,
+        device=base.device,
+    )
+    local = estimate_latency(shard, backend)
+    act_bytes = base.batch * base.seq_len * base.d_model * 2  # fp16
+    comm = 2 * base.num_layers * allreduce_time(act_bytes, g, cfg.nvlink_gbs)
+    total = local.total_s + comm
+    return {
+        "total_s": total,
+        "compute_s": local.total_s,
+        "comm_s": comm,
+        "speedup_vs_1gpu": None if g == 1 else _speedup(cfg, backend, total),
+        "comm_fraction": comm / total if total > 0 else 0.0,
+    }
+
+
+def _speedup(cfg: TensorParallelConfig, backend: Backend, total: float) -> float:
+    single = estimate_latency_distributed(
+        TensorParallelConfig(base=cfg.base, num_gpus=1, nvlink_gbs=cfg.nvlink_gbs),
+        backend,
+    )
+    return single["total_s"] / total

@@ -1,0 +1,159 @@
+"""Sparse attention masks with the 1-D-vector constraint.
+
+The paper follows Chen et al. in adding an "8x1 vector sparsity
+constraint" to the sparse-Transformer attention mask: the L x L binary
+mask is built from V x 1 column vectors so the attention SDDMM/SpMM can
+use the 1-D-block kernels. Patterns provided:
+
+- :func:`strided_vector_mask` — the sparse-Transformer pattern (Child et
+  al. 2019): each query attends to a local window plus strided global
+  positions, rounded to whole V-row strips.
+- :func:`random_vector_mask` — uniformly random vector positions at a
+  target sparsity (for workload sweeps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.formats.bcrs import BCRSMatrix
+from repro.gpu.warp import ceil_div
+
+
+def _to_bcrs(keep: np.ndarray, v: int, length: int) -> BCRSMatrix:
+    """(strips, L) boolean keep map -> BCRS mask of ones."""
+    strips = keep.shape[0]
+    counts = keep.sum(axis=1).astype(np.int64)
+    row_ptrs = np.zeros(strips + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptrs[1:])
+    strip_ids, cols = np.nonzero(keep)
+    values = np.ones((cols.size, v), dtype=np.int32)
+    return BCRSMatrix(
+        shape=(length, length),
+        vector_length=v,
+        row_ptrs=row_ptrs,
+        col_indices=cols.astype(np.int32),
+        values=values,
+    )
+
+
+def strided_vector_mask(
+    length: int,
+    vector_length: int = 8,
+    local_window: int = 64,
+    stride: int = 64,
+    causal: bool = False,
+) -> BCRSMatrix:
+    """Sparse-Transformer mask rounded to V x 1 vectors.
+
+    Each V-row strip of queries attends to (a) the columns within
+    ``local_window`` of the strip and (b) every ``stride``-th column
+    (the 'global' heads of Child et al.). ``causal`` removes columns
+    after the strip (decoder-style).
+    """
+    v = vector_length
+    if length % v != 0:
+        raise ConfigError(f"sequence length {length} not divisible by V={v}")
+    strips = length // v
+    keep = np.zeros((strips, length), dtype=bool)
+    cols = np.arange(length)
+    for s in range(strips):
+        center = s * v + v // 2
+        keep[s, np.abs(cols - center) <= local_window // 2] = True
+        keep[s, cols % stride == 0] = True
+        if causal:
+            keep[s, cols > s * v + v - 1] = False
+    # guarantee the diagonal (self-attention) stays
+    for s in range(strips):
+        keep[s, s * v : s * v + v] = True
+    return _to_bcrs(keep, v, length)
+
+
+def random_vector_mask(
+    length: int,
+    sparsity: float,
+    vector_length: int = 8,
+    seed: int = 0,
+) -> BCRSMatrix:
+    """Random V x 1 mask at a target sparsity (diagonal always kept)."""
+    v = vector_length
+    if length % v != 0:
+        raise ConfigError(f"sequence length {length} not divisible by V={v}")
+    if not 0.0 <= sparsity < 1.0:
+        raise ConfigError(f"sparsity must be in [0, 1), got {sparsity}")
+    strips = length // v
+    rng = np.random.default_rng(seed)
+    per_strip = max(1, round((1.0 - sparsity) * length))
+    keep = np.zeros((strips, length), dtype=bool)
+    for s in range(strips):
+        cols = rng.choice(length, size=per_strip, replace=False)
+        keep[s, cols] = True
+        keep[s, s * v : s * v + v] = True  # self-attention
+    return _to_bcrs(keep, v, length)
+
+
+def banded_vector_mask(
+    length: int,
+    sparsity: float,
+    vector_length: int = 8,
+    offsets: tuple[int, ...] = (0,),
+    seed: int = 0,
+) -> BCRSMatrix:
+    """Offset-block mask at a target sparsity.
+
+    Sparse-Transformer masks are chosen to *cover the task's dependency
+    structure* (Child et al.'s strided/local patterns). Because of the
+    V x 1 vector constraint, a strip's rows share columns, so covering a
+    diagonal at a given offset means keeping the whole V-aligned partner
+    block. This builder spends the per-strip nonzero budget greedily:
+    the partner blocks of ``offsets`` first (possibly *partially* when
+    the budget runs out — the structural reason higher sparsity costs
+    accuracy), then random columns up to the target sparsity.
+    """
+    v = vector_length
+    if length % v != 0:
+        raise ConfigError(f"sequence length {length} not divisible by V={v}")
+    if not 0.0 <= sparsity < 1.0:
+        raise ConfigError(f"sparsity must be in [0, 1), got {sparsity}")
+    strips = length // v
+    rng = np.random.default_rng(seed)
+    budget = max(1, round((1.0 - sparsity) * length))
+    keep = np.zeros((strips, length), dtype=bool)
+    for s in range(strips):
+        remaining = budget
+        for off in offsets:
+            if remaining <= 0:
+                break
+            block0 = (s * v + off) % length
+            take = min(v, remaining)
+            keep[s, block0 : block0 + take] = True
+            remaining -= take
+        if remaining > 0:
+            pool = np.nonzero(~keep[s])[0]
+            pick = rng.choice(pool, size=min(remaining, pool.size), replace=False)
+            keep[s, pick] = True
+    return _to_bcrs(keep, v, length)
+
+
+def mask_to_additive(mask: BCRSMatrix) -> np.ndarray:
+    """Dense additive form: 0 where attended, -inf elsewhere.
+
+    Used by the dense training path (masked softmax); the kernels use
+    the BCRS topology directly.
+    """
+    dense = mask.to_dense() != 0
+    out = np.where(dense, 0.0, -np.inf).astype(np.float32)
+    return out
+
+
+def mask_statistics(mask: BCRSMatrix) -> dict:
+    """Sparsity and load-balance summary of an attention mask."""
+    counts = mask.vectors_per_strip()
+    return {
+        "sparsity": mask.sparsity,
+        "vectors": int(mask.num_vectors),
+        "min_per_strip": int(counts.min()) if counts.size else 0,
+        "max_per_strip": int(counts.max()) if counts.size else 0,
+        "mean_per_strip": float(counts.mean()) if counts.size else 0.0,
+    }

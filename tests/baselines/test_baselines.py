@@ -1,0 +1,184 @@
+"""Tests for the comparator libraries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CublasGemm,
+    CusparseBlockedEllSpMM,
+    CusparseCsrSpMM,
+    CusparseLt24Gemm,
+    SputnikSpMM,
+    VectorSparseSDDMM,
+    VectorSparseSpMM,
+    cost_model_for,
+)
+from repro.baselines.cusparselt import is_2to4, prune_2to4
+from repro.errors import ConfigError, FormatError, PrecisionError, ShapeError
+from repro.formats import (
+    dense_to_bcrs,
+    dense_to_blocked_ell,
+    dense_to_csr,
+)
+from tests.conftest import make_structured_sparse
+
+
+class TestCublas:
+    def test_int8_exact(self, rng):
+        a = rng.integers(-128, 128, size=(16, 32))
+        b = rng.integers(-128, 128, size=(32, 8))
+        res = CublasGemm("int8")(a, b)
+        np.testing.assert_array_equal(res.output, a @ b)
+
+    def test_fp16_close(self, rng):
+        a = rng.normal(size=(16, 32)).astype(np.float32)
+        b = rng.normal(size=(32, 8)).astype(np.float32)
+        res = CublasGemm("fp16")(a, b)
+        np.testing.assert_allclose(res.output, a @ b, rtol=2e-2, atol=2e-2)
+
+    def test_range_check(self, rng):
+        with pytest.raises(PrecisionError):
+            CublasGemm("int8")(np.full((2, 2), 300), np.ones((2, 2), dtype=int))
+
+    def test_unknown_precision(self):
+        with pytest.raises(PrecisionError):
+            CublasGemm("int4")
+
+    def test_dense_ops_counted(self, rng):
+        res = CublasGemm("fp16")(np.ones((8, 16)), np.ones((16, 4)))
+        assert res.stats.mma_ops["fp16"] == 2 * 8 * 16 * 4
+
+
+class TestCusparse:
+    def test_blocked_ell_exact_int8(self, rng):
+        d = make_structured_sparse(rng, 32, 64, 8, 0.8)
+        ell = dense_to_blocked_ell(d, 8)
+        rhs = rng.integers(-128, 128, size=(64, 16))
+        res = CusparseBlockedEllSpMM("int8")(ell, rhs)
+        np.testing.assert_array_equal(res.output, d.astype(np.int64) @ rhs)
+
+    def test_blocked_ell_charges_padding(self, rng):
+        d = np.zeros((16, 64), dtype=np.int32)
+        d[0:8, 0:40] = 1
+        d[8:16, 0:8] = 1
+        ell = dense_to_blocked_ell(d, 8)
+        res = CusparseBlockedEllSpMM("int8")(ell, rng.integers(-8, 8, size=(64, 8)))
+        # op count covers the padded slots, not just true blocks
+        assert res.stats.mma_ops["int8"] == 2 * (2 * 5) * 64 * 8
+        assert res.stats.useful_ops < res.stats.mma_ops["int8"]
+
+    def test_csr_matches_dense(self, rng):
+        d = make_structured_sparse(rng, 16, 32, 1, 0.7)
+        rhs = rng.normal(size=(32, 8)).astype(np.float32)
+        res = CusparseCsrSpMM()(dense_to_csr(d), rhs)
+        np.testing.assert_allclose(res.output, d @ rhs, rtol=1e-4, atol=1e-4)
+
+
+class TestSputnik:
+    def test_matches_dense(self, rng):
+        d = make_structured_sparse(rng, 16, 32, 1, 0.7)
+        rhs = rng.normal(size=(32, 8)).astype(np.float32)
+        res = SputnikSpMM("fp32")(dense_to_csr(d), rhs)
+        np.testing.assert_allclose(res.output, d @ rhs, rtol=1e-5)
+
+    def test_runs_on_cuda_cores(self, rng):
+        d = make_structured_sparse(rng, 8, 16, 1, 0.5)
+        res = SputnikSpMM("fp16")(dense_to_csr(d), np.ones((16, 4), dtype=np.float32))
+        assert "fp16_cuda" in res.stats.mma_ops
+
+    def test_bad_precision(self):
+        with pytest.raises(PrecisionError):
+            SputnikSpMM("int8")
+
+
+class TestVectorSparse:
+    def test_spmm_close_to_dense(self, rng):
+        d = make_structured_sparse(rng, 32, 64, 8, 0.7)
+        rhs = rng.normal(size=(64, 16)).astype(np.float32)
+        res = VectorSparseSpMM()(dense_to_bcrs(d, 8), rhs)
+        np.testing.assert_allclose(res.output, d @ rhs, rtol=2e-2, atol=0.5)
+
+    def test_sddmm_topology(self, rng):
+        d = make_structured_sparse(rng, 16, 32, 8, 0.5)
+        mask = dense_to_bcrs((d != 0).astype(np.int32), 8)
+        a = rng.normal(size=(16, 16)).astype(np.float32)
+        b = rng.normal(size=(16, 32)).astype(np.float32)
+        res = VectorSparseSDDMM()(a, b, mask)
+        np.testing.assert_array_equal(res.output.col_indices, mask.col_indices)
+
+    def test_fp16_ops_charged_at_16_rows(self, rng):
+        """wmma m16n16k16 with V<=8: the m dim is half wasted."""
+        d = make_structured_sparse(rng, 16, 64, 8, 0.5)
+        bcrs = dense_to_bcrs(d, 8)
+        res = VectorSparseSpMM()(bcrs, np.zeros((64, 8), dtype=np.float32))
+        assert res.stats.mma_ops["fp16"] >= 2 * bcrs.num_vectors * 16 * 8
+
+
+class TestCusparseLt:
+    def test_pattern_check(self):
+        good = np.array([[1, 2, 0, 0, 0, 1, 1, 0]])
+        bad = np.array([[1, 2, 3, 0, 0, 0, 0, 0]])
+        assert is_2to4(good)
+        assert not is_2to4(bad)
+
+    def test_prune_produces_pattern(self, rng):
+        d = rng.normal(size=(8, 16))
+        p = prune_2to4(d)
+        assert is_2to4(p)
+        # kept values are the 2 largest magnitudes of each group
+        groups_in = np.abs(d.reshape(8, 4, 4))
+        kept = (p.reshape(8, 4, 4) != 0).sum(axis=2)
+        assert kept.max() <= 2
+
+    def test_rejects_unstructured(self, rng):
+        with pytest.raises(FormatError):
+            CusparseLt24Gemm("int8")(
+                np.ones((4, 8), dtype=np.int64), np.ones((8, 4), dtype=np.int64)
+            )
+
+    def test_structured_gemm_exact(self, rng):
+        a = prune_2to4(rng.integers(-8, 8, size=(8, 16)))
+        b = rng.integers(-8, 8, size=(16, 8))
+        res = CusparseLt24Gemm("int8")(a, b)
+        np.testing.assert_array_equal(res.output, a @ b)
+
+    def test_half_the_dense_ops(self, rng):
+        a = prune_2to4(rng.integers(-8, 8, size=(8, 16)))
+        res = CusparseLt24Gemm("int8")(a, np.ones((16, 8), dtype=np.int64))
+        assert res.stats.mma_ops["int8"] == 8 * 16 * 8  # = 2*m*n*k / 2
+
+
+class TestCalibration:
+    def test_all_profiles_build(self):
+        from repro.baselines.calibration import profiles
+
+        for p in profiles():
+            cm = cost_model_for(p)
+            assert cm.compute_efficiency > 0
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError):
+            cost_model_for("mkl")
+
+    def test_device_override(self):
+        cm = cost_model_for("magicube", "H100")
+        assert cm.device.name == "H100"
+
+
+class TestCapabilities:
+    def test_table1_rows(self):
+        from repro.baselines import LIBRARIES, capability_table
+
+        names = [l.name for l in LIBRARIES]
+        assert names == [
+            "cuSPARSE",
+            "cuSPARSELt",
+            "Sputnik",
+            "vectorSparse",
+            "Magicube",
+        ]
+        magicube = LIBRARIES[-1]
+        assert magicube.int4 and magicube.mixed and magicube.tensor_cores
+        assert not magicube.fp16
+        table = capability_table()
+        assert "Magicube" in table and "2:4 structured" in table

@@ -1,0 +1,43 @@
+"""Smoke tests for the python -m repro.bench CLI."""
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("table1", "fig14", "table5"):
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_static_tables_run(self, capsys):
+        assert main(["table1", "table2", "table3", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Magicube" in out
+        assert "m8n8k16" in out
+        assert "L12-R4" in out
+
+    def test_fig11_runs(self, capsys):
+        assert main(["fig11", "--count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "L4-R4" in out
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig17",
+        }

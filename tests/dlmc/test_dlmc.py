@@ -1,0 +1,138 @@
+"""Tests for the synthetic DLMC collection."""
+
+import numpy as np
+import pytest
+
+from repro.dlmc import (
+    SPARSITIES,
+    VECTOR_LENGTHS,
+    MatrixSpec,
+    dilate_pattern,
+    dlmc_collection,
+    generate_matrix,
+    generate_pattern,
+)
+from repro.dlmc.dataset import full_grid
+from repro.dlmc.generator import generate_blocked_ell
+from repro.errors import ConfigError
+
+
+class TestSpecs:
+    def test_bad_model(self):
+        with pytest.raises(ConfigError):
+            MatrixSpec("vgg", 64, 64, 0.5, 0)
+
+    def test_bad_sparsity(self):
+        with pytest.raises(ConfigError):
+            MatrixSpec("rn50", 64, 64, 1.0, 0)
+
+    def test_name(self):
+        s = MatrixSpec("rn50", 256, 2304, 0.9, 7)
+        assert s.name == "rn50_256x2304_s0.9_7"
+
+
+class TestPattern:
+    def test_sparsity_near_target(self):
+        spec = MatrixSpec("rn50", 512, 1024, 0.9, 3)
+        p = generate_pattern(spec)
+        assert abs((1 - p.mean()) - 0.9) < 0.03
+
+    def test_deterministic(self):
+        spec = MatrixSpec("rn50", 64, 128, 0.7, 5)
+        np.testing.assert_array_equal(generate_pattern(spec), generate_pattern(spec))
+
+    def test_row_imbalance_present(self):
+        spec = MatrixSpec("rn50", 256, 2048, 0.9, 9)
+        counts = generate_pattern(spec).sum(axis=1)
+        assert counts.std() > 0  # lognormal spread
+
+    def test_no_empty_rows(self):
+        spec = MatrixSpec("rn50", 128, 256, 0.98, 11)
+        assert generate_pattern(spec).sum(axis=1).min() >= 1
+
+
+class TestDilation:
+    @pytest.mark.parametrize("v", VECTOR_LENGTHS)
+    def test_shape_independent_of_v(self, v):
+        """Paper Fig. 11: the same M x K matrix at every V."""
+        spec = MatrixSpec("rn50", 256, 512, 0.7, 1)
+        m = generate_matrix(spec, v)
+        assert m.shape == (256, 512)
+
+    @pytest.mark.parametrize("v", VECTOR_LENGTHS)
+    def test_vector_structure(self, v):
+        """Nonzeros lie inside the dilated pattern, and every pattern
+        vector survives with at least one nonzero element."""
+        spec = MatrixSpec("rn50", 64, 128, 0.8, 2)
+        m = generate_matrix(spec, v)
+        pattern = generate_pattern(spec, rows=64 // v)
+        dilated = dilate_pattern(pattern, v)
+        assert not np.any((m != 0) & ~dilated)
+        kept = (m != 0).reshape(64 // v, v, 128).any(axis=1)
+        np.testing.assert_array_equal(kept, pattern)
+
+    def test_sparsity_preserved(self):
+        spec = MatrixSpec("rn50", 512, 1024, 0.9, 3)
+        m = generate_matrix(spec, 8)
+        assert abs((m == 0).mean() - 0.9) < 0.03
+
+    def test_values_in_bits_range(self):
+        spec = MatrixSpec("rn50", 64, 64, 0.5, 4)
+        m4 = generate_matrix(spec, 4, bits=4)
+        assert m4.min() >= -8 and m4.max() <= 7
+
+    def test_dilate_pattern_repeats_rows(self):
+        p = np.array([[True, False], [False, True]])
+        d = dilate_pattern(p, 2)
+        np.testing.assert_array_equal(d, [[1, 0], [1, 0], [0, 1], [0, 1]])
+
+    def test_dilate_bad_v(self):
+        with pytest.raises(ConfigError):
+            dilate_pattern(np.ones((2, 2), dtype=bool), 9)
+
+    def test_rows_must_divide(self):
+        spec = MatrixSpec("rn50", 100, 64, 0.5, 5)
+        with pytest.raises(ConfigError):
+            generate_matrix(spec, 8)
+
+
+class TestCollection:
+    def test_count(self):
+        specs = dlmc_collection(0.9, count=32)
+        assert len(specs) == 32
+        assert all(s.sparsity == 0.9 for s in specs)
+
+    def test_full_grid_is_1536(self):
+        grid = full_grid(count=256)
+        assert sum(len(v) for v in grid.values()) == 1536
+        assert set(grid) == set(SPARSITIES)
+
+    def test_deterministic(self):
+        a = dlmc_collection(0.7, count=8)
+        b = dlmc_collection(0.7, count=8)
+        assert [s.seed for s in a] == [s.seed for s in b]
+
+    def test_shape_families_present(self):
+        specs = dlmc_collection(0.5, count=32)
+        models = {s.model for s in specs}
+        assert models == {"rn50", "transformer"}
+
+    def test_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            dlmc_collection(0.42)
+
+
+class TestBlockedEllGenerator:
+    def test_block_structure(self):
+        spec = MatrixSpec("rn50", 64, 128, 0.8, 6)
+        m = generate_blocked_ell(spec, block_size=8)
+        tiles = (m != 0).reshape(8, 8, 16, 8).swapaxes(1, 2).reshape(8, 16, -1)
+        density = tiles.mean(axis=2)
+        # every tile is either empty or a dense block (random int8 values
+        # hit 0 with probability 1/256, so "dense" means > 90% nonzero)
+        assert np.all((density == 0) | (density > 0.9))
+
+    def test_sparsity_near_target(self):
+        spec = MatrixSpec("rn50", 512, 2048, 0.9, 7)
+        m = generate_blocked_ell(spec, block_size=8)
+        assert abs((m == 0).mean() - 0.9) < 0.05

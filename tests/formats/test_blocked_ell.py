@@ -1,0 +1,69 @@
+"""Tests for Blocked-ELL (cuSPARSE block SpMM format)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import BlockedEllMatrix, dense_to_blocked_ell
+from tests.conftest import make_structured_sparse
+
+
+class TestRoundTrip:
+    def test_random(self, rng):
+        d = make_structured_sparse(rng, 32, 64, 8, 0.8)
+        m = dense_to_blocked_ell(d, 8)
+        np.testing.assert_array_equal(m.to_dense(), d)
+
+    def test_uniform_width(self, rng):
+        d = make_structured_sparse(rng, 64, 64, 8, 0.7)
+        m = dense_to_blocked_ell(d, 8)
+        assert m.block_cols.shape[1] == m.ell_width
+
+    def test_empty(self):
+        m = dense_to_blocked_ell(np.zeros((16, 16), dtype=np.int32), 8)
+        assert m.nnz == 0
+        assert m.ell_width == 1  # at least one (padded) slot
+
+
+class TestPadding:
+    def test_imbalanced_rows_pad(self):
+        d = np.zeros((16, 64), dtype=np.int32)
+        d[0:8, 0:40] = 1   # block-row 0: 5 blocks
+        d[8:16, 0:8] = 1   # block-row 1: 1 block
+        m = dense_to_blocked_ell(d, 8)
+        assert m.ell_width == 5
+        assert m.padded_nnz == 2 * 5 * 64
+        assert m.padding_ratio == pytest.approx((2 * 5) / 6)
+
+    def test_padding_blocks_zero(self):
+        d = np.zeros((16, 16), dtype=np.int32)
+        d[0, 0] = 3
+        m = dense_to_blocked_ell(d, 8)
+        assert np.all(m.blocks[1] == 0)
+
+    def test_nnz_counts_kept_blocks_fully(self):
+        d = np.zeros((8, 8), dtype=np.int32)
+        d[0, 0] = 1  # one 8x8 block kept because of a single scalar
+        m = dense_to_blocked_ell(d, 8)
+        assert m.nnz == 64  # the whole block is stored
+
+
+class TestInvariants:
+    def test_untileable_shape(self):
+        with pytest.raises(FormatError):
+            dense_to_blocked_ell(np.zeros((10, 16), dtype=np.int32), 8)
+
+    def test_block_col_range_checked(self):
+        with pytest.raises(FormatError):
+            BlockedEllMatrix(
+                shape=(8, 8),
+                block_size=8,
+                block_cols=np.array([[7]], dtype=np.int32),
+                blocks=np.zeros((1, 1, 8, 8)),
+            )
+
+    def test_storage_bytes(self):
+        d = np.zeros((8, 16), dtype=np.int32)
+        d[0, 0] = 1
+        m = dense_to_blocked_ell(d, 8)
+        assert m.storage_bytes(8) == 1 * 4 + 64

@@ -1,0 +1,70 @@
+"""Tests for scalar CSR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import CSRMatrix, dense_to_csr
+from tests.conftest import make_structured_sparse
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        d = np.array([[1, 0, 2], [0, 0, 0], [3, 4, 0]])
+        m = CSRMatrix.from_dense(d)
+        assert m.nnz == 4
+        np.testing.assert_array_equal(m.to_dense(), d)
+
+    def test_random(self, rng):
+        d = make_structured_sparse(rng, 16, 32, 1, 0.8)
+        np.testing.assert_array_equal(dense_to_csr(d).to_dense(), d)
+
+    def test_empty_matrix(self):
+        d = np.zeros((4, 4), dtype=np.int32)
+        m = CSRMatrix.from_dense(d)
+        assert m.nnz == 0
+        np.testing.assert_array_equal(m.to_dense(), d)
+
+    def test_full_matrix(self):
+        d = np.ones((3, 3), dtype=np.int32)
+        m = CSRMatrix.from_dense(d)
+        assert m.sparsity == 0.0
+
+
+class TestInvariants:
+    def test_bad_row_ptrs_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                shape=(2, 2),
+                row_ptrs=np.array([0, 1]),
+                col_indices=np.array([0]),
+                values=np.array([1]),
+            )
+
+    def test_decreasing_ptrs(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                shape=(2, 2),
+                row_ptrs=np.array([0, 2, 1]),
+                col_indices=np.array([0]),
+                values=np.array([1]),
+            )
+
+    def test_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                shape=(1, 2),
+                row_ptrs=np.array([0, 1]),
+                col_indices=np.array([5]),
+                values=np.array([1]),
+            )
+
+    def test_row_nnz(self, rng):
+        d = make_structured_sparse(rng, 8, 16, 1, 0.5)
+        m = dense_to_csr(d)
+        np.testing.assert_array_equal(m.row_nnz(), (d != 0).sum(axis=1))
+
+    def test_sparsity_metric(self):
+        d = np.zeros((10, 10), dtype=np.int32)
+        d[0, :5] = 1
+        assert dense_to_csr(d).sparsity == pytest.approx(0.95)

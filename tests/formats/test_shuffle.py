@@ -1,0 +1,70 @@
+"""Tests for the Fig. 7 block-wise column-index shuffle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import (
+    SHUFFLE_ORDER,
+    inverse_order,
+    shuffle_block_indices,
+    unshuffle_block_indices,
+)
+
+
+class TestOrder:
+    def test_paper_order(self):
+        # Fig. 7: idx0, idx2, idx4, idx6, idx1, idx3, idx5, idx7
+        np.testing.assert_array_equal(SHUFFLE_ORDER, [0, 2, 4, 6, 1, 3, 5, 7])
+
+    def test_inverse(self):
+        inv = inverse_order()
+        np.testing.assert_array_equal(SHUFFLE_ORDER[inv], np.arange(8))
+
+    def test_shuffle_example(self):
+        idx = np.arange(8)
+        np.testing.assert_array_equal(
+            shuffle_block_indices(idx), [0, 2, 4, 6, 1, 3, 5, 7]
+        )
+
+    def test_blockwise(self):
+        idx = np.arange(16)
+        out = shuffle_block_indices(idx)
+        np.testing.assert_array_equal(out[:8], SHUFFLE_ORDER)
+        np.testing.assert_array_equal(out[8:], SHUFFLE_ORDER + 8)
+
+
+class TestRoundTrip:
+    def test_unshuffle_inverts(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 1000, size=64)
+        np.testing.assert_array_equal(
+            unshuffle_block_indices(shuffle_block_indices(idx)), idx
+        )
+
+    def test_bad_length(self):
+        with pytest.raises(FormatError):
+            shuffle_block_indices(np.arange(12))
+        with pytest.raises(FormatError):
+            unshuffle_block_indices(np.arange(12))
+
+    def test_unsupported_block(self):
+        with pytest.raises(FormatError):
+            shuffle_block_indices(np.arange(4), block=4)
+
+
+@settings(max_examples=40)
+@given(st.lists(st.integers(min_value=-1, max_value=10**6), min_size=8, max_size=64))
+def test_shuffle_property(vals):
+    if len(vals) % 8 != 0:
+        vals = vals[: 8 * (len(vals) // 8)]
+    idx = np.array(vals)
+    s = shuffle_block_indices(idx)
+    # a permutation within each block of 8
+    for b in range(idx.size // 8):
+        np.testing.assert_array_equal(
+            np.sort(s[8 * b : 8 * b + 8]), np.sort(idx[8 * b : 8 * b + 8])
+        )
+    np.testing.assert_array_equal(unshuffle_block_indices(s), idx)

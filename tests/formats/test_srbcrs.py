@@ -1,0 +1,129 @@
+"""Tests for SR-BCRS — the paper's format (Fig. 2c)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import SRBCRSMatrix, dense_to_srbcrs
+from repro.formats.srbcrs import PAD_INDEX
+from tests.conftest import make_structured_sparse
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("v", [2, 4, 8])
+    @pytest.mark.parametrize("stride", [16, 32])
+    def test_random(self, rng, v, stride):
+        d = make_structured_sparse(rng, 32, 64, v, 0.7)
+        m = dense_to_srbcrs(d, v, stride)
+        np.testing.assert_array_equal(m.to_dense(), d)
+
+    def test_empty(self):
+        m = dense_to_srbcrs(np.zeros((8, 8), dtype=np.int32), 4, 16)
+        assert m.num_vectors == 0
+        assert m.num_padded_vectors == 0
+
+
+class TestStridedStorage:
+    """Pin the storage layout: stride groups stored row-major."""
+
+    def test_group_is_row_major_lhs_tile(self, rng):
+        d = make_structured_sparse(rng, 8, 64, 8, 0.5)
+        m = dense_to_srbcrs(d, 8, 16)
+        cols, tile = m.group(0, 0)
+        assert tile.shape == (8, 16)
+        # column j of the tile is dense vector cols[j]
+        for j in range(16):
+            if cols[j] == PAD_INDEX:
+                np.testing.assert_array_equal(tile[:, j], 0)
+            else:
+                np.testing.assert_array_equal(tile[:, j], d[0:8, cols[j]])
+
+    def test_flat_values_are_contiguous_rows(self, rng):
+        """A warp streaming values front-to-back reads tile rows in order
+        — the property that satisfies the MMA LHS layout for free."""
+        d = make_structured_sparse(rng, 8, 64, 8, 0.5)
+        m = dense_to_srbcrs(d, 8, 16)
+        cols, tile = m.group(0, 0)
+        start = int(m.row_starts[0]) * 8
+        flat = m.values[start : start + 8 * 16]
+        np.testing.assert_array_equal(flat.reshape(8, 16), tile)
+
+    def test_padding_to_stride(self, rng):
+        # 5 vectors with stride 16 -> 16 padded slots, 11 sentinels
+        d = np.zeros((4, 32), dtype=np.int32)
+        d[0, [1, 3, 7, 11, 13]] = 1
+        m = dense_to_srbcrs(d, 4, 16)
+        assert m.num_vectors == 5
+        assert m.num_padded_vectors == 16
+        assert (m.col_indices == PAD_INDEX).sum() == 11
+        assert m.padding_ratio == pytest.approx(16 / 5)
+
+    def test_two_m_row_pointers(self, rng):
+        d = make_structured_sparse(rng, 32, 64, 8, 0.7)
+        m = dense_to_srbcrs(d, 8, 16)
+        strips = 32 // 8
+        assert m.row_starts.shape == (strips,)
+        assert m.row_ends.shape == (strips,)
+        # starts stride-aligned; ends mark valid extents
+        assert np.all(m.row_starts % 16 == 0)
+        np.testing.assert_array_equal(
+            m.row_ends - m.row_starts, m.vectors_per_strip()
+        )
+
+    def test_multi_group_strip(self, rng):
+        d = make_structured_sparse(rng, 8, 256, 8, 0.5)  # ~128 vectors
+        m = dense_to_srbcrs(d, 8, 16)
+        assert m.strip_num_groups(0) >= 2
+        seen_cols = []
+        for cols, tile in m.iter_groups(0):
+            valid = cols != PAD_INDEX
+            seen_cols.extend(cols[valid].tolist())
+        np.testing.assert_array_equal(np.sort(seen_cols), np.nonzero(d[0])[0])
+
+
+class TestInvariants:
+    def test_vector_length_bound(self):
+        with pytest.raises(FormatError):
+            dense_to_srbcrs(np.zeros((16, 16), dtype=np.int32), 16, 16)
+
+    def test_group_out_of_range(self, rng):
+        d = make_structured_sparse(rng, 8, 32, 8, 0.5)
+        m = dense_to_srbcrs(d, 8, 16)
+        with pytest.raises(FormatError):
+            m.group(0, m.strip_num_groups(0))
+
+    def test_storage_includes_padding(self, rng):
+        d = np.zeros((4, 32), dtype=np.int32)
+        d[0, 0] = 1
+        m = dense_to_srbcrs(d, 4, 16)
+        # 16 padded vectors x 4 elements x 1 byte + indices + pointers
+        assert m.storage_bytes(8) == 16 * 4 + 16 * 4 + 2 * 4
+
+    def test_unaligned_row_start_rejected(self):
+        with pytest.raises(FormatError):
+            SRBCRSMatrix(
+                shape=(4, 16),
+                vector_length=4,
+                stride=16,
+                row_starts=np.array([3]),
+                row_ends=np.array([4]),
+                col_indices=np.full(16, PAD_INDEX, dtype=np.int32),
+                values=np.zeros(64),
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.sampled_from([2, 4, 8]),
+    st.sampled_from([16, 32]),
+    st.sampled_from([0.5, 0.9]),
+)
+def test_srbcrs_round_trip_property(seed, v, stride, sparsity):
+    rng = np.random.default_rng(seed)
+    d = make_structured_sparse(rng, 4 * v, 48, v, sparsity)
+    m = dense_to_srbcrs(d, v, stride)
+    np.testing.assert_array_equal(m.to_dense(), d)
+    assert m.nnz == int((d.reshape(4, v, 48).any(axis=1)).sum()) * v

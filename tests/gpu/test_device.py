@@ -1,0 +1,66 @@
+"""Tests for the device capability tables (paper Table II)."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import A100, H100, V100, get_device, list_devices
+
+
+class TestTable2:
+    """Pin the Table II numbers."""
+
+    def test_a100_totals(self):
+        assert A100.peak_tops("fp16", tensor_only=False) == 390.0
+        assert A100.peak_tops("int8", tensor_only=False) == 702.0
+        assert A100.peak_tops("int4", tensor_only=False) == 1248.0
+
+    def test_a100_tensor_fractions(self):
+        assert A100.peaks["fp16"].tensor_fraction == 0.80
+        assert A100.peaks["int8"].tensor_fraction == 0.889
+        assert A100.peaks["int4"].tensor_fraction == 1.0
+
+    def test_a100_int4_all_tensor(self):
+        assert A100.peak_tops("int4") == 1248.0
+
+    def test_v100_has_no_integer_tensor_cores(self):
+        assert not V100.supports("int8")
+        assert not V100.supports("int4")
+        with pytest.raises(DeviceError):
+            V100.peak_tops("int8")
+
+    def test_h100_no_int4(self):
+        assert H100.supports("int8")
+        assert not H100.supports("int4")
+
+    def test_lower_precision_higher_peak_on_a100(self):
+        assert (
+            A100.peak_tops("fp16")
+            < A100.peak_tops("int8")
+            < A100.peak_tops("int4")
+        )
+
+
+class TestLookup:
+    def test_get_device_case_insensitive(self):
+        assert get_device("a100") is A100
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceError):
+            get_device("B200")
+
+    def test_list(self):
+        assert list_devices() == ["A100", "H100", "MI250X", "V100"]
+
+    def test_mi250x_discussion_numbers(self):
+        """Discussion (a): AMD MI250X provides 383 TOP/s int8 via MFMA."""
+        mi = get_device("MI250X")
+        assert mi.peak_tops("int8", tensor_only=False) == 383.0
+        assert not mi.supports("int4")
+
+
+class TestDerived:
+    def test_a100_sm_count(self):
+        assert A100.num_sms == 108  # Sec. V
+
+    def test_smem_bandwidth_positive(self):
+        assert A100.smem_bandwidth_bytes_per_s > 1e12

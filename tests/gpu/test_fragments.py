@@ -1,0 +1,146 @@
+"""Tests for the mma.sync register fragment layouts (paper Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError, ShapeError
+from repro.gpu.fragments import INT4_M8N8K32, INT8_M8N8K16, layout_for
+from repro.lowp.pack import unpack_int4, unpack_int8
+
+
+class TestFigure1Layout:
+    """Pin the exact thread-to-element mapping shown in Fig. 1."""
+
+    def test_thread0_a_elements(self):
+        row, cols = INT8_M8N8K16.a_elements(0)
+        assert row == 0
+        np.testing.assert_array_equal(cols, [0, 1, 2, 3])
+
+    def test_thread1_a_elements(self):
+        # T1 holds a04, a05, a06, a07 per Fig. 1
+        row, cols = INT8_M8N8K16.a_elements(1)
+        assert row == 0
+        np.testing.assert_array_equal(cols, [4, 5, 6, 7])
+
+    def test_thread4_a_row1(self):
+        # T4 holds a10..a13
+        row, cols = INT8_M8N8K16.a_elements(4)
+        assert row == 1
+        np.testing.assert_array_equal(cols, [0, 1, 2, 3])
+
+    def test_thread31_a(self):
+        # T31 holds a7c..a7f
+        row, cols = INT8_M8N8K16.a_elements(31)
+        assert row == 7
+        np.testing.assert_array_equal(cols, [12, 13, 14, 15])
+
+    def test_thread0_b_elements(self):
+        # T0 provides b00, b10, b20, b30 (column 0, rows 0..3)
+        rows, col = INT8_M8N8K16.b_elements(0)
+        assert col == 0
+        np.testing.assert_array_equal(rows, [0, 1, 2, 3])
+
+    def test_thread5_b_elements(self):
+        # T5 holds b41, b51, b61, b71 (column 1, rows 4..7)
+        rows, col = INT8_M8N8K16.b_elements(5)
+        assert col == 1
+        np.testing.assert_array_equal(rows, [4, 5, 6, 7])
+
+    def test_thread0_c_elements(self):
+        # T0 holds c00, c01
+        row, cols = INT8_M8N8K16.c_elements(0)
+        assert row == 0
+        np.testing.assert_array_equal(cols, [0, 1])
+
+    def test_thread31_c_elements(self):
+        # T31 holds c76, c77
+        row, cols = INT8_M8N8K16.c_elements(31)
+        assert row == 7
+        np.testing.assert_array_equal(cols, [6, 7])
+
+    def test_int4_lane_count(self):
+        assert INT4_M8N8K32.lanes == 8
+        row, cols = INT4_M8N8K32.a_elements(1)
+        assert row == 0
+        np.testing.assert_array_equal(cols, np.arange(8, 16))
+
+    def test_thread_out_of_warp(self):
+        with pytest.raises(LayoutError):
+            INT8_M8N8K16.a_elements(32)
+
+
+class TestDistributeCollect:
+    def test_a_round_trip_int8(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-128, 128, size=(8, 16))
+        regs = INT8_M8N8K16.distribute_a(a)
+        assert regs.shape == (32,)
+        np.testing.assert_array_equal(INT8_M8N8K16.collect_a(regs), a)
+
+    def test_b_round_trip_int8(self):
+        rng = np.random.default_rng(1)
+        b = rng.integers(-128, 128, size=(16, 8))
+        regs = INT8_M8N8K16.distribute_b(b)
+        assert regs.shape == (32,)
+        np.testing.assert_array_equal(INT8_M8N8K16.collect_b(regs), b)
+
+    def test_a_round_trip_int4(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(-8, 8, size=(8, 32))
+        np.testing.assert_array_equal(
+            INT4_M8N8K32.collect_a(INT4_M8N8K32.distribute_a(a)), a
+        )
+
+    def test_b_round_trip_int4(self):
+        rng = np.random.default_rng(3)
+        b = rng.integers(-8, 8, size=(32, 8))
+        np.testing.assert_array_equal(
+            INT4_M8N8K32.collect_b(INT4_M8N8K32.distribute_b(b)), b
+        )
+
+    def test_c_round_trip(self):
+        c = np.arange(64, dtype=np.int32).reshape(8, 8)
+        regs = INT8_M8N8K16.distribute_c(c)
+        assert regs.shape == (32, 2)
+        np.testing.assert_array_equal(INT8_M8N8K16.collect_c(regs), c)
+
+    def test_register_contents_match_index_map(self):
+        """distribute_a's packed word for thread t holds a_elements(t)."""
+        a = np.arange(8 * 16).reshape(8, 16) % 127
+        regs = INT8_M8N8K16.distribute_a(a)
+        for t in (0, 1, 5, 17, 31):
+            row, cols = INT8_M8N8K16.a_elements(t)
+            np.testing.assert_array_equal(
+                unpack_int8(regs[t : t + 1]), a[row, cols]
+            )
+
+    def test_b_register_contents_column_major(self):
+        b = (np.arange(16 * 8).reshape(16, 8) % 127).astype(np.int64)
+        regs = INT8_M8N8K16.distribute_b(b)
+        for t in (0, 5, 30):
+            rows, col = INT8_M8N8K16.b_elements(t)
+            np.testing.assert_array_equal(unpack_int8(regs[t : t + 1]), b[rows, col])
+
+    def test_int4_register_contents(self):
+        a = (np.arange(8 * 32).reshape(8, 32) % 15) - 7
+        regs = INT4_M8N8K32.distribute_a(a)
+        row, cols = INT4_M8N8K32.a_elements(9)
+        np.testing.assert_array_equal(unpack_int4(regs[9:10]), a[row, cols])
+
+    def test_wrong_tile_shape(self):
+        with pytest.raises(ShapeError):
+            INT8_M8N8K16.distribute_a(np.zeros((8, 8), dtype=np.int64))
+
+    def test_wrong_fragment_size(self):
+        with pytest.raises(LayoutError):
+            INT8_M8N8K16.collect_a(np.zeros(16, dtype=np.uint32))
+
+
+class TestLayoutFor:
+    def test_known_widths(self):
+        assert layout_for(8) is INT8_M8N8K16
+        assert layout_for(4) is INT4_M8N8K32
+
+    def test_unsupported_width(self):
+        with pytest.raises(LayoutError):
+            layout_for(16)

@@ -1,0 +1,70 @@
+"""Tests for global-memory coalescing and traffic accounting."""
+
+import numpy as np
+
+from repro.gpu.memory import (
+    SECTOR_BYTES,
+    TrafficCounter,
+    coalesced_sectors,
+    transaction_efficiency,
+)
+
+
+class TestCoalescing:
+    def test_contiguous_int8_row_is_two_sectors(self):
+        # 64 consecutive bytes = 2 sectors — the 64B transaction of Sec. IV-B2
+        addrs = np.arange(32) * 2  # 32 lanes x 2 bytes
+        assert coalesced_sectors(addrs, access_bytes=2) == 2
+
+    def test_perfect_int32_coalescing(self):
+        addrs = np.arange(32) * 4
+        assert coalesced_sectors(addrs, access_bytes=4) == 4
+
+    def test_scattered_bytes(self):
+        addrs = np.arange(32) * SECTOR_BYTES
+        assert coalesced_sectors(addrs, access_bytes=1) == 32
+
+    def test_efficiency(self):
+        contiguous = np.arange(32) * 4
+        assert transaction_efficiency(contiguous, 4) == 1.0
+        scattered = np.arange(32) * 128
+        assert transaction_efficiency(scattered, 4) == 4 / 32
+
+    def test_straddling_access(self):
+        # one lane reading 4 bytes across a sector boundary touches 2 sectors
+        assert coalesced_sectors(np.array([30]), access_bytes=4) == 2
+
+
+class TestTrafficCounter:
+    def test_basic_accounting(self):
+        t = TrafficCounter()
+        t.read("rhs", 1000, unique_bytes=100)
+        t.read("lhs", 50)
+        t.write("out", 200)
+        assert t.read_bytes == 1050
+        assert t.unique_read_bytes == 150
+        assert t.write_bytes == 200
+        assert t.total_dram_bytes == 350
+        assert t.total_access_bytes == 1250
+
+    def test_unique_capped_at_total(self):
+        t = TrafficCounter()
+        t.read("x", 10, unique_bytes=100)
+        assert t.unique_read_bytes == 10
+
+    def test_merge(self):
+        a, b = TrafficCounter(), TrafficCounter()
+        a.read("x", 10)
+        b.read("x", 20, unique_bytes=5)
+        b.write("y", 7)
+        a.merge(b)
+        assert a.read_bytes == 30
+        assert a.unique_read_bytes == 15
+        assert a.write_bytes == 7
+        assert a.by_stream["x"][0] == 30
+
+    def test_streams_tracked(self):
+        t = TrafficCounter()
+        t.read("lhs_values", 64)
+        t.write("output", 32)
+        assert set(t.by_stream) == {"lhs_values", "output"}

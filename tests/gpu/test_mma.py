@@ -1,0 +1,159 @@
+"""Tests for the bit-accurate MMA primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrecisionError, ShapeError
+from repro.gpu.fragments import INT4_M8N8K32, INT8_M8N8K16
+from repro.gpu.mma import (
+    MmaShape,
+    mma_shape_for,
+    mma_sync,
+    mma_tile,
+    ref_imma,
+    supported_shapes,
+)
+
+
+class TestShapeRegistry:
+    """Pin Table III."""
+
+    def test_int8_shapes(self):
+        names = [s.name for s in supported_shapes(8)]
+        assert names == ["m8n8k16", "m16n8k16", "m16n8k32"]
+
+    def test_int4_shapes(self):
+        names = [s.name for s in supported_shapes(4)]
+        assert names == ["m8n8k32", "m16n8k32", "m16n8k64"]
+
+    def test_smallest_is_default(self):
+        assert mma_shape_for(8) == MmaShape(8, 8, 16, 8)
+        assert mma_shape_for(4) == MmaShape(8, 8, 32, 4)
+
+    def test_ops_count(self):
+        assert MmaShape(8, 8, 16, 8).ops == 2 * 8 * 8 * 16
+
+    def test_unsupported_precision(self):
+        with pytest.raises(PrecisionError):
+            supported_shapes(16)
+
+
+class TestRefImma:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-128, 128, size=(8, 16))
+        b = rng.integers(-128, 128, size=(16, 8))
+        np.testing.assert_array_equal(ref_imma(a, b, 8), a @ b)
+
+    def test_signed_unsigned_mix(self):
+        a = np.full((2, 4), -3, dtype=np.int64)
+        b = np.full((4, 2), 200, dtype=np.int64)  # unsigned int8 values
+        out = ref_imma(a, b, 8, a_signed=True, b_signed=False)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_range_violation(self):
+        a = np.full((2, 2), 200, dtype=np.int64)  # not signed int8
+        b = np.ones((2, 2), dtype=np.int64)
+        with pytest.raises(PrecisionError):
+            ref_imma(a, b, 8, a_signed=True)
+
+    def test_float_rejected(self):
+        with pytest.raises(PrecisionError):
+            ref_imma(np.ones((2, 2)), np.ones((2, 2), dtype=np.int64), 8)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ref_imma(
+                np.ones((2, 3), dtype=np.int64), np.ones((2, 3), dtype=np.int64), 8
+            )
+
+
+class TestMmaSync:
+    def test_int8_full_mma(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(-128, 128, size=(8, 16))
+        b = rng.integers(-128, 128, size=(16, 8))
+        c = rng.integers(-1000, 1000, size=(8, 8)).astype(np.int32)
+        lay = INT8_M8N8K16
+        d_frags = mma_sync(
+            lay.distribute_a(a), lay.distribute_b(b), lay.distribute_c(c), lay
+        )
+        np.testing.assert_array_equal(lay.collect_c(d_frags), a @ b + c)
+
+    def test_int4_full_mma(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(-8, 8, size=(8, 32))
+        b = rng.integers(-8, 8, size=(32, 8))
+        c = np.zeros((8, 8), dtype=np.int32)
+        lay = INT4_M8N8K32
+        d_frags = mma_sync(
+            lay.distribute_a(a), lay.distribute_b(b), lay.distribute_c(c), lay
+        )
+        np.testing.assert_array_equal(lay.collect_c(d_frags), a @ b)
+
+    def test_wrong_marshalling_gives_wrong_result(self):
+        """Feeding B row-major (i.e. B.T distributed) computes A @ B.T."""
+        rng = np.random.default_rng(3)
+        a = rng.integers(-8, 8, size=(8, 16))
+        b = rng.integers(-8, 8, size=(16, 8))
+        lay = INT8_M8N8K16
+        # distribute_b(B.T.T)=ok; simulate the bug: hand B.T's columns
+        wrong = lay.distribute_b(np.ascontiguousarray(b.T.reshape(16, 8)))
+        d = mma_sync(
+            lay.distribute_a(a), wrong, lay.distribute_c(np.zeros((8, 8), np.int32)), lay
+        )
+        result = lay.collect_c(d)
+        assert not np.array_equal(result, a @ b)
+
+    def test_mixed_signedness(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(-8, 8, size=(8, 16))  # signed digits
+        b = rng.integers(0, 16, size=(16, 8))  # unsigned nibbles... as int8 values
+        lay = INT8_M8N8K16
+        d = mma_sync(
+            lay.distribute_a(a),
+            lay.distribute_b(b),
+            lay.distribute_c(np.zeros((8, 8), np.int32)),
+            lay,
+            a_signed=True,
+            b_signed=False,
+        )
+        np.testing.assert_array_equal(lay.collect_c(d), a @ b)
+
+
+class TestMmaTile:
+    def test_matches_mma_sync(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(-128, 128, size=(8, 16))
+        b = rng.integers(-128, 128, size=(16, 8))
+        c = rng.integers(-500, 500, size=(8, 8)).astype(np.int32)
+        lay = INT8_M8N8K16
+        via_sync = lay.collect_c(
+            mma_sync(lay.distribute_a(a), lay.distribute_b(b), lay.distribute_c(c), lay)
+        )
+        via_tile = mma_tile(a, b, 8, accum=c)
+        np.testing.assert_array_equal(via_sync, via_tile)
+
+    def test_tile_shape_checked(self):
+        with pytest.raises(ShapeError):
+            mma_tile(np.zeros((8, 8), np.int64), np.zeros((8, 8), np.int64), 8)
+
+    def test_accumulation_chains(self):
+        """k-loop accumulation: two mmas == one 32-wide matmul."""
+        rng = np.random.default_rng(6)
+        a = rng.integers(-10, 10, size=(8, 32))
+        b = rng.integers(-10, 10, size=(32, 8))
+        c = mma_tile(a[:, :16], b[:16], 8)
+        c = mma_tile(a[:, 16:], b[16:], 8, accum=c)
+        np.testing.assert_array_equal(c, a @ b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_mma_property_random_tiles(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-8, 8, size=(8, 32))
+    b = rng.integers(-8, 8, size=(32, 8))
+    np.testing.assert_array_equal(mma_tile(a, b, 4), a @ b)

@@ -1,0 +1,53 @@
+"""Tests for the Algorithm-1 prefetch pipeline schedule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.pipeline import PipelineSchedule, overlap_time
+
+
+class TestSchedule:
+    def test_serial_time(self):
+        s = PipelineSchedule(steps=10, load=2.0, compute=3.0)
+        assert s.serial_time() == 50.0
+
+    def test_pipelined_compute_bound(self):
+        s = PipelineSchedule(steps=10, load=2.0, compute=3.0)
+        # cold load + 9 x max + final compute
+        assert s.pipelined_time() == pytest.approx(2.0 + 9 * 3.0 + 3.0)
+
+    def test_pipelined_load_bound(self):
+        s = PipelineSchedule(steps=10, load=5.0, compute=1.0)
+        assert s.pipelined_time() == pytest.approx(5.0 + 9 * 5.0 + 1.0)
+
+    def test_speedup_bounded_by_two(self):
+        s = PipelineSchedule(steps=100, load=3.0, compute=3.0)
+        assert 1.0 < s.speedup() <= 2.0
+
+    def test_single_step_no_benefit(self):
+        s = PipelineSchedule(steps=1, load=2.0, compute=3.0)
+        assert s.pipelined_time() == s.serial_time()
+
+    def test_zero_steps(self):
+        assert PipelineSchedule(steps=0, load=1.0, compute=1.0).pipelined_time() == 0.0
+
+
+class TestOverlapTime:
+    def test_dispatch(self):
+        assert overlap_time(2.0, 3.0, 10, prefetch=False) == 50.0
+        assert overlap_time(2.0, 3.0, 10, prefetch=True) < 50.0
+
+
+@settings(max_examples=50)
+@given(
+    st.integers(min_value=1, max_value=1000),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+)
+def test_pipeline_invariants(steps, load, compute):
+    s = PipelineSchedule(steps=steps, load=load, compute=compute)
+    pipelined, serial = s.pipelined_time(), s.serial_time()
+    # pipelining never hurts and never beats the critical path
+    assert pipelined <= serial + 1e-9
+    assert pipelined >= max(steps * load, steps * compute) - 1e-9

@@ -1,0 +1,58 @@
+"""Tests for warp/thread-block geometry helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.warp import LaunchGrid, ThreadBlock, ceil_div, lane_id, round_up, warp_id
+
+
+class TestMath:
+    def test_ceil_div(self):
+        assert ceil_div(10, 4) == 3
+        assert ceil_div(8, 4) == 2
+        assert ceil_div(0, 4) == 0
+
+    def test_ceil_div_bad_divisor(self):
+        with pytest.raises(ConfigError):
+            ceil_div(4, 0)
+
+    def test_round_up(self):
+        assert round_up(17, 16) == 32
+        assert round_up(16, 16) == 16
+
+
+class TestThreadBlock:
+    def test_threads(self):
+        assert ThreadBlock(warps=2).threads == 64
+
+    def test_bounds(self):
+        with pytest.raises(ConfigError):
+            ThreadBlock(warps=0)
+        with pytest.raises(ConfigError):
+            ThreadBlock(warps=33)
+
+
+class TestLaunchGrid:
+    def test_total_warps(self):
+        g = LaunchGrid(blocks=10, block=ThreadBlock(warps=2))
+        assert g.total_warps == 20
+
+    def test_full_grid_utilization(self):
+        g = LaunchGrid(blocks=10000, block=ThreadBlock(warps=2))
+        assert g.utilization(108) > 0.95
+
+    def test_tiny_grid_underutilized(self):
+        g = LaunchGrid(blocks=4, block=ThreadBlock(warps=2))
+        assert g.utilization(108) < 0.1
+
+    def test_waves(self):
+        g = LaunchGrid(blocks=216, block=ThreadBlock(warps=2))
+        assert g.occupancy_waves(108, blocks_per_sm=2) == 1.0
+
+
+class TestIds:
+    def test_lane_and_warp(self):
+        assert lane_id(0) == 0
+        assert lane_id(33) == 1
+        assert warp_id(33) == 1
+        assert warp_id(31) == 0

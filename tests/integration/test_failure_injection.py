@@ -1,0 +1,118 @@
+"""Failure-injection tests: corrupted inputs must be rejected, not
+silently mis-computed.
+
+The CUDA kernels the paper ships would read garbage on these inputs;
+the library's contract is to catch them at the Python boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, PrecisionError, ShapeError
+from repro.formats import SRBCRSMatrix, dense_to_bcrs, dense_to_srbcrs
+from repro.formats.srbcrs import PAD_INDEX
+from repro.formats.validate import validate_bcrs, validate_srbcrs
+from repro.kernels import MagicubeSDDMM, MagicubeSpMM, SDDMMConfig, SpMMConfig
+from tests.conftest import make_structured_sparse
+
+
+def corrupt_srbcrs(m: SRBCRSMatrix, **overrides) -> SRBCRSMatrix:
+    fields = dict(
+        shape=m.shape,
+        vector_length=m.vector_length,
+        stride=m.stride,
+        row_starts=m.row_starts,
+        row_ends=m.row_ends,
+        col_indices=m.col_indices,
+        values=m.values,
+    )
+    fields.update(overrides)
+    return SRBCRSMatrix(**fields)
+
+
+class TestCorruptedFormats:
+    def test_sentinel_in_valid_region_detected(self, rng):
+        d = make_structured_sparse(rng, 16, 64, 8, 0.5)
+        m = dense_to_srbcrs(d, 8, 16)
+        bad_cols = m.col_indices.copy()
+        first_valid = int(np.argmax(bad_cols != PAD_INDEX))
+        bad_cols[first_valid] = PAD_INDEX
+        bad = corrupt_srbcrs(m, col_indices=bad_cols)
+        with pytest.raises(FormatError):
+            validate_srbcrs(bad)
+
+    def test_nonzero_padding_values_detected(self, rng):
+        d = make_structured_sparse(rng, 16, 64, 8, 0.3)
+        m = dense_to_srbcrs(d, 8, 16)
+        pads = np.nonzero(m.col_indices == PAD_INDEX)[0]
+        if pads.size == 0:
+            pytest.skip("no padding in this draw")
+        vals = m.values.copy()
+        # values are stride-group row-major: padded slot j sits in column
+        # (j % stride) of its group's (V, stride) tile
+        slot = int(pads[0])
+        group, offset = divmod(slot, m.stride)
+        vals[group * m.vector_length * m.stride + offset] = 1  # poison row 0
+        with pytest.raises(FormatError):
+            validate_srbcrs(corrupt_srbcrs(m, values=vals))
+
+    def test_row_end_before_start_rejected(self, rng):
+        d = make_structured_sparse(rng, 16, 64, 8, 0.5)
+        m = dense_to_srbcrs(d, 8, 16)
+        ends = m.row_ends.copy()
+        ends[0] = m.row_starts[0] - 1
+        with pytest.raises(FormatError):
+            corrupt_srbcrs(m, row_ends=ends)
+
+    def test_duplicate_mask_columns_detected(self, rng):
+        d = make_structured_sparse(rng, 16, 64, 8, 0.5)
+        m = dense_to_bcrs(d, 8)
+        if m.num_vectors < 2:
+            pytest.skip("too few vectors")
+        cols = m.col_indices.copy()
+        cols[1] = cols[0]
+        bad = type(m)(
+            shape=m.shape,
+            vector_length=m.vector_length,
+            row_ptrs=m.row_ptrs,
+            col_indices=cols,
+            values=m.values,
+        )
+        with pytest.raises(FormatError):
+            validate_bcrs(bad)
+
+
+class TestKernelInputGuards:
+    def test_spmm_rejects_overflowing_lhs(self, rng):
+        kern = MagicubeSpMM(SpMMConfig(l_bits=8, r_bits=8))
+        d = make_structured_sparse(rng, 16, 32, 8, 0.5).astype(np.int64)
+        d[0, np.argmax(d[0] != 0)] = 1000  # outside int8
+        lhs = dense_to_srbcrs(d, 8, 16)
+        with pytest.raises(PrecisionError):
+            kern(lhs, rng.integers(-128, 128, size=(32, 8)))
+
+    def test_spmm_rejects_float_rhs_out_of_range(self, rng):
+        kern = MagicubeSpMM(SpMMConfig(l_bits=8, r_bits=4))
+        d = make_structured_sparse(rng, 16, 32, 8, 0.5)
+        lhs = dense_to_srbcrs(d, 8, 32)
+        with pytest.raises(PrecisionError):
+            kern(lhs, np.full((32, 8), 100))
+
+    def test_sddmm_rejects_transposed_b(self, rng):
+        kern = MagicubeSDDMM(SDDMMConfig())
+        a = rng.integers(-8, 8, size=(16, 32))
+        b_wrong = rng.integers(-8, 8, size=(16, 32))  # should be (32, n)
+        mask = dense_to_bcrs(
+            (make_structured_sparse(rng, 16, 32, 8, 0.5) != 0).astype(np.int32), 8
+        )
+        with pytest.raises(ShapeError):
+            kern(a, b_wrong, mask)
+
+    def test_unsigned_config_rejects_negative_lhs(self, rng):
+        kern = MagicubeSpMM(SpMMConfig(l_bits=8, r_bits=8, l_signed=False))
+        d = make_structured_sparse(rng, 16, 32, 8, 0.5)  # signed values
+        if d.min() >= 0:
+            d[0, np.argmax(d[0] != 0)] = -5
+        lhs = dense_to_srbcrs(d, 8, 16)
+        with pytest.raises(PrecisionError):
+            kern(lhs, rng.integers(-128, 128, size=(32, 8)))

@@ -1,0 +1,180 @@
+"""Tests for mixed-precision emulation plans and stacking (Sec. IV-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrecisionError
+from repro.kernels.emulation import (
+    emulated_matmul,
+    mma_count_per_tile,
+    plan_for,
+    stack_factor,
+    stacked_lhs,
+    supported_pairs,
+)
+
+
+class TestTable4:
+    """Pin Table IV."""
+
+    def test_spmm_pairs(self):
+        assert supported_pairs("spmm") == [
+            (16, 16),
+            (16, 8),
+            (16, 4),
+            (12, 4),
+            (8, 8),
+            (8, 4),
+            (4, 4),
+        ]
+
+    def test_sddmm_pairs(self):
+        assert supported_pairs("sddmm") == [(16, 16), (8, 8), (4, 4)]
+
+    def test_native_pairs(self):
+        assert plan_for(8, 8).is_native
+        assert plan_for(4, 4).is_native
+        assert not plan_for(16, 8).is_native
+
+    def test_sddmm_rejects_mixed(self):
+        with pytest.raises(PrecisionError):
+            plan_for(16, 8, op="sddmm")
+
+    def test_spmm_rejects_unknown(self):
+        with pytest.raises(PrecisionError):
+            plan_for(8, 16)  # RHS wider than LHS is not in Table IV
+        with pytest.raises(PrecisionError):
+            plan_for(12, 8)
+
+    def test_bad_op(self):
+        with pytest.raises(PrecisionError):
+            plan_for(8, 8, op="gemm")
+
+
+class TestPlanStructure:
+    @pytest.mark.parametrize(
+        "l,r,native,products",
+        [
+            (16, 16, 8, 4),
+            (16, 8, 8, 2),
+            (8, 8, 8, 1),
+            (16, 4, 4, 4),
+            (12, 4, 4, 3),
+            (8, 4, 4, 2),
+            (4, 4, 4, 1),
+        ],
+    )
+    def test_digit_counts(self, l, r, native, products):
+        p = plan_for(l, r)
+        assert p.native_bits == native
+        assert p.products == products
+
+    def test_weights_l16_r8(self):
+        p = plan_for(16, 8)
+        assert p.weights() == [(1, 0, 0), (256, 1, 0)]
+
+    def test_weights_l8_r4(self):
+        p = plan_for(8, 4)
+        assert p.weights() == [(1, 0, 0), (16, 1, 0)]
+
+    def test_weights_l16_r16(self):
+        p = plan_for(16, 16)
+        scales = sorted(w[0] for w in p.weights())
+        assert scales == [1, 256, 256, 65536]
+
+
+class TestEmulatedMatmul:
+    @pytest.mark.parametrize("l,r", [(16, 16), (16, 8), (16, 4), (12, 4), (8, 4)])
+    def test_exact_signed(self, l, r):
+        rng = np.random.default_rng(l * 100 + r)
+        lo_a, hi_a = -(1 << (l - 1)), (1 << (l - 1)) - 1
+        lo_b, hi_b = -(1 << (r - 1)), (1 << (r - 1)) - 1
+        a = rng.integers(lo_a, hi_a + 1, size=(8, 32))
+        b = rng.integers(lo_b, hi_b + 1, size=(32, 8))
+        np.testing.assert_array_equal(emulated_matmul(a, b, plan_for(l, r)), a @ b)
+
+    def test_exact_unsigned_lhs(self):
+        """Softmax output path: unsigned LHS x signed RHS."""
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, 1 << 16, size=(4, 16))
+        b = rng.integers(-128, 128, size=(16, 4))
+        out = emulated_matmul(a, b, plan_for(16, 8), a_signed=False)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_extreme_values(self):
+        a = np.array([[-32768, 32767]])
+        b = np.array([[-8], [7]])
+        np.testing.assert_array_equal(
+            emulated_matmul(a, b, plan_for(16, 4)), a @ b
+        )
+
+
+class TestStacking:
+    def test_stack_factor(self):
+        assert stack_factor(8, 4) == 1   # full vectors: no room to stack
+        assert stack_factor(4, 2) == 2   # Fig. 10b: V=4 stacks 2
+        assert stack_factor(2, 4) == 4
+        assert stack_factor(2, 2) == 2
+        assert stack_factor(4, 1) == 1   # native: nothing to stack
+
+    def test_stack_factor_bounds(self):
+        with pytest.raises(PrecisionError):
+            stack_factor(0, 2)
+        with pytest.raises(PrecisionError):
+            stack_factor(9, 2)
+
+    def test_mma_count_per_tile(self):
+        # L16-R8 (2 products): V=8 -> 2 MMAs; V=4 -> 1 stacked MMA
+        assert mma_count_per_tile(plan_for(16, 8), 8) == 2
+        assert mma_count_per_tile(plan_for(16, 8), 4) == 1
+        # L16-R4 (4 products): V=2 stacks all 4 into 1
+        assert mma_count_per_tile(plan_for(16, 4), 2) == 1
+        assert mma_count_per_tile(plan_for(16, 4), 8) == 4
+        # L12-R4 (3 products): V=4 stacks 2 -> ceil(3/2) = 2
+        assert mma_count_per_tile(plan_for(12, 4), 4) == 2
+
+    def test_stacked_lhs_layout(self):
+        d0 = np.ones((4, 16), dtype=np.int64)
+        d1 = 2 * np.ones((4, 16), dtype=np.int64)
+        stacked = stacked_lhs([d0, d1], vector_length=4)
+        assert len(stacked) == 1
+        assert stacked[0].shape == (8, 16)
+        np.testing.assert_array_equal(stacked[0][:4], d0)
+        np.testing.assert_array_equal(stacked[0][4:], d1)
+
+    def test_stacked_lhs_partial(self):
+        tiles = [np.full((4, 8), i, dtype=np.int64) for i in range(3)]
+        stacked = stacked_lhs(tiles, vector_length=4)
+        assert len(stacked) == 2
+        np.testing.assert_array_equal(stacked[1][:4], tiles[2])
+        np.testing.assert_array_equal(stacked[1][4:], 0)  # zero padding
+
+    def test_stacked_mma_equivalence(self):
+        """One stacked MMA == two separate digit MMAs (Fig. 10b)."""
+        rng = np.random.default_rng(10)
+        a = rng.integers(-128, 128, size=(4, 16))
+        b = rng.integers(-8, 8, size=(16, 8))
+        plan = plan_for(8, 4)
+        from repro.lowp.decompose import decompose_matrix, digit_weights
+
+        digits = decompose_matrix(a, 8, 4, signed=True)
+        stacked = stacked_lhs(digits, vector_length=4)[0]  # (8, 16)
+        prod = stacked @ b  # one MMA
+        w = digit_weights(8, 4)
+        recombined = w[0] * prod[:4] + w[1] * prod[4:]
+        np.testing.assert_array_equal(recombined, a @ b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from([(16, 16), (16, 8), (16, 4), (12, 4), (8, 4), (8, 8), (4, 4)]),
+)
+def test_emulation_property(seed, pair):
+    l, r = pair
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-(1 << (l - 1)), 1 << (l - 1), size=(4, 8))
+    b = rng.integers(-(1 << (r - 1)), 1 << (r - 1), size=(8, 4))
+    np.testing.assert_array_equal(emulated_matmul(a, b, plan_for(l, r)), a @ b)

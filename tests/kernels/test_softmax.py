@@ -1,0 +1,80 @@
+"""Tests for the fused sparse softmax (Fig. 16 middle stage)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.formats import dense_to_bcrs
+from repro.kernels.softmax import sparse_softmax_quantized
+from tests.conftest import make_structured_sparse
+
+
+def make_scores(rng, m=16, n=32, v=8, sparsity=0.5):
+    d = make_structured_sparse(rng, m, n, v, sparsity, bits=8)
+    return dense_to_bcrs(d, v)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        scores = make_scores(rng)
+        res = sparse_softmax_quantized(scores, scale=0.05, out_bits=8)
+        dense = res.output.to_dense().astype(np.float64) * res.params.scale
+        mask = dense_to_bcrs((make_scores(rng).to_dense() != 0).astype(int), 8)
+        for row in range(16):
+            s = dense[row].sum()
+            if s > 0:
+                assert s == pytest.approx(1.0, abs=0.05)
+
+    def test_monotonic(self, rng):
+        """Higher score -> no smaller probability within a row."""
+        scores = make_scores(rng)
+        res = sparse_softmax_quantized(scores, scale=0.05, out_bits=16)
+        for r in range(scores.num_strips):
+            lo, hi = int(scores.row_ptrs[r]), int(scores.row_ptrs[r + 1])
+            if hi - lo < 2:
+                continue
+            sc = scores.values[lo:hi, 0]
+            pb = res.output.values[lo:hi, 0]
+            order = np.argsort(sc)
+            assert np.all(np.diff(pb[order]) >= 0)
+
+    def test_output_unsigned_range(self, rng):
+        scores = make_scores(rng)
+        res = sparse_softmax_quantized(scores, scale=0.1, out_bits=8)
+        assert res.output.values.min() >= 0
+        assert res.output.values.max() <= 255
+        assert not res.params.signed
+
+    def test_16bit_more_accurate(self, rng):
+        scores = make_scores(rng, m=8, n=64, v=8, sparsity=0.3)
+        exact = {}
+        for r in range(scores.num_strips):
+            lo, hi = int(scores.row_ptrs[r]), int(scores.row_ptrs[r + 1])
+            x = scores.values[lo:hi].astype(np.float64) * 0.05
+            e = np.exp(x - x.max(axis=0))
+            exact[r] = e / e.sum(axis=0)
+        errs = {}
+        for bits in (8, 16):
+            res = sparse_softmax_quantized(scores, scale=0.05, out_bits=bits)
+            err = 0.0
+            for r, ex in exact.items():
+                lo, hi = int(scores.row_ptrs[r]), int(scores.row_ptrs[r + 1])
+                got = res.output.values[lo:hi] * res.params.scale
+                err += float(np.abs(got - ex).mean())
+            errs[bits] = err
+        assert errs[16] < errs[8]
+
+    def test_bad_bits(self, rng):
+        with pytest.raises(ShapeError):
+            sparse_softmax_quantized(make_scores(rng), scale=0.1, out_bits=4)
+
+    def test_topology_preserved(self, rng):
+        scores = make_scores(rng)
+        res = sparse_softmax_quantized(scores, scale=0.1)
+        np.testing.assert_array_equal(res.output.col_indices, scores.col_indices)
+
+    def test_stats_traffic(self, rng):
+        scores = make_scores(rng)
+        res = sparse_softmax_quantized(scores, scale=0.1, out_bits=8)
+        assert res.stats.traffic.read_bytes > 0
+        assert res.stats.traffic.write_bytes == scores.nnz

@@ -1,0 +1,140 @@
+"""Tests for the online-transpose strategies (Figs. 4-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.kernels.transpose import (
+    INT8_OPS_PER_16,
+    NAIVE_INT4_OPS_PER_16,
+    SHUFFLED_INT4_OPS_PER_16,
+    int8_mma_columns,
+    online_transpose_int4,
+    online_transpose_int8,
+    stage_rows_shuffled,
+    transpose_bitop_cost,
+    verify_int8_fragments,
+)
+
+
+class TestInt8OnlineTranspose:
+    def test_fragments_valid_bsn64(self):
+        rng = np.random.default_rng(0)
+        block = rng.integers(-128, 128, size=(16, 64))
+        frags = online_transpose_int8(block)
+        assert frags.shape == (8, 32)
+        assert verify_int8_fragments(block, frags)
+
+    def test_fragments_valid_bsn128(self):
+        rng = np.random.default_rng(1)
+        block = rng.integers(-128, 128, size=(16, 128))
+        frags = online_transpose_int8(block)
+        assert frags.shape == (16, 32)
+        assert verify_int8_fragments(block, frags)
+
+    def test_mma_columns_interleaved(self):
+        # MMA 0 of warp 0 covers columns 0, 4, 8, ..., 28
+        np.testing.assert_array_equal(int8_mma_columns(0), np.arange(8) * 4)
+        # MMA 1 covers the columns congruent to 1 mod 4
+        np.testing.assert_array_equal(int8_mma_columns(1), np.arange(8) * 4 + 1)
+        # warp 1's first MMA starts at column 32
+        np.testing.assert_array_equal(int8_mma_columns(4), 32 + np.arange(8) * 4)
+
+    def test_columns_cover_block_exactly(self):
+        cols = np.concatenate([int8_mma_columns(j) for j in range(8)])
+        np.testing.assert_array_equal(np.sort(cols), np.arange(64))
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            online_transpose_int8(np.zeros((8, 64), dtype=np.int64))
+        with pytest.raises(ShapeError):
+            online_transpose_int8(np.zeros((16, 48), dtype=np.int64))
+
+    def test_detects_corruption(self):
+        rng = np.random.default_rng(2)
+        block = rng.integers(-128, 128, size=(16, 64))
+        frags = online_transpose_int8(block)
+        frags[0, 0] ^= np.uint32(1)
+        assert not verify_int8_fragments(block, frags)
+
+
+class TestInt4IndexShuffleTranspose:
+    """The Fig. 7 trick: stage shuffled, bit-twiddle, recover original order."""
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(3)
+        block = rng.integers(-8, 8, size=(32, 64))
+        staged = stage_rows_shuffled(block)
+        recovered = online_transpose_int4(staged)
+        np.testing.assert_array_equal(recovered, block)
+
+    def test_shuffle_is_essential(self):
+        """Without the index shuffle the bit trick outputs permuted rows."""
+        rng = np.random.default_rng(4)
+        block = rng.integers(-8, 8, size=(32, 64))
+        out = online_transpose_int4(block)  # staged unshuffled
+        assert not np.array_equal(out, block)
+        # the trick applies the *inverse* shuffle, so unshuffled staging
+        # comes out permuted by it:
+        from repro.formats.shuffle import inverse_order
+
+        inv = inverse_order()
+        expect = block.reshape(4, 8, 64)[:, inv].reshape(32, 64)
+        np.testing.assert_array_equal(out, expect)
+
+    def test_stage_rows_shuffled_blocks(self):
+        rows = np.arange(16)[:, None] * np.ones((1, 4), dtype=np.int64)
+        staged = stage_rows_shuffled(rows)
+        np.testing.assert_array_equal(staged[:8, 0], [0, 2, 4, 6, 1, 3, 5, 7])
+        np.testing.assert_array_equal(staged[8:, 0], [8, 10, 12, 14, 9, 11, 13, 15])
+
+    def test_extreme_values(self):
+        block = np.full((8, 8), -8, dtype=np.int64)
+        block[0] = 7
+        np.testing.assert_array_equal(
+            online_transpose_int4(stage_rows_shuffled(block)), block
+        )
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            online_transpose_int4(np.zeros((30, 64), dtype=np.int64))
+        with pytest.raises(ShapeError):
+            stage_rows_shuffled(np.zeros((12, 4), dtype=np.int64))
+
+
+class TestBitopCost:
+    def test_paper_ratio(self):
+        """Index shuffling cuts the int4 bit work 8x (8 vs 64 ops / 16)."""
+        assert NAIVE_INT4_OPS_PER_16 // SHUFFLED_INT4_OPS_PER_16 == 8
+
+    def test_shuffled_cost(self):
+        # 8 bitwise operations transpose 16 int4 values (Sec. IV-B3)
+        assert transpose_bitop_cost(4, 16, shuffled=True) == SHUFFLED_INT4_OPS_PER_16
+
+    def test_scaling(self):
+        assert transpose_bitop_cost(4, 2048, True) == 2048 // 16 * 8
+        assert transpose_bitop_cost(8, 1024, False) == 1024 // 16 * INT8_OPS_PER_16
+
+    def test_unsupported(self):
+        with pytest.raises(ShapeError):
+            transpose_bitop_cost(16, 16, True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.sampled_from([8, 16, 32, 64]))
+def test_int4_round_trip_property(seed, n):
+    rng = np.random.default_rng(seed)
+    block = rng.integers(-8, 8, size=(32, n))
+    np.testing.assert_array_equal(
+        online_transpose_int4(stage_rows_shuffled(block)), block
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_int8_fragments_property(seed):
+    rng = np.random.default_rng(seed)
+    block = rng.integers(-128, 128, size=(16, 32))
+    assert verify_int8_fragments(block, online_transpose_int8(block))

@@ -1,0 +1,89 @@
+"""Tests for uint32 word manipulation (Fig. 5 / Fig. 7 building blocks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowp.bitops import (
+    assemble_bytes,
+    extract_bytes,
+    gather_nibbles,
+    interleave_nibble_pairs,
+    split_nibbles,
+    transpose_bytes_4x4,
+)
+
+words_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=16
+)
+
+
+class TestBytes:
+    def test_extract_little_endian(self):
+        b = extract_bytes(np.array([0x44332211], dtype=np.uint32))
+        np.testing.assert_array_equal(b[0], [0x11, 0x22, 0x33, 0x44])
+
+    def test_assemble_inverse(self):
+        w = np.array([0xDEADBEEF, 0x01020304], dtype=np.uint32)
+        np.testing.assert_array_equal(assemble_bytes(extract_bytes(w)), w)
+
+    def test_assemble_needs_last_dim_4(self):
+        with pytest.raises(ValueError):
+            assemble_bytes(np.zeros((2, 3), dtype=np.uint8))
+
+
+class TestTranspose4x4:
+    def test_matches_matrix_transpose(self):
+        # rows of a 4x4 byte matrix packed as words
+        mat = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        words = assemble_bytes(mat)  # word i = row i
+        t = transpose_bytes_4x4(words)
+        expect = assemble_bytes(mat.T)
+        np.testing.assert_array_equal(t, expect)
+
+    def test_involution(self):
+        rng = np.random.default_rng(2)
+        w = rng.integers(0, 2**32, size=(5, 4), dtype=np.uint64).astype(np.uint32)
+        np.testing.assert_array_equal(transpose_bytes_4x4(transpose_bytes_4x4(w)), w)
+
+    def test_needs_last_dim_4(self):
+        with pytest.raises(ValueError):
+            transpose_bytes_4x4(np.zeros(3, dtype=np.uint32))
+
+
+class TestNibbles:
+    def test_split_known(self):
+        low, high = split_nibbles(np.array([0xABCDEF12], dtype=np.uint32))
+        assert low[0] == 0x0B0D0F02
+        assert high[0] == 0x0A0C0E01
+
+    def test_interleave_inverts_split(self):
+        rng = np.random.default_rng(3)
+        w = rng.integers(0, 2**32, size=8, dtype=np.uint64).astype(np.uint32)
+        low, high = split_nibbles(w)
+        np.testing.assert_array_equal(interleave_nibble_pairs(low, high), w)
+
+    def test_gather_identity(self):
+        w = np.array([0x76543210], dtype=np.uint32)
+        np.testing.assert_array_equal(gather_nibbles(w, np.arange(8)), w)
+
+    def test_gather_reverse(self):
+        w = np.array([0x76543210], dtype=np.uint32)
+        out = gather_nibbles(w, np.arange(7, -1, -1))
+        assert out[0] == 0x01234567
+
+    def test_gather_bad_order(self):
+        with pytest.raises(ValueError):
+            gather_nibbles(np.zeros(1, dtype=np.uint32), np.arange(4))
+
+
+@settings(max_examples=50)
+@given(words_strategy)
+def test_split_interleave_property(vals):
+    w = np.array(vals, dtype=np.uint32)
+    low, high = split_nibbles(w)
+    # low/high only occupy the low nibble of each byte
+    assert not np.any(low & np.uint32(0xF0F0F0F0))
+    assert not np.any(high & np.uint32(0xF0F0F0F0))
+    np.testing.assert_array_equal(interleave_nibble_pairs(low, high), w)

@@ -1,0 +1,105 @@
+"""Tests for two's-complement digit decomposition (Sec. IV-D algebra)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrecisionError
+from repro.lowp import decompose_matrix, digit_weights, recombine, split_signed, split_unsigned
+
+
+class TestPaperExamples:
+    def test_unsigned_237(self):
+        # Sec. IV-D1: a = 0b11101101 = 237 -> a0 = 13, a1 = 14
+        digits = split_unsigned(np.array([237]), 8, 4)
+        assert digits[0][0] == 13
+        assert digits[1][0] == 14
+        assert recombine(digits, 4)[0] == 237
+
+    def test_signed_minus_19(self):
+        # Sec. IV-D2: -19 = 0b11101101 -> low unsigned 13, high signed -2
+        digits = split_signed(np.array([-19]), 8, 4)
+        assert digits[0][0] == 13
+        assert digits[1][0] == -2
+        assert recombine(digits, 4)[0] == -19
+
+
+class TestExhaustive:
+    def test_all_int8_via_nibbles(self):
+        vals = np.arange(-128, 128)
+        digits = split_signed(vals, 8, 4)
+        assert digits[0].min() >= 0 and digits[0].max() <= 15
+        assert digits[1].min() >= -8 and digits[1].max() <= 7
+        np.testing.assert_array_equal(recombine(digits, 4), vals)
+
+    def test_all_int16_via_bytes(self):
+        vals = np.arange(-32768, 32768)
+        digits = split_signed(vals, 16, 8)
+        assert digits[0].min() >= 0 and digits[0].max() <= 255
+        assert digits[1].min() >= -128 and digits[1].max() <= 127
+        np.testing.assert_array_equal(recombine(digits, 8), vals)
+
+    def test_all_int16_via_nibbles(self):
+        vals = np.arange(-32768, 32768, 7)
+        digits = split_signed(vals, 16, 4)
+        assert len(digits) == 4
+        for d in digits[:-1]:
+            assert d.min() >= 0 and d.max() <= 15
+        np.testing.assert_array_equal(recombine(digits, 4), vals)
+
+    def test_all_int12(self):
+        vals = np.arange(-2048, 2048)
+        digits = split_signed(vals, 12, 4)
+        assert len(digits) == 3
+        np.testing.assert_array_equal(recombine(digits, 4), vals)
+
+    def test_all_uint8(self):
+        vals = np.arange(0, 256)
+        np.testing.assert_array_equal(recombine(split_unsigned(vals, 8, 4), 4), vals)
+
+
+class TestValidation:
+    def test_uneven_split_rejected(self):
+        with pytest.raises(PrecisionError):
+            digit_weights(10, 4)
+
+    def test_out_of_range_signed(self):
+        with pytest.raises(PrecisionError):
+            split_signed(np.array([128]), 8, 4)
+
+    def test_out_of_range_unsigned(self):
+        with pytest.raises(PrecisionError):
+            split_unsigned(np.array([-1]), 8, 4)
+
+    def test_weights(self):
+        assert digit_weights(16, 4) == [1, 16, 256, 4096]
+        assert digit_weights(8, 8) == [1]
+
+
+class TestMatrixDecompose:
+    def test_matmul_emulation_identity(self):
+        """C == sum_i w_i * (D_i @ B) — the heart of mixed precision."""
+        rng = np.random.default_rng(7)
+        a = rng.integers(-128, 128, size=(8, 16)).astype(np.int64)
+        b = rng.integers(-8, 8, size=(16, 8)).astype(np.int64)
+        digits = decompose_matrix(a, 8, 4, signed=True)
+        weights = digit_weights(8, 4)
+        emulated = sum(w * (d.astype(np.int64) @ b) for w, d in zip(weights, digits))
+        np.testing.assert_array_equal(emulated, a @ b)
+
+    def test_shape_preserved(self):
+        a = np.zeros((4, 6), dtype=np.int64)
+        for d in decompose_matrix(a, 16, 8):
+            assert d.shape == (4, 6)
+
+
+@settings(max_examples=80)
+@given(
+    st.lists(st.integers(min_value=-32768, max_value=32767), min_size=1, max_size=32),
+    st.sampled_from([(16, 4), (16, 8)]),
+)
+def test_signed_round_trip_property(vals, spec):
+    src, dig = spec
+    arr = np.array(vals)
+    np.testing.assert_array_equal(recombine(split_signed(arr, src, dig), dig), arr)

@@ -1,0 +1,124 @@
+"""Tests for int4/int8/int16 packing into uint32 words."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.lowp import (
+    pack_int4,
+    pack_int8,
+    pack_int16,
+    pack_rows,
+    pack_uint4,
+    unpack_int4,
+    unpack_int8,
+    unpack_int16,
+    unpack_rows,
+    unpack_uint4,
+)
+
+
+class TestInt4:
+    def test_known_word(self):
+        # lanes little-endian: value i in bits 4i
+        vals = np.array([1, 2, 3, 4, 5, 6, 7, -8])
+        w = pack_int4(vals)
+        assert w.dtype == np.uint32
+        assert w.shape == (1,)
+        assert w[0] == 0x87654321
+
+    def test_round_trip(self):
+        vals = np.arange(-8, 8, dtype=np.int64)
+        out = unpack_int4(pack_int4(vals))
+        np.testing.assert_array_equal(out, vals)
+
+    def test_negative_encoding(self):
+        w = pack_int4(np.array([-1] * 8))
+        assert w[0] == 0xFFFFFFFF
+
+    def test_unpack_count_truncation(self):
+        vals = np.array([3, -3, 7, -7, 0, 1, 2, -8])
+        out = unpack_int4(pack_int4(vals), count=5)
+        np.testing.assert_array_equal(out, vals[:5])
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ShapeError):
+            pack_int4(np.arange(7))
+
+
+class TestUint4:
+    def test_round_trip(self):
+        vals = np.arange(16, dtype=np.uint8)
+        out = unpack_uint4(pack_uint4(vals))
+        np.testing.assert_array_equal(out, vals)
+
+    def test_full_nibbles(self):
+        w = pack_uint4(np.array([0xF] * 8))
+        assert w[0] == 0xFFFFFFFF
+
+
+class TestInt8:
+    def test_known_word(self):
+        w = pack_int8(np.array([0x11, 0x22, 0x33, 0x44]))
+        assert w[0] == 0x44332211
+
+    def test_round_trip_extremes(self):
+        vals = np.array([-128, 127, 0, -1, 1, -127, 126, 2])
+        out = unpack_int8(pack_int8(vals))
+        np.testing.assert_array_equal(out, vals)
+
+
+class TestInt16:
+    def test_round_trip(self):
+        vals = np.array([-32768, 32767, -1, 0, 12345, -12345])
+        out = unpack_int16(pack_int16(vals))
+        np.testing.assert_array_equal(out, vals)
+
+    def test_lane_order(self):
+        w = pack_int16(np.array([0x1234, 0x5678]))
+        assert w[0] == 0x56781234
+
+
+class TestRows:
+    def test_pack_rows_shape(self):
+        m = np.arange(64, dtype=np.int64).reshape(4, 16) % 8
+        w = pack_rows(m, 4)
+        assert w.shape == (4, 2)
+
+    def test_rows_round_trip_int8(self):
+        rng = np.random.default_rng(1)
+        m = rng.integers(-128, 128, size=(8, 16))
+        out = unpack_rows(pack_rows(m, 8), 8)
+        np.testing.assert_array_equal(out, m)
+
+    def test_rows_bad_width(self):
+        with pytest.raises(ShapeError):
+            pack_rows(np.zeros((2, 5), dtype=np.int64), 8)
+
+    def test_rows_requires_2d(self):
+        with pytest.raises(ShapeError):
+            pack_rows(np.zeros(8, dtype=np.int64), 8)
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(st.integers(min_value=-8, max_value=7), min_size=8, max_size=64).filter(
+        lambda v: len(v) % 8 == 0
+    )
+)
+def test_int4_round_trip_property(vals):
+    arr = np.array(vals, dtype=np.int64)
+    np.testing.assert_array_equal(unpack_int4(pack_int4(arr)), arr)
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=4, max_size=64).filter(
+        lambda v: len(v) % 4 == 0
+    )
+)
+def test_int8_round_trip_property(vals):
+    arr = np.array(vals, dtype=np.int64)
+    np.testing.assert_array_equal(unpack_int8(pack_int8(arr)), arr)

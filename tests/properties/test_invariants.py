@@ -1,0 +1,129 @@
+"""Property-based invariants across modules (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import dense_to_bcrs, dense_to_srbcrs
+from repro.gpu.memory import TrafficCounter
+from repro.gpu.timing import CostModel, KernelStats
+from repro.gpu.device import A100
+from repro.kernels import MagicubeSpMM, SpMMConfig
+from repro.kernels.emulation import plan_for, stack_factor
+from repro.lowp.decompose import recombine, split_signed
+from tests.conftest import make_structured_sparse
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from([0.3, 0.7, 0.9]),
+    st.sampled_from([2, 4, 8]),
+)
+def test_spmm_matches_scipy(seed, sparsity, v):
+    """Magicube SpMM == scipy.sparse CSR product on random inputs."""
+    import scipy.sparse as sp
+
+    rng = np.random.default_rng(seed)
+    dense = make_structured_sparse(rng, 16, 48, v, sparsity)
+    lhs = dense_to_srbcrs(dense, v, 16)
+    rhs = rng.integers(-128, 128, size=(48, 24))
+    out = MagicubeSpMM(SpMMConfig(l_bits=8, r_bits=8))(lhs, rhs).output
+    ref = sp.csr_matrix(dense.astype(np.int64)) @ rhs.astype(np.int64)
+    np.testing.assert_array_equal(out, np.asarray(ref))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from([(16, 4), (16, 8), (12, 4), (8, 4)]),
+)
+def test_digit_split_ranges(seed, spec):
+    """Digits of a signed split always fit their declared types."""
+    src, dig = spec
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(-(1 << (src - 1)), 1 << (src - 1), size=64)
+    digits = split_signed(vals, src, dig)
+    for d in digits[:-1]:
+        assert d.min() >= 0 and d.max() < (1 << dig)
+    top = digits[-1]
+    assert top.min() >= -(1 << (dig - 1)) and top.max() < (1 << (dig - 1))
+    np.testing.assert_array_equal(recombine(digits, dig), vals)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=4),
+)
+def test_stack_factor_bounds(v, products):
+    """Stacked MMAs never exceed 8 rows and never waste products."""
+    s = stack_factor(v, products)
+    assert 1 <= s <= products
+    assert s * v <= 8 or s == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**10),
+    st.integers(min_value=0, max_value=10**10),
+)
+def test_cost_monotone_in_traffic(a_bytes, b_bytes):
+    """More DRAM traffic never makes a kernel faster."""
+    cm = CostModel(A100)
+    lo, hi = sorted((a_bytes, b_bytes))
+    def stats(nbytes):
+        s = KernelStats()
+        t = TrafficCounter()
+        t.read("x", nbytes)
+        s.traffic = t
+        s.prefetch = True
+        return s
+    assert cm.time(stats(lo)) <= cm.time(stats(hi)) + 1e-15
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10**14))
+def test_cost_monotone_in_ops(ops):
+    """More MMA work never makes a kernel faster."""
+    cm = CostModel(A100)
+    def stats(n):
+        s = KernelStats()
+        s.mma_ops["int8"] = n
+        s.prefetch = True
+        return s
+    assert cm.time(stats(ops)) <= cm.time(stats(ops * 2)) + 1e-15
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from([0.5, 0.8, 0.95]),
+)
+def test_format_sparsity_agrees(seed, sparsity):
+    """All format views of one matrix report identical nnz/sparsity."""
+    rng = np.random.default_rng(seed)
+    dense = make_structured_sparse(rng, 32, 64, 8, sparsity)
+    bcrs = dense_to_bcrs(dense, 8)
+    sr = dense_to_srbcrs(dense, 8, 16)
+    assert bcrs.nnz == sr.nnz
+    assert bcrs.sparsity == pytest.approx(sr.sparsity)
+    np.testing.assert_array_equal(bcrs.to_dense(), sr.to_dense())
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_emulated_pairs_agree_with_each_other(seed):
+    """All Table-IV SpMM pairs compute the same mathematical product
+    when the operands fit the narrowest pair."""
+    rng = np.random.default_rng(seed)
+    dense = make_structured_sparse(rng, 16, 64, 8, 0.6, bits=4)
+    rhs = rng.integers(-8, 8, size=(64, 16))
+    outs = []
+    for l, r in ((4, 4), (8, 4), (12, 4), (16, 4)):
+        kern = MagicubeSpMM(SpMMConfig(l_bits=l, r_bits=r))
+        lhs = dense_to_srbcrs(dense, 8, kern.required_stride)
+        outs.append(kern(lhs, rhs).output)
+    for out in outs[1:]:
+        np.testing.assert_array_equal(out, outs[0])
