@@ -148,6 +148,13 @@ def _print_fig17(count: int) -> None:
         print()
 
 
+def _print_serve(count: int) -> None:
+    from repro.serve.cli import demo
+
+    # scale the request stream with --count (the DLMC-density knob)
+    demo(num_requests=max(120, count * 40))
+
+
 def _print_table5(count: int) -> None:
     from repro.bench.figures import table5_accuracy
     from repro.bench.report import render_table
@@ -169,6 +176,7 @@ EXPERIMENTS = {
     "fig15": ("Fig. 15: SDDMM speedups", _print_fig15),
     "fig17": ("Fig. 17: e2e Transformer latency", _print_fig17),
     "table5": ("Table V: accuracy study (trains a model)", _print_table5),
+    "serve": ("Serving: batched engine throughput demo", _print_serve),
 }
 
 

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.baselines.calibration import cost_model_for
 from repro.core.precision import Precision, parse_precision
-from repro.errors import ShapeError
+from repro.errors import ConfigError, ShapeError
 from repro.formats.bcrs import BCRSMatrix
 from repro.formats.convert import bcrs_to_srbcrs, dense_to_bcrs, dense_to_srbcrs
 from repro.formats.srbcrs import SRBCRSMatrix
@@ -41,6 +41,18 @@ class SparseMatrix:
     def __init__(self, bcrs: BCRSMatrix, stride: int) -> None:
         self.bcrs = bcrs
         self.srbcrs: SRBCRSMatrix = bcrs_to_srbcrs(bcrs, stride=stride)
+        #: stride -> SR-BCRS layout; conversions happen once per stride
+        #: (a serving engine reuses the operand across precisions)
+        self._srbcrs_by_stride: dict[int, SRBCRSMatrix] = {stride: self.srbcrs}
+
+    def srbcrs_for(self, stride: int) -> SRBCRSMatrix:
+        """The SR-BCRS layout at ``stride``, converting (and caching) on
+        first use."""
+        layout = self._srbcrs_by_stride.get(stride)
+        if layout is None:
+            layout = bcrs_to_srbcrs(self.bcrs, stride=stride)
+            self._srbcrs_by_stride[stride] = layout
+        return layout
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -107,28 +119,45 @@ class OpResult:
 def spmm(
     lhs: SparseMatrix,
     rhs: np.ndarray,
-    precision: str = "L8-R8",
+    precision: str | None = None,
     device: DeviceSpec | str = "A100",
-    l_signed: bool = True,
+    l_signed: bool | None = None,
     scale: float | None = None,
+    config: SpMMConfig | None = None,
     **config_kwargs,
 ) -> OpResult:
     """Sparse x dense -> dense with Magicube's SpMM.
 
-    ``precision`` is a Table IV pair (``"L16-R8"``...); extra keyword
-    arguments reach :class:`~repro.kernels.spmm.SpMMConfig` (ablation
-    knobs, BSn...). The returned ``time_s``/``tops`` come from the
-    calibrated A100 cost model.
+    ``precision`` is a Table IV pair (``"L16-R8"``..., default
+    ``"L8-R8"``); extra keyword arguments reach
+    :class:`~repro.kernels.spmm.SpMMConfig` (ablation knobs, BSn...).
+    A pre-built ``config`` (e.g. from a serving plan) bypasses
+    precision parsing and takes the kernel knobs verbatim — the
+    plan-injection hook the :mod:`repro.serve` engine uses; combining
+    it with ``precision``/``l_signed``/knob kwargs is an error. The
+    returned ``time_s``/``tops`` come from the calibrated A100 cost
+    model.
     """
-    p: Precision = parse_precision(precision, op="spmm")
-    cfg = SpMMConfig(
-        l_bits=p.l_bits, r_bits=p.r_bits, l_signed=l_signed, **config_kwargs
-    )
+    if config is not None:
+        clashes = sorted(config_kwargs)
+        clashes += ["precision"] if precision is not None else []
+        clashes += ["l_signed"] if l_signed is not None else []
+        if clashes:
+            raise ConfigError(
+                f"`config` already fixes the kernel setup; also passing "
+                f"{clashes} is ambiguous"
+            )
+        cfg = config
+    else:
+        p: Precision = parse_precision(precision or "L8-R8", op="spmm")
+        cfg = SpMMConfig(
+            l_bits=p.l_bits,
+            r_bits=p.r_bits,
+            l_signed=l_signed if l_signed is not None else True,
+            **config_kwargs,
+        )
     kern = MagicubeSpMM(cfg)
-    sr = lhs.srbcrs
-    if sr.stride != kern.required_stride:
-        sr = bcrs_to_srbcrs(lhs.bcrs, stride=kern.required_stride)
-    res = kern(sr, rhs, scale=scale)
+    res = kern(lhs.srbcrs_for(kern.required_stride), rhs, scale=scale)
     cm = cost_model_for("magicube", device)
     return OpResult(
         output=res.dequantized if res.dequantized is not None else res.output,
@@ -142,16 +171,36 @@ def sddmm(
     a: np.ndarray,
     b: np.ndarray,
     mask: SparseMatrix | BCRSMatrix,
-    precision: str = "L8-R8",
+    precision: str | None = None,
     device: DeviceSpec | str = "A100",
-    output_format: str = "bcrs",
+    output_format: str | None = None,
+    config: SDDMMConfig | None = None,
     **config_kwargs,
 ) -> OpResult:
-    """(dense x dense) sampled at a sparse mask with Magicube's SDDMM."""
-    p: Precision = parse_precision(precision, op="sddmm")
-    cfg = SDDMMConfig(
-        l_bits=p.l_bits, r_bits=p.r_bits, output_format=output_format, **config_kwargs
-    )
+    """(dense x dense) sampled at a sparse mask with Magicube's SDDMM.
+
+    As with :func:`spmm`, a pre-built ``config`` injects a serving plan
+    directly, bypassing precision parsing (and rejecting the named
+    ``precision``/``output_format`` parameters alongside it).
+    """
+    if config is not None:
+        clashes = sorted(config_kwargs)
+        clashes += ["precision"] if precision is not None else []
+        clashes += ["output_format"] if output_format is not None else []
+        if clashes:
+            raise ConfigError(
+                f"`config` already fixes the kernel setup; also passing "
+                f"{clashes} is ambiguous"
+            )
+        cfg = config
+    else:
+        p: Precision = parse_precision(precision or "L8-R8", op="sddmm")
+        cfg = SDDMMConfig(
+            l_bits=p.l_bits,
+            r_bits=p.r_bits,
+            output_format=output_format or "bcrs",
+            **config_kwargs,
+        )
     kern = MagicubeSDDMM(cfg)
     topo = mask.bcrs if isinstance(mask, SparseMatrix) else mask
     if not isinstance(topo, BCRSMatrix):

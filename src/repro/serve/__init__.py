@@ -1,0 +1,51 @@
+"""repro.serve — batched inference serving on top of the Magicube kernels.
+
+The serving layer turns the one-shot kernel API into a production-style
+engine:
+
+- :class:`~repro.serve.planner.ExecutionPlanner` searches the Table-IV
+  precision pairs, SR-BCRS strides and kernel tile knobs against the
+  calibrated cost model and memoizes the winner per (op, shape,
+  sparsity, objective) key in a JSON-persistable
+  :class:`~repro.serve.cache.PlanCache`.
+- :class:`~repro.serve.engine.Engine` owns prepared-model sessions that
+  convert weights to SR-BCRS once and dispatch spmm / attention-block
+  requests through cached plans.
+- :class:`~repro.serve.batcher.MicroBatcher` coalesces same-shape
+  requests into one batched kernel launch under a max-batch-size /
+  max-wait policy, executing concurrently on a thread pool.
+- :class:`~repro.serve.telemetry.Telemetry` aggregates per-session
+  p50/p95/p99 modelled latency, throughput and batch occupancy.
+
+Quick start::
+
+    from repro.serve import Engine, Objective
+
+    with Engine() as engine:
+        session = engine.spmm_session("ffn", weights, vector_length=8,
+                                      objective=Objective.latency())
+        future = session.submit(activations)
+        result = future.result()
+        result.output, result.plan.precision, result.modelled_time_s
+
+``python -m repro.serve --demo`` runs a self-contained serving demo.
+"""
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.cache import PlanCache
+from repro.serve.engine import Engine, ServeResult
+from repro.serve.planner import ExecutionPlanner, Objective, Plan, PlanKey
+from repro.serve.telemetry import Telemetry
+
+__all__ = [
+    "BatchPolicy",
+    "Engine",
+    "ExecutionPlanner",
+    "MicroBatcher",
+    "Objective",
+    "Plan",
+    "PlanCache",
+    "PlanKey",
+    "ServeResult",
+    "Telemetry",
+]

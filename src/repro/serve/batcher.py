@@ -1,0 +1,193 @@
+"""Dynamic micro-batching scheduler.
+
+Requests enter per-group queues (the group key encodes everything that
+must match for requests to share a kernel launch — session, shape,
+precision). A scheduler thread flushes a group as soon as it reaches
+``max_batch_size`` or its oldest request has waited ``max_wait_s``, and
+hands the batch to a :class:`~concurrent.futures.ThreadPoolExecutor`
+worker that runs the caller-supplied ``execute`` function once for the
+whole batch. Each request's :class:`~concurrent.futures.Future` resolves
+to its slice of the batch result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When a group of queued requests is flushed to a worker."""
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass
+class _Pending:
+    payload: object
+    future: Future
+    enqueued_at: float
+
+
+@dataclass
+class BatchItem:
+    """One request as the execute function sees it."""
+
+    payload: object
+    queue_wait_s: float
+
+
+@dataclass
+class _Group:
+    pending: list[_Pending] = field(default_factory=list)
+
+    @property
+    def deadline(self) -> float:
+        return self.pending[0].enqueued_at if self.pending else float("inf")
+
+
+class MicroBatcher:
+    """Coalesces same-group requests into single batched executions.
+
+    ``execute(key, items)`` receives the group key and the batch's
+    :class:`BatchItem` list and must return one result per item, in
+    order. It runs on a pool worker; multiple groups execute
+    concurrently.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Hashable, Sequence[BatchItem]], Sequence[object]],
+        policy: BatchPolicy | None = None,
+        max_workers: int = 4,
+    ) -> None:
+        self._execute = execute
+        self.policy = policy if policy is not None else BatchPolicy()
+        self._groups: dict[Hashable, _Group] = {}
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._scheduler_loop, name="repro-serve-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, key: Hashable, payload: object) -> Future:
+        """Queue one request; the future resolves to its own result."""
+        future: Future = Future()
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._groups.setdefault(key, _Group()).pending.append(
+                _Pending(payload, future, time.monotonic())
+            )
+            self._wakeup.notify()
+        return future
+
+    def flush(self) -> None:
+        """Dispatch every queued request immediately (no wait policy)."""
+        with self._wakeup:
+            batches = self._take_batches(force=True)
+        self._dispatch(batches)
+
+    def close(self) -> None:
+        """Flush remaining work and stop the scheduler and pool."""
+        with self._wakeup:
+            if self._closed:
+                return
+            self._closed = True
+            batches = self._take_batches(force=True)
+            self._wakeup.notify()
+        self._dispatch(batches)
+        self._thread.join(timeout=5.0)
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _take_batches(self, force: bool = False) -> list[tuple[Hashable, list[_Pending]]]:
+        """Pop every group that is ready to run (call with lock held)."""
+        now = time.monotonic()
+        size = self.policy.max_batch_size
+        ready = []
+        for key, group in list(self._groups.items()):
+            while group.pending:
+                full = len(group.pending) >= size
+                expired = now - group.deadline >= self.policy.max_wait_s
+                if not (force or full or expired):
+                    break
+                ready.append((key, group.pending[:size]))
+                group.pending = group.pending[size:]
+            if not group.pending:
+                del self._groups[key]
+        return ready
+
+    def _next_deadline(self) -> float | None:
+        """Earliest flush deadline across groups (call with lock held)."""
+        deadlines = [
+            g.deadline + self.policy.max_wait_s
+            for g in self._groups.values()
+            if g.pending
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                if self._closed:
+                    return
+                deadline = self._next_deadline()
+                timeout = (
+                    None if deadline is None else max(deadline - time.monotonic(), 0.0)
+                )
+                if timeout is None or timeout > 0:
+                    self._wakeup.wait(timeout=timeout)
+                if self._closed:
+                    return
+                batches = self._take_batches()
+            self._dispatch(batches)
+
+    def _dispatch(self, batches: list[tuple[Hashable, list[_Pending]]]) -> None:
+        for key, pending in batches:
+            self._pool.submit(self._run_batch, key, pending)
+
+    def _run_batch(self, key: Hashable, pending: list[_Pending]) -> None:
+        started = time.monotonic()
+        items = [
+            BatchItem(payload=p.payload, queue_wait_s=started - p.enqueued_at)
+            for p in pending
+        ]
+        try:
+            results = self._execute(key, items)
+            if len(results) != len(pending):
+                raise RuntimeError(
+                    f"execute returned {len(results)} results for "
+                    f"{len(pending)} requests"
+                )
+        except BaseException as exc:  # propagate to every waiter
+            for p in pending:
+                if not p.future.cancelled():
+                    p.future.set_exception(exc)
+            return
+        for p, result in zip(pending, results):
+            if not p.future.cancelled():
+                p.future.set_result(result)

@@ -1,0 +1,129 @@
+"""Keyed, JSON-persistable cache of execution plans.
+
+The cache is the serving layer's memory: the first request of a class
+pays the planner search, every later one reuses the stored decision.
+Hit/miss counters feed the telemetry (the demo asserts a > 50% hit
+rate), and :meth:`save` / :meth:`load` round-trip the whole cache
+through JSON so tuned plans survive process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner uses us)
+    from repro.serve.planner import Plan
+
+_FORMAT_VERSION = 1
+
+
+class PlanCache:
+    """Thread-safe mapping of plan-key strings to :class:`Plan` objects."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._plans: dict[str, "Plan"] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._plans
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._plans)
+
+    def peek(self, key: str) -> "Plan | None":
+        """Look up a plan without touching the hit/miss counters."""
+        with self._lock:
+            return self._plans.get(key)
+
+    def get(self, key: str) -> "Plan | None":
+        """Look up a plan, counting the hit or miss."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return plan
+
+    def put(self, key: str, plan: "Plan") -> None:
+        with self._lock:
+            self._plans[key] = plan
+
+    def get_or_build(self, key: str, builder: Callable[[], "Plan"]) -> "Plan":
+        """Return the cached plan or build, store and return a new one.
+
+        The builder runs outside the lock (a planner search can take a
+        while); concurrent misses of the same key may build twice, last
+        write wins — plans for one key are interchangeable.
+        """
+        plan = self.get(key)
+        if plan is None:
+            plan = builder()
+            self.put(key, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+            }
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        with self._lock:
+            payload = {
+                "version": _FORMAT_VERSION,
+                "plans": {k: p.to_dict() for k, p in sorted(self._plans.items())},
+            }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Persist every plan to JSON; returns the path written."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path given and the cache has no default path")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json())
+        return target
+
+    def load(self, path: str | Path) -> int:
+        """Merge plans from a JSON file; returns how many were loaded."""
+        from repro.serve.planner import Plan
+
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported plan-cache version {payload.get('version')!r}"
+            )
+        plans = {k: Plan.from_dict(d) for k, d in payload["plans"].items()}
+        with self._lock:
+            self._plans.update(plans)
+        return len(plans)

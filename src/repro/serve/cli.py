@@ -1,0 +1,218 @@
+"""``python -m repro.serve`` — serving demo and planner inspection.
+
+Usage::
+
+    python -m repro.serve --demo                  # mixed-workload demo
+    python -m repro.serve --demo --requests 200   # heavier run
+    python -m repro.serve --demo --json           # machine-readable
+    python -m repro.serve --plan spmm:512x512x256:v=8:s=0.9
+    python -m repro.serve --demo --cache plans.json   # persist PlanCache
+
+The demo stands up an :class:`~repro.serve.engine.Engine` with two
+prepared SpMM sessions (a pruned Transformer FFN and a pruned ResNet
+layer) and one sparse-attention session, then fires a shuffled stream of
+mixed requests through the micro-batcher. It verifies one served SpMM
+against the direct :func:`repro.core.api.spmm` path bit-for-bit and
+prints per-session latency percentiles, throughput and the plan-cache
+hit rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+import numpy as np
+
+
+def demo(
+    num_requests: int = 128,
+    seed: int = 0,
+    device: str = "A100",
+    cache_path: str | None = None,
+    quiet: bool = False,
+) -> dict:
+    """Run the mixed serving demo; returns the engine summary dict."""
+    from repro.core.api import spmm as direct_spmm
+    from repro.dlmc.generator import MatrixSpec, generate_matrix
+    from repro.serve.batcher import BatchPolicy
+    from repro.serve.cache import PlanCache
+    from repro.serve.engine import Engine
+    from repro.serve.planner import Objective
+
+    def say(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    rng = np.random.default_rng(seed)
+    cache = PlanCache(cache_path) if cache_path else None
+    engine = Engine(
+        device=device,
+        cache=cache,
+        policy=BatchPolicy(max_batch_size=8, max_wait_s=0.005),
+    )
+    with engine:
+        # -- prepared sessions -----------------------------------------
+        ffn_spec = MatrixSpec("transformer", 512, 512, sparsity=0.9, seed=seed + 1)
+        ffn_weights = generate_matrix(ffn_spec, vector_length=8, bits=8)
+        ffn = engine.spmm_session(
+            "ffn-int8", ffn_weights, vector_length=8, objective=Objective.latency()
+        )
+        conv_spec = MatrixSpec("rn50", 256, 1024, sparsity=0.95, seed=seed + 2)
+        conv_weights = generate_matrix(conv_spec, vector_length=8, bits=4)
+        conv = engine.spmm_session(
+            "conv-int4", conv_weights, vector_length=8, objective=Objective.latency()
+        )
+        attn = engine.attention_session(
+            "attention-8b8b", seq_len=1024, num_heads=4, sparsity=0.9, scheme=(8, 8)
+        )
+        say(f"sessions: {ffn.name} {ffn.matrix!r}")
+        say(f"          {conv.name} {conv.matrix!r}")
+        say(f"          {attn.name} seq={attn.seq_len} heads={attn.num_heads}")
+
+        # -- a shuffled stream of mixed requests over a few shapes -----
+        # payloads are generated up front so the submit loop is tight
+        # and the micro-batcher sees a realistic burst to coalesce
+        ffn_widths = (64, 128, 256)
+        conv_widths = (64, 128)
+        kinds = rng.choice(3, size=num_requests, p=(0.45, 0.35, 0.2))
+        stream = []
+        for kind in kinds:
+            if kind == 0:
+                n = int(rng.choice(ffn_widths))
+                stream.append((ffn, rng.integers(-128, 128, size=(512, n))))
+            elif kind == 1:
+                n = int(rng.choice(conv_widths))
+                stream.append((conv, rng.integers(-8, 8, size=(1024, n))))
+            else:
+                stream.append((attn, int(rng.integers(1, 4))))
+        futures = [
+            (s, s.submit(payload), payload if s is not attn else None)
+            for s, payload in stream
+        ]
+        engine.flush()
+        results = [f.result() for _, f, _ in futures]
+        say(f"served {len(results)} requests "
+            f"({int((kinds != 2).sum())} spmm, {int((kinds == 2).sum())} attention)")
+
+        # -- bit-identical check vs the direct kernel path -------------
+        first_ffn = next(
+            ((r, rhs) for (s, _, rhs), r in zip(futures, results) if s is ffn),
+            None,
+        )
+        if first_ffn is None:
+            say("no ffn requests in this stream; bit-identical check skipped")
+        else:
+            served, rhs = first_ffn
+            direct = direct_spmm(
+                ffn.matrix, rhs, precision=served.plan.precision, device=device
+            )
+            if not np.array_equal(served.output, direct.output):
+                raise AssertionError(
+                    "served SpMM output differs from the direct path"
+                )
+            say(f"bit-identical: served {served.plan.precision} output == direct "
+                f"repro.core.api.spmm "
+                f"({served.output.shape[0]}x{served.output.shape[1]})")
+
+        say("")
+        say(engine.report())
+        plans = engine.planner.cache
+        if not quiet:
+            from repro.bench.report import render_table
+
+            rows = []
+            for p in (plans.peek(k) for k in plans.keys()):
+                # key: op|MxK|n=N|v=V|s=S|device|objective
+                parts = p.key.split("|")
+                rows.append([
+                    p.op, parts[1], parts[2], parts[4], p.precision,
+                    ", ".join(f"{k}={v}" for k, v in sorted(p.config.items())),
+                    f"{p.predicted_time_s * 1e6:.2f}",
+                ])
+            print(render_table(
+                ["op", "shape", "n", "sparsity", "precision", "knobs",
+                 "predicted us"],
+                rows, title="-- plan cache --",
+            ))
+        if cache_path:
+            plans.save()
+            say(f"plan cache persisted to {cache_path}")
+        summary = engine.summary()
+    hit_rate = summary["plan_cache"]["hit_rate"]
+    # the acceptance gate only makes sense once the stream is long
+    # enough to amortize the first-time planning misses
+    if num_requests >= 32 and hit_rate <= 0.5:
+        raise AssertionError(f"plan-cache hit rate {hit_rate:.1%} <= 50%")
+    return summary
+
+
+_PLAN_SPEC = re.compile(
+    r"^(spmm|sddmm):(\d+)x(\d+)x(\d+):v=(\d+):s=([0-9.]+)$"
+)
+
+
+def _run_plan(spec: str, device: str, objective: str) -> int:
+    from repro.serve.planner import ExecutionPlanner, Objective
+
+    m = _PLAN_SPEC.match(spec)
+    if not m:
+        print(
+            f"bad plan spec {spec!r}; expected op:MxKxN:v=V:s=S "
+            "(e.g. spmm:512x512x256:v=8:s=0.9)",
+            file=sys.stderr,
+        )
+        return 2
+    op, rows, cols, inner, v, s = (
+        m.group(1), int(m.group(2)), int(m.group(3)), int(m.group(4)),
+        int(m.group(5)), float(m.group(6)),
+    )
+    obj = Objective.latency() if objective == "latency" else Objective.accuracy()
+    planner = ExecutionPlanner(device=device)
+    plan_fn = planner.plan_spmm if op == "spmm" else planner.plan_sddmm
+    plan = plan_fn(rows, cols, inner, v, s, obj)
+    print(f"key:       {plan.key}")
+    print(f"precision: {plan.precision}")
+    print(f"knobs:     {plan.config}")
+    print(f"predicted: {plan.predicted_time_s * 1e6:.2f} us")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.serve", description=__doc__)
+    parser.add_argument("--demo", action="store_true", help="run the serving demo")
+    parser.add_argument("--requests", type=int, default=128,
+                        help="demo request count (default 128)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--device", default="A100")
+    parser.add_argument("--cache", default=None, metavar="PATH",
+                        help="persist the PlanCache to this JSON file")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable summary")
+    parser.add_argument("--plan", default=None, metavar="SPEC",
+                        help="plan one request class (op:MxKxN:v=V:s=S) and exit")
+    parser.add_argument("--objective", choices=("latency", "accuracy"),
+                        default="latency", help="objective for --plan")
+    args = parser.parse_args(argv)
+
+    if args.plan:
+        return _run_plan(args.plan, args.device, args.objective)
+    if not args.demo:
+        parser.print_help()
+        return 2
+    summary = demo(
+        num_requests=args.requests,
+        seed=args.seed,
+        device=args.device,
+        cache_path=args.cache,
+        quiet=args.json,
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,342 @@
+"""The serving engine: prepared sessions + planned, batched dispatch.
+
+An :class:`Engine` owns
+
+- an :class:`~repro.serve.planner.ExecutionPlanner` (with its
+  :class:`~repro.serve.cache.PlanCache`),
+- a :class:`~repro.serve.batcher.MicroBatcher` + thread pool, and
+- :class:`~repro.serve.telemetry.Telemetry`.
+
+Sessions are the prepared-model handles: an :class:`SpmmSession` wraps a
+:class:`~repro.core.api.SparseMatrix` built **once** (the SR-BCRS
+conversions are memoized per stride on the matrix itself), an
+:class:`AttentionSession` a sparse-Transformer attention block routed
+through the planner. ``session.submit(...)`` enqueues a request and
+returns a future; same-shape requests coalesce into one batched kernel
+launch. Outputs are bit-identical to the direct
+:func:`repro.core.api.spmm` path — batching concatenates RHS columns,
+which the integer kernels process independently.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.api import SparseMatrix, spmm as api_spmm
+from repro.errors import ConfigError, ShapeError
+from repro.lowp.quantize import int_range
+from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher
+from repro.serve.cache import PlanCache
+from repro.serve.planner import ExecutionPlanner, Objective, Plan
+from repro.serve.telemetry import Telemetry
+
+#: operand widths a request can be classified into (Table IV sides)
+_LHS_WIDTHS = (4, 8, 12, 16)
+_RHS_WIDTHS = (4, 8, 16)
+
+
+def bits_required(values: np.ndarray, signed: bool = True) -> int:
+    """Smallest Table-IV operand width that holds every value."""
+    values = np.asarray(values)
+    lo = int(values.min()) if values.size else 0
+    hi = int(values.max()) if values.size else 0
+    for bits in _LHS_WIDTHS:
+        blo, bhi = int_range(bits, signed)
+        if blo <= lo and hi <= bhi:
+            return bits
+    raise ConfigError(f"values [{lo}, {hi}] exceed 16-bit range")
+
+
+@dataclass
+class ServeResult:
+    """What one served request resolves to.
+
+    ``modelled_time_s`` is the batched launch's modelled kernel time
+    (every rider experiences it); ``request_time_s`` the request's
+    amortized share. ``output`` is None for attention requests (the
+    attention path is the paper's latency model — its deliverable is
+    ``detail``, a :class:`~repro.transformer.inference.LatencyResult`).
+    """
+
+    output: np.ndarray | None
+    plan: Plan | None
+    modelled_time_s: float
+    request_time_s: float
+    queue_wait_s: float
+    batch_size: int
+    detail: object = None
+
+
+class SpmmSession:
+    """A prepared sparse operand serving SpMM requests."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        name: str,
+        matrix: SparseMatrix,
+        objective: Objective,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.matrix = matrix
+        self.objective = objective
+        self.weight_bits = bits_required(matrix.bcrs.values, signed=True)
+
+    def plan_for(self, n: int, r_bits: int) -> Plan:
+        """The (cached) plan serving requests with an (K, n) RHS."""
+        m, k = self.matrix.shape
+        obj = self.objective.with_min_bits(self.weight_bits, r_bits)
+        return self.engine.planner.plan_spmm(
+            m, k, n, self.matrix.vector_length, self.matrix.sparsity, obj
+        )
+
+    def submit(self, rhs: np.ndarray, r_bits: int | None = None) -> Future:
+        """Enqueue one SpMM request; resolves to a :class:`ServeResult`."""
+        rhs = np.asarray(rhs)
+        if rhs.ndim != 2 or rhs.shape[0] != self.matrix.shape[1]:
+            raise ShapeError(
+                f"RHS must be ({self.matrix.shape[1]}, N), got {rhs.shape}"
+            )
+        if r_bits is None:
+            needed = bits_required(rhs, signed=True)
+            r_bits = next(w for w in _RHS_WIDTHS if w >= needed)
+        plan = self.plan_for(rhs.shape[1], r_bits)
+        key = ("spmm", self.name, rhs.shape[1], plan.precision)
+        return self.engine._batcher.submit(key, {"rhs": rhs, "plan": plan})
+
+    def run(self, rhs: np.ndarray, r_bits: int | None = None) -> ServeResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(rhs, r_bits=r_bits).result()
+
+
+class AttentionSession:
+    """A sparse-Transformer attention block served via planner routing.
+
+    Requests are modelled forward passes (the paper's Fig. 17 latency
+    pipeline); same-(seq, heads) requests coalesce by summing their
+    batch dimensions into one launch.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        name: str,
+        seq_len: int,
+        num_heads: int = 4,
+        sparsity: float = 0.9,
+        scheme: tuple[int, int] = (8, 8),
+        vector_length: int = 8,
+        num_layers: int = 4,
+        d_head: int = 64,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.seq_len = seq_len
+        self.num_heads = num_heads
+        self.sparsity = sparsity
+        self.scheme = scheme
+        self.vector_length = vector_length
+        self.num_layers = num_layers
+        self.d_head = d_head
+
+    def submit(self, batch: int = 1) -> Future:
+        """Enqueue one forward-pass request of ``batch`` sequences."""
+        if batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {batch}")
+        key = ("attention", self.name)
+        return self.engine._batcher.submit(key, {"batch": batch})
+
+    def run(self, batch: int = 1) -> ServeResult:
+        return self.submit(batch=batch).result()
+
+
+class Engine:
+    """Batched serving engine over the Magicube kernel library."""
+
+    def __init__(
+        self,
+        device: str = "A100",
+        planner: ExecutionPlanner | None = None,
+        cache: PlanCache | None = None,
+        policy: BatchPolicy | None = None,
+        max_workers: int = 4,
+    ) -> None:
+        if planner is not None and cache is not None:
+            raise ConfigError("pass either a planner or a cache, not both")
+        self.device = device
+        self.planner = (
+            planner
+            if planner is not None
+            else ExecutionPlanner(device=device, cache=cache)
+        )
+        self.telemetry = Telemetry()
+        self._sessions: dict[str, SpmmSession | AttentionSession] = {}
+        self._batcher = MicroBatcher(
+            self._execute_batch, policy=policy, max_workers=max_workers
+        )
+
+    # -- session management --------------------------------------------
+    def spmm_session(
+        self,
+        name: str,
+        weights: np.ndarray | SparseMatrix,
+        vector_length: int = 8,
+        objective: Objective | None = None,
+    ) -> SpmmSession:
+        """Prepare a sparse operand once and serve SpMM against it."""
+        self._check_name(name)
+        if not isinstance(weights, SparseMatrix):
+            weights = SparseMatrix.from_dense(
+                np.asarray(weights), vector_length=vector_length
+            )
+        session = SpmmSession(
+            self, name, weights,
+            objective if objective is not None else Objective.latency(),
+        )
+        self._sessions[name] = session
+        return session
+
+    def attention_session(self, name: str, seq_len: int, **kwargs) -> AttentionSession:
+        """Prepare an attention-block latency session."""
+        self._check_name(name)
+        session = AttentionSession(self, name, seq_len, **kwargs)
+        self._sessions[name] = session
+        return session
+
+    def session(self, name: str) -> SpmmSession | AttentionSession:
+        return self._sessions[name]
+
+    def _check_name(self, name: str) -> None:
+        if name in self._sessions:
+            raise ConfigError(f"session {name!r} already exists")
+
+    # -- lifecycle ------------------------------------------------------
+    def flush(self) -> None:
+        """Dispatch everything queued without waiting out the policy."""
+        self._batcher.flush()
+
+    def close(self) -> None:
+        self._batcher.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- batched execution ---------------------------------------------
+    def _execute_batch(
+        self, key: tuple, items: Sequence[BatchItem]
+    ) -> list[ServeResult]:
+        kind, name = key[0], key[1]
+        session = self._sessions[name]
+        if kind == "spmm":
+            return self._execute_spmm(session, items)
+        if kind == "attention":
+            return self._execute_attention(session, items)
+        raise ConfigError(f"unknown request kind {kind!r}")
+
+    def _execute_spmm(
+        self, session: SpmmSession, items: Sequence[BatchItem]
+    ) -> list[ServeResult]:
+        plan: Plan = items[0].payload["plan"]
+        widths = [item.payload["rhs"].shape[1] for item in items]
+        rhs = np.concatenate([item.payload["rhs"] for item in items], axis=1)
+        if len(items) > 1:
+            # the request-level plan fixed the precision; re-tune the
+            # tile knobs for the width the coalesced launch actually has
+            # (also memoized, keyed by the realized batch width)
+            m, k = session.matrix.shape
+            plan = self.planner.plan_spmm(
+                m, k, rhs.shape[1], session.matrix.vector_length,
+                session.matrix.sparsity,
+                Objective.fixed(plan.l_bits, plan.r_bits),
+            )
+        res = api_spmm(
+            session.matrix, rhs, device=self.device, config=plan.spmm_config()
+        )
+        self.telemetry.record_batch(
+            session.name, "spmm", res.time_s, [i.queue_wait_s for i in items]
+        )
+        offsets = np.concatenate([[0], np.cumsum(widths)])
+        share = res.time_s / len(items)
+        return [
+            ServeResult(
+                output=res.output[:, offsets[i]: offsets[i + 1]],
+                plan=plan,
+                modelled_time_s=res.time_s,
+                request_time_s=share,
+                queue_wait_s=item.queue_wait_s,
+                batch_size=len(items),
+                detail=res.stats,
+            )
+            for i, item in enumerate(items)
+        ]
+
+    def _execute_attention(
+        self, session: AttentionSession, items: Sequence[BatchItem]
+    ) -> list[ServeResult]:
+        # imported lazily: repro.transformer.inference imports
+        # repro.serve.topology, so a top-level import here would cycle
+        from repro.transformer.inference import (
+            Backend,
+            InferenceConfig,
+            estimate_latency,
+        )
+
+        batches = [item.payload["batch"] for item in items]
+        total = sum(batches)
+        cfg = InferenceConfig(
+            seq_len=session.seq_len,
+            num_heads=session.num_heads,
+            batch=total,
+            sparsity=session.sparsity,
+            num_layers=session.num_layers,
+            d_head=session.d_head,
+            vector_length=session.vector_length,
+            device=self.device,
+        )
+        backend = Backend("magicube", *session.scheme)
+        res = estimate_latency(cfg, backend, planner=self.planner)
+        self.telemetry.record_batch(
+            session.name, "attention", res.total_s,
+            [i.queue_wait_s for i in items],
+        )
+        return [
+            ServeResult(
+                output=None,
+                plan=None,
+                modelled_time_s=res.total_s,
+                request_time_s=res.total_s * b / total,
+                queue_wait_s=item.queue_wait_s,
+                batch_size=len(items),
+                detail=res,
+            )
+            for b, item in zip(batches, items)
+        ]
+
+    # -- reporting ------------------------------------------------------
+    def summary(self) -> dict:
+        """Machine-readable engine state (telemetry + plan cache)."""
+        return {
+            "device": self.device,
+            "sessions": {
+                name: self.telemetry.summary(name).to_dict()
+                for name in self.telemetry.sessions()
+            },
+            "total": self.telemetry.summary().to_dict(),
+            "plan_cache": self.planner.cache.stats(),
+            "plans": {
+                key: self.planner.cache.peek(key).to_dict()
+                for key in self.planner.cache.keys()
+            },
+        }
+
+    def report(self) -> str:
+        """The human-readable telemetry block."""
+        return self.telemetry.render(self.planner.cache.stats())

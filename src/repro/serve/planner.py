@@ -1,0 +1,329 @@
+"""Cost-model-guided execution planning.
+
+Given an operand's shape / sparsity / vector length and an
+:class:`Objective` (minimize latency, or maximize fidelity under an
+optional latency budget), the :class:`ExecutionPlanner` searches
+
+- the Table-IV precision pairs admissible for the operands (which fixes
+  the SR-BCRS stride: the native MMA reduction dim of the pair),
+- the SpMM RHS tile width ``BSn`` (32 / 64 / 96 / 128), and
+- the SDDMM warps-per-block knob,
+
+costing every candidate with the kernels' exact accounting applied to a
+uniform synthetic topology and the calibrated Magicube cost model. The
+winning configuration is memoized in a :class:`~repro.serve.cache
+.PlanCache` keyed by the rounded problem signature, so repeated requests
+skip the search entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.baselines.calibration import cost_model_for
+from repro.errors import ConfigError
+from repro.kernels.emulation import supported_pairs
+from repro.kernels.sddmm import MagicubeSDDMM, SDDMMConfig
+from repro.kernels.spmm import MagicubeSpMM, SpMMConfig
+from repro.serve.cache import PlanCache
+from repro.serve.topology import UniformBCRSMask, UniformSRBCRS
+
+#: SpMM RHS tile widths searched (elements; SpMMConfig's legal range)
+BSN_CANDIDATES = (32, 64, 96, 128)
+#: SDDMM warps-per-block searched (each warp owns 8 output columns)
+WARP_CANDIDATES = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What the planner optimizes for one request class.
+
+    ``kind`` is ``"latency"`` (fastest admissible configuration) or
+    ``"accuracy"`` (highest-fidelity precision pair, optionally the
+    highest that still meets ``latency_budget_s``). The bit bounds
+    restrict the admissible Table-IV pairs — raise the minima to the
+    operands' actual bit widths so a plan never underflows the data.
+    """
+
+    kind: str = "latency"
+    min_l_bits: int = 4
+    min_r_bits: int = 4
+    max_l_bits: int = 16
+    max_r_bits: int = 16
+    latency_budget_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "accuracy"):
+            raise ConfigError(f"unknown objective kind {self.kind!r}")
+        if self.min_l_bits > self.max_l_bits or self.min_r_bits > self.max_r_bits:
+            raise ConfigError("objective bit bounds are empty")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def latency(cls, min_l_bits: int = 4, min_r_bits: int = 4) -> "Objective":
+        """Fastest plan whose precision covers the operand ranges."""
+        return cls(kind="latency", min_l_bits=min_l_bits, min_r_bits=min_r_bits)
+
+    @classmethod
+    def accuracy(
+        cls,
+        latency_budget_s: float | None = None,
+        min_l_bits: int = 4,
+        min_r_bits: int = 4,
+    ) -> "Objective":
+        """Highest-fidelity plan, optionally under a latency budget."""
+        return cls(
+            kind="accuracy",
+            min_l_bits=min_l_bits,
+            min_r_bits=min_r_bits,
+            latency_budget_s=latency_budget_s,
+        )
+
+    @classmethod
+    def fixed(cls, l_bits: int, r_bits: int) -> "Objective":
+        """Pin one exact precision pair; only the tile knobs are searched."""
+        return cls(
+            kind="latency",
+            min_l_bits=l_bits,
+            max_l_bits=l_bits,
+            min_r_bits=r_bits,
+            max_r_bits=r_bits,
+        )
+
+    # -- planner hooks --------------------------------------------------
+    def admits(self, l_bits: int, r_bits: int) -> bool:
+        return (
+            self.min_l_bits <= l_bits <= self.max_l_bits
+            and self.min_r_bits <= r_bits <= self.max_r_bits
+        )
+
+    def with_min_bits(self, l_bits: int, r_bits: int) -> "Objective":
+        """Tighten the minima to the operands' actual bit widths."""
+        return replace(
+            self,
+            min_l_bits=max(self.min_l_bits, l_bits),
+            min_r_bits=max(self.min_r_bits, r_bits),
+        )
+
+    @property
+    def token(self) -> str:
+        """Short cache-key token identifying this objective."""
+        budget = (
+            f"@{self.latency_budget_s:.3e}" if self.latency_budget_s is not None else ""
+        )
+        return (
+            f"{self.kind}{budget}"
+            f"[L{self.min_l_bits}-{self.max_l_bits},"
+            f"R{self.min_r_bits}-{self.max_r_bits}]"
+        )
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Memoization key: one request class the planner solves once."""
+
+    op: str  # "spmm" | "sddmm"
+    rows: int
+    cols: int
+    inner: int  # SpMM: RHS columns N; SDDMM: reduction dim K
+    vector_length: int
+    sparsity: float  # rounded to 3 decimals (the planning bucket)
+    device: str
+    objective: str  # Objective.token
+
+    def __str__(self) -> str:
+        return (
+            f"{self.op}|{self.rows}x{self.cols}|n={self.inner}"
+            f"|v={self.vector_length}|s={self.sparsity:.3f}"
+            f"|{self.device}|{self.objective}"
+        )
+
+
+@dataclass
+class Plan:
+    """One memoized execution decision.
+
+    ``config`` holds the non-default kernel-config kwargs; rebuild the
+    concrete config with :meth:`spmm_config` / :meth:`sddmm_config`
+    (overrides allowed for value-only knobs such as signedness).
+    """
+
+    op: str
+    l_bits: int
+    r_bits: int
+    config: dict = field(default_factory=dict)
+    predicted_time_s: float = 0.0
+    key: str = ""
+
+    @property
+    def precision(self) -> str:
+        return f"L{self.l_bits}-R{self.r_bits}"
+
+    @property
+    def stride(self) -> int:
+        """SR-BCRS stride the plan's precision requires (SpMM only)."""
+        return MagicubeSpMM(self.spmm_config()).required_stride
+
+    def spmm_config(self, **overrides) -> SpMMConfig:
+        if self.op != "spmm":
+            raise ConfigError(f"plan is for {self.op}, not spmm")
+        return SpMMConfig(
+            l_bits=self.l_bits, r_bits=self.r_bits, **{**self.config, **overrides}
+        )
+
+    def sddmm_config(self, **overrides) -> SDDMMConfig:
+        if self.op != "sddmm":
+            raise ConfigError(f"plan is for {self.op}, not sddmm")
+        return SDDMMConfig(
+            l_bits=self.l_bits, r_bits=self.r_bits, **{**self.config, **overrides}
+        )
+
+    # -- JSON persistence ----------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "l_bits": self.l_bits,
+            "r_bits": self.r_bits,
+            "config": dict(self.config),
+            "predicted_time_s": self.predicted_time_s,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Plan":
+        return cls(
+            op=d["op"],
+            l_bits=int(d["l_bits"]),
+            r_bits=int(d["r_bits"]),
+            config=dict(d.get("config", {})),
+            predicted_time_s=float(d.get("predicted_time_s", 0.0)),
+            key=d.get("key", ""),
+        )
+
+
+class ExecutionPlanner:
+    """Searches kernel configurations against the calibrated cost model."""
+
+    def __init__(self, device: str = "A100", cache: PlanCache | None = None) -> None:
+        self.device = device
+        self.cache = cache if cache is not None else PlanCache()
+        self._cost_model = cost_model_for("magicube", device)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_problem(rows: int, vector_length: int, sparsity: float) -> None:
+        if not 0.0 <= sparsity < 1.0:
+            raise ConfigError(f"sparsity must be in [0, 1), got {sparsity}")
+        if rows % vector_length != 0:
+            raise ConfigError(
+                f"rows ({rows}) must divide by the vector length ({vector_length})"
+            )
+
+    def plan_spmm(
+        self,
+        rows: int,
+        cols: int,
+        n: int,
+        vector_length: int,
+        sparsity: float,
+        objective: Objective | None = None,
+    ) -> Plan:
+        """Best SpMM plan for a (rows x cols) @ (cols x n) request class."""
+        self._check_problem(rows, vector_length, sparsity)
+        obj = objective if objective is not None else Objective.latency()
+        key = PlanKey(
+            "spmm", rows, cols, n, vector_length, round(sparsity, 3),
+            self.device, obj.token,
+        )
+        return self.cache.get_or_build(
+            str(key), lambda: self._search_spmm(key, obj)
+        )
+
+    def plan_sddmm(
+        self,
+        rows: int,
+        cols: int,
+        k: int,
+        vector_length: int,
+        sparsity: float,
+        objective: Objective | None = None,
+    ) -> Plan:
+        """Best SDDMM plan for a (rows x k) @ (k x cols) sampled product."""
+        self._check_problem(rows, vector_length, sparsity)
+        obj = objective if objective is not None else Objective.latency()
+        key = PlanKey(
+            "sddmm", rows, cols, k, vector_length, round(sparsity, 3),
+            self.device, obj.token,
+        )
+        return self.cache.get_or_build(
+            str(key), lambda: self._search_sddmm(key, obj)
+        )
+
+    # ------------------------------------------------------------------
+    def _admissible_pairs(self, op: str, obj: Objective) -> list[tuple[int, int]]:
+        pairs = [p for p in supported_pairs(op) if obj.admits(*p)]
+        if not pairs:
+            raise ConfigError(
+                f"no Table-IV {op} pair satisfies objective {obj.token}"
+            )
+        return pairs
+
+    def _select(
+        self, candidates: list[tuple[tuple[int, int], dict, float]], obj: Objective
+    ) -> tuple[tuple[int, int], dict, float]:
+        """Pick the winning (pair, config, time) per the objective."""
+        if obj.kind == "latency":
+            # fastest; ties broken toward higher fidelity
+            return min(candidates, key=lambda c: (c[2], -(c[0][0] + c[0][1])))
+        by_fidelity = sorted(
+            candidates, key=lambda c: (c[0][0] + c[0][1], c[0][0]), reverse=True
+        )
+        if obj.latency_budget_s is not None:
+            for cand in by_fidelity:
+                if cand[2] <= obj.latency_budget_s:
+                    return cand
+            # nothing meets the budget: degrade to the fastest plan
+            return min(candidates, key=lambda c: c[2])
+        return by_fidelity[0]
+
+    def _search_spmm(self, key: PlanKey, obj: Objective) -> Plan:
+        candidates = []
+        for l_bits, r_bits in self._admissible_pairs("spmm", obj):
+            best = None
+            for bsn in BSN_CANDIDATES:
+                cfg = SpMMConfig(l_bits=l_bits, r_bits=r_bits, bsn=bsn)
+                kern = MagicubeSpMM(cfg)
+                sr = UniformSRBCRS(
+                    key.rows, key.cols, key.vector_length, key.sparsity,
+                    kern.required_stride,
+                )
+                t = self._cost_model.time(kern._account(sr, key.inner))
+                if best is None or t < best[1]:
+                    best = ({"bsn": bsn}, t)
+            candidates.append(((l_bits, r_bits), best[0], best[1]))
+        pair, config, t = self._select(candidates, obj)
+        return Plan(
+            op="spmm", l_bits=pair[0], r_bits=pair[1], config=config,
+            predicted_time_s=t, key=str(key),
+        )
+
+    def _search_sddmm(self, key: PlanKey, obj: Objective) -> Plan:
+        mask = UniformBCRSMask(key.rows, key.cols, key.vector_length, key.sparsity)
+        candidates = []
+        for l_bits, r_bits in self._admissible_pairs("sddmm", obj):
+            best = None
+            for warps in WARP_CANDIDATES:
+                cfg = SDDMMConfig(l_bits=l_bits, r_bits=r_bits, warps=warps)
+                kern = MagicubeSDDMM(cfg)
+                stats = kern._account(
+                    (key.rows, key.inner), (key.inner, key.cols), mask
+                )
+                t = self._cost_model.time(stats)
+                if best is None or t < best[1]:
+                    best = ({"warps": warps}, t)
+            candidates.append(((l_bits, r_bits), best[0], best[1]))
+        pair, config, t = self._select(candidates, obj)
+        return Plan(
+            op="sddmm", l_bits=pair[0], r_bits=pair[1], config=config,
+            predicted_time_s=t, key=str(key),
+        )

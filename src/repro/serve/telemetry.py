@@ -1,0 +1,156 @@
+"""Serving telemetry: latency percentiles, throughput, batch occupancy.
+
+Latencies are the *modelled* kernel times (the library's calibrated
+A100 cost model) — every request in a batch experiences its batch's
+launch time. Throughput comes in two flavours: modelled (requests per
+second of modelled GPU busy time, the number a real deployment would
+see from the device) and wall (requests per second of host wall time in
+this process, dominated by the Python execution of the kernels).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _SessionStats:
+    latencies_s: list = field(default_factory=list)  # per request
+    queue_waits_s: list = field(default_factory=list)  # per request
+    batch_sizes: list = field(default_factory=list)  # per batch
+    batch_times_s: list = field(default_factory=list)  # per batch (modelled)
+    ops: set = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregated view of one session (or the whole engine)."""
+
+    requests: int
+    batches: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_batch_size: float
+    mean_queue_wait_ms: float
+    modelled_busy_s: float
+    modelled_throughput_rps: float
+    wall_s: float
+    wall_throughput_rps: float
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_batch_size": self.mean_batch_size,
+            "mean_queue_wait_ms": self.mean_queue_wait_ms,
+            "modelled_busy_s": self.modelled_busy_s,
+            "modelled_throughput_rps": self.modelled_throughput_rps,
+            "wall_s": self.wall_s,
+            "wall_throughput_rps": self.wall_throughput_rps,
+        }
+
+
+class Telemetry:
+    """Thread-safe per-session aggregation of serving metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: dict[str, _SessionStats] = {}
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def record_batch(
+        self,
+        session: str,
+        op: str,
+        modelled_time_s: float,
+        queue_waits_s: list[float],
+    ) -> None:
+        """Record one batched launch serving ``len(queue_waits_s)`` requests."""
+        n = len(queue_waits_s)
+        with self._lock:
+            s = self._sessions.setdefault(session, _SessionStats())
+            s.ops.add(op)
+            s.batch_sizes.append(n)
+            s.batch_times_s.append(modelled_time_s)
+            s.latencies_s.extend([modelled_time_s] * n)
+            s.queue_waits_s.extend(queue_waits_s)
+
+    # ------------------------------------------------------------------
+    def sessions(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def summary(self, session: str | None = None) -> LatencySummary:
+        """Aggregate one session, or everything when ``session`` is None."""
+        with self._lock:
+            if session is None:
+                stats = list(self._sessions.values())
+            else:
+                stats = [self._sessions.get(session, _SessionStats())]
+            latencies = np.array(
+                [t for s in stats for t in s.latencies_s], dtype=np.float64
+            )
+            waits = [w for s in stats for w in s.queue_waits_s]
+            sizes = [b for s in stats for b in s.batch_sizes]
+            busy = float(sum(t for s in stats for t in s.batch_times_s))
+            wall = time.monotonic() - self._started_at
+        n = latencies.size
+        if n == 0:
+            return LatencySummary(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, wall, 0.0)
+        p50, p95, p99 = np.percentile(latencies, [50, 95, 99]) * 1e3
+        return LatencySummary(
+            requests=int(n),
+            batches=len(sizes),
+            p50_ms=float(p50),
+            p95_ms=float(p95),
+            p99_ms=float(p99),
+            mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
+            mean_queue_wait_ms=float(np.mean(waits) * 1e3) if waits else 0.0,
+            modelled_busy_s=busy,
+            modelled_throughput_rps=float(n / busy) if busy > 0 else 0.0,
+            wall_s=wall,
+            wall_throughput_rps=float(n / wall) if wall > 0 else 0.0,
+        )
+
+    def render(self, plan_cache_stats: dict | None = None) -> str:
+        """Plain-text report (the ``--demo`` output)."""
+        from repro.bench.report import render_table
+
+        headers = [
+            "session", "requests", "batches", "mean batch",
+            "p50 ms", "p95 ms", "p99 ms", "model req/s",
+        ]
+        rows = []
+        for name in self.sessions() + [None]:
+            s = self.summary(name)
+            rows.append([
+                name if name is not None else "TOTAL",
+                s.requests,
+                s.batches,
+                f"{s.mean_batch_size:.2f}",
+                f"{s.p50_ms:.4f}",
+                f"{s.p95_ms:.4f}",
+                f"{s.p99_ms:.4f}",
+                f"{s.modelled_throughput_rps:.0f}",
+            ])
+        lines = [render_table(headers, rows, title="-- serving telemetry --")]
+        total = self.summary()
+        lines.append(
+            f"wall: {total.wall_s:.2f}s ({total.wall_throughput_rps:.0f} req/s host); "
+            f"modelled GPU busy: {total.modelled_busy_s * 1e3:.3f} ms"
+        )
+        if plan_cache_stats is not None:
+            lines.append(
+                "plan cache: {entries} plans, {hits} hits / {misses} misses "
+                "(hit rate {hit_rate:.1%})".format(**plan_cache_stats)
+            )
+        return "\n".join(lines)

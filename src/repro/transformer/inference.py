@@ -30,9 +30,10 @@ from repro.baselines.cublas import CublasGemm
 from repro.errors import ConfigError
 from repro.gpu.memory import TrafficCounter
 from repro.gpu.timing import KernelStats
-from repro.gpu.warp import LaunchGrid, ThreadBlock, ceil_div
+from repro.gpu.warp import LaunchGrid, ThreadBlock
 from repro.kernels.emulation import mma_count_per_tile, plan_for
 from repro.gpu.mma import mma_shape_for
+from repro.serve.topology import UniformBCRSMask, UniformSRBCRS
 
 
 class DenseOOM(Exception):
@@ -125,40 +126,18 @@ class LatencyResult:
 
 
 # ----------------------------------------------------------------------
-# synthetic uniform topologies for the kernel accounting
+# synthetic uniform topologies for the kernel accounting (shared with
+# the serving planner, which costs candidate configs the same way)
 
 
-class _UniformSRBCRS:
-    """Duck-typed SR-BCRS stats: mask vectors spread uniformly."""
-
-    def __init__(self, cfg: InferenceConfig, stride: int) -> None:
-        l, v = cfg.seq_len, cfg.vector_length
-        self.shape = (l, l)
-        self.vector_length = v
-        self.stride = stride
-        self.num_strips = l // v
-        per_strip = max(1, round((1.0 - cfg.sparsity) * l))
-        padded = ceil_div(per_strip, stride) * stride
-        self.num_vectors = self.num_strips * per_strip
-        self.num_padded_vectors = self.num_strips * padded
-        self.nnz = self.num_vectors * v
-        self.padding_ratio = padded / per_strip
+def _uniform_srbcrs(cfg: InferenceConfig, stride: int) -> UniformSRBCRS:
+    l = cfg.seq_len
+    return UniformSRBCRS(l, l, cfg.vector_length, cfg.sparsity, stride)
 
 
-class _UniformBCRSMask:
-    """Duck-typed BCRS mask stats for the SDDMM accounting."""
-
-    def __init__(self, cfg: InferenceConfig) -> None:
-        l, v = cfg.seq_len, cfg.vector_length
-        self.shape = (l, l)
-        self.vector_length = v
-        self.num_strips = l // v
-        self._per_strip = max(1, round((1.0 - cfg.sparsity) * l))
-        self.num_vectors = self.num_strips * self._per_strip
-        self.nnz = self.num_vectors * v
-
-    def vectors_per_strip(self) -> np.ndarray:
-        return np.full(self.num_strips, self._per_strip, dtype=np.int64)
+def _uniform_mask(cfg: InferenceConfig) -> UniformBCRSMask:
+    l = cfg.seq_len
+    return UniformBCRSMask(l, l, cfg.vector_length, cfg.sparsity)
 
 
 def _scale_stats(stats: KernelStats, factor: int) -> KernelStats:
@@ -240,7 +219,7 @@ def _sparse_attention_time_vectorsparse(cfg: InferenceConfig) -> float:
     cm = cost_model_for("vector_sparse", cfg.device)
     bh = cfg.batch * cfg.num_heads
     l, dh = cfg.seq_len, cfg.d_head
-    mask = _UniformBCRSMask(cfg)
+    mask = _uniform_mask(cfg)
     t = 0.0
     sddmm_stats = VectorSparseSDDMM()._account((l, dh), (dh, l), mask)
     t += cm.time(_scale_stats(sddmm_stats, bh))
@@ -253,7 +232,9 @@ def _sparse_attention_time_vectorsparse(cfg: InferenceConfig) -> float:
     return t
 
 
-def _sparse_attention_time_magicube(cfg: InferenceConfig, backend: Backend) -> float:
+def _sparse_attention_time_magicube(
+    cfg: InferenceConfig, backend: Backend, planner=None
+) -> float:
     from repro.kernels.sddmm import MagicubeSDDMM, SDDMMConfig
     from repro.kernels.spmm import MagicubeSpMM, SpMMConfig
 
@@ -261,20 +242,37 @@ def _sparse_attention_time_magicube(cfg: InferenceConfig, backend: Backend) -> f
     bh = cfg.batch * cfg.num_heads
     l, dh = cfg.seq_len, cfg.d_head
     sm_bits, qkv_bits = backend.softmax_bits, backend.qkv_bits
+    if planner is not None:
+        # serving path: kernel configs come from the planner's cached
+        # search (same precision scheme; the tile knobs are tuned). The
+        # planner should be built for ``cfg.device``.
+        from repro.serve.planner import Objective
+
+        sd_plan = planner.plan_sddmm(
+            l, l, dh, cfg.vector_length, cfg.sparsity,
+            Objective.fixed(qkv_bits, qkv_bits),
+        )
+        sp_plan = planner.plan_spmm(
+            l, l, dh, cfg.vector_length, cfg.sparsity,
+            Objective.fixed(sm_bits, qkv_bits),
+        )
+        sddmm = MagicubeSDDMM(sd_plan.sddmm_config())
+        spmm = MagicubeSpMM(sp_plan.spmm_config(l_signed=False))
+    else:
+        sddmm = MagicubeSDDMM(SDDMMConfig(l_bits=qkv_bits, r_bits=qkv_bits))
+        spmm = MagicubeSpMM(SpMMConfig(l_bits=sm_bits, r_bits=qkv_bits, l_signed=False))
     t = 0.0
     # Q/K/V quantization is fused into the projection epilogues and the
     # dequantizations into SDDMM/SpMM (the Fig. 16 "kernel fusion"
     # boxes) — no separate streaming kernels.
     # SDDMM at Lq-Rq
-    sddmm = MagicubeSDDMM(SDDMMConfig(l_bits=qkv_bits, r_bits=qkv_bits))
-    mask = _UniformBCRSMask(cfg)
+    mask = _uniform_mask(cfg)
     t += cm.time(_scale_stats(sddmm._account((l, dh), (dh, l), mask), bh))
     # fused fp16 softmax + quantize: stream nnz scores
     nnz_bytes = mask.nnz * 2
     t += cm.time(_streaming_stats("softmax-q", 2 * nnz_bytes * bh, nnz_bytes * bh // 2))
     # SpMM at L<sm>-R<qkv>
-    spmm = MagicubeSpMM(SpMMConfig(l_bits=sm_bits, r_bits=qkv_bits, l_signed=False))
-    sr = _UniformSRBCRS(cfg, stride=spmm.required_stride)
+    sr = _uniform_srbcrs(cfg, stride=spmm.required_stride)
     t += cm.time(_scale_stats(spmm._account(sr, dh), bh))
     return t
 
@@ -289,11 +287,16 @@ _OPS_PER_LAYER = {
 }
 
 
-def estimate_latency(cfg: InferenceConfig, backend: Backend) -> LatencyResult:
+def estimate_latency(
+    cfg: InferenceConfig, backend: Backend, planner=None
+) -> LatencyResult:
     """Full-model latency for one Fig. 17 point.
 
     Raises :class:`DenseOOM` for the dense backend when its attention
-    buffers exceed the device's 40 GB.
+    buffers exceed the device's 40 GB. ``planner`` (an
+    :class:`~repro.serve.planner.ExecutionPlanner`) routes the magicube
+    attention kernels through cached serving plans — the
+    :class:`repro.serve.engine.Engine` path.
     """
     components: dict = {}
     proj = _dense_projection_time(cfg)
@@ -310,7 +313,7 @@ def estimate_latency(cfg: InferenceConfig, backend: Backend) -> LatencyResult:
     elif backend.kind == "vector_sparse":
         attn = _sparse_attention_time_vectorsparse(cfg)
     elif backend.kind == "magicube":
-        attn = _sparse_attention_time_magicube(cfg, backend)
+        attn = _sparse_attention_time_magicube(cfg, backend, planner=planner)
     else:
         raise ConfigError(f"unknown backend {backend.kind!r}")
     components["attention"] = attn * cfg.num_layers

@@ -40,4 +40,5 @@ class TestCli:
             "fig14",
             "fig15",
             "fig17",
+            "serve",
         }

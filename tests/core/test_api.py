@@ -139,3 +139,65 @@ class TestPrecisionObject:
     def test_dataclass_fields(self):
         p = Precision(l_bits=16, r_bits=4, op="spmm")
         assert p.native_bits == 4
+
+
+class TestPlanInjection:
+    """Pre-built configs (serving plans) bypass precision parsing."""
+
+    def test_spmm_config_matches_precision_path(self, rng):
+        from repro.kernels.spmm import SpMMConfig
+
+        d = make_structured_sparse(rng, 32, 64, 8, 0.7)
+        a = SparseMatrix.from_dense(d, 8)
+        rhs = rng.integers(-128, 128, size=(64, 32))
+        by_name = spmm(a, rhs, precision="L8-R8")
+        by_config = spmm(a, rhs, config=SpMMConfig(l_bits=8, r_bits=8))
+        np.testing.assert_array_equal(by_config.output, by_name.output)
+        assert by_config.time_s == by_name.time_s
+
+    def test_spmm_config_and_kwargs_conflict(self, rng):
+        from repro.errors import ConfigError
+        from repro.kernels.spmm import SpMMConfig
+
+        d = make_structured_sparse(rng, 16, 32, 8, 0.5)
+        a = SparseMatrix.from_dense(d, 8)
+        rhs = rng.integers(-128, 128, size=(32, 16))
+        with pytest.raises(ConfigError):
+            spmm(a, rhs, config=SpMMConfig(), bsn=32)
+        with pytest.raises(ConfigError):
+            spmm(a, rhs, precision="L8-R8", config=SpMMConfig())
+        with pytest.raises(ConfigError):
+            spmm(a, rhs, l_signed=False, config=SpMMConfig())
+
+    def test_sddmm_config_and_named_params_conflict(self, rng):
+        from repro.errors import ConfigError
+        from repro.kernels.sddmm import SDDMMConfig
+
+        mask_d = (make_structured_sparse(rng, 16, 32, 8, 0.5) != 0).astype(np.int32)
+        mask = SparseMatrix.from_dense(mask_d, 8)
+        a = rng.integers(-128, 128, size=(16, 64))
+        b = rng.integers(-128, 128, size=(64, 32))
+        with pytest.raises(ConfigError):
+            sddmm(a, b, mask, output_format="srbcrs", config=SDDMMConfig())
+        with pytest.raises(ConfigError):
+            sddmm(a, b, mask, precision="L8-R8", config=SDDMMConfig())
+
+    def test_sddmm_config_injection(self, rng):
+        from repro.kernels.sddmm import SDDMMConfig
+
+        mask_d = (make_structured_sparse(rng, 16, 32, 8, 0.5) != 0).astype(np.int32)
+        mask = SparseMatrix.from_dense(mask_d, 8)
+        a = rng.integers(-128, 128, size=(16, 64))
+        b = rng.integers(-128, 128, size=(64, 32))
+        by_name = sddmm(a, b, mask, precision="L8-R8")
+        by_config = sddmm(a, b, mask, config=SDDMMConfig(l_bits=8, r_bits=8))
+        np.testing.assert_array_equal(
+            by_config.output.to_dense(), by_name.output.to_dense()
+        )
+
+    def test_srbcrs_for_memoizes(self, rng):
+        d = make_structured_sparse(rng, 16, 64, 8, 0.5, bits=4)
+        a = SparseMatrix.from_dense(d, 8, precision="L8-R8")  # stride 16
+        first = a.srbcrs_for(32)
+        assert a.srbcrs_for(32) is first  # converted once
+        assert a.srbcrs_for(16) is a.srbcrs

@@ -1,0 +1,147 @@
+"""MicroBatcher: coalescing, policy limits, error propagation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher
+
+
+class Recorder:
+    """Execute function that logs every batch it gets."""
+
+    def __init__(self, fail_on=None):
+        self.batches = []
+        self.lock = threading.Lock()
+        self.fail_on = fail_on
+
+    def __call__(self, key, items):
+        with self.lock:
+            self.batches.append((key, [i.payload for i in items]))
+        if self.fail_on is not None and key == self.fail_on:
+            raise RuntimeError(f"boom on {key}")
+        return [f"{key}:{i.payload}" for i in items]
+
+
+class TestCoalescing:
+    def test_same_key_requests_share_a_batch(self):
+        rec = Recorder()
+        with MicroBatcher(rec, BatchPolicy(max_batch_size=16, max_wait_s=5.0)) as mb:
+            futures = [mb.submit("k", i) for i in range(6)]
+            mb.flush()
+            results = [f.result(timeout=5) for f in futures]
+        assert results == [f"k:{i}" for i in range(6)]
+        assert len(rec.batches) == 1
+        assert rec.batches[0] == ("k", list(range(6)))
+
+    def test_full_batch_dispatches_without_flush(self):
+        rec = Recorder()
+        with MicroBatcher(rec, BatchPolicy(max_batch_size=4, max_wait_s=60.0)) as mb:
+            futures = [mb.submit("k", i) for i in range(4)]
+            results = [f.result(timeout=5) for f in futures]
+        assert results == [f"k:{i}" for i in range(4)]
+
+    def test_max_batch_size_chunks(self):
+        rec = Recorder()
+        with MicroBatcher(rec, BatchPolicy(max_batch_size=8, max_wait_s=5.0)) as mb:
+            futures = [mb.submit("k", i) for i in range(10)]
+            mb.flush()
+            [f.result(timeout=5) for f in futures]
+        sizes = sorted(len(b) for _, b in rec.batches)
+        assert sizes == [2, 8]
+
+    def test_different_keys_never_mix(self):
+        rec = Recorder()
+        with MicroBatcher(rec, BatchPolicy(max_batch_size=16, max_wait_s=5.0)) as mb:
+            fa = [mb.submit("a", i) for i in range(3)]
+            fb = [mb.submit("b", i) for i in range(2)]
+            mb.flush()
+            assert [f.result(timeout=5) for f in fa] == ["a:0", "a:1", "a:2"]
+            assert [f.result(timeout=5) for f in fb] == ["b:0", "b:1"]
+        keys = {k for k, _ in rec.batches}
+        assert keys == {"a", "b"}
+        assert len(rec.batches) == 2
+
+    def test_max_wait_flushes_automatically(self):
+        rec = Recorder()
+        with MicroBatcher(rec, BatchPolicy(max_batch_size=64, max_wait_s=0.01)) as mb:
+            future = mb.submit("k", 1)
+            assert future.result(timeout=5) == "k:1"  # no flush() call
+
+    def test_queue_wait_is_reported(self):
+        seen = []
+
+        def execute(key, items):
+            seen.extend(items)
+            return [i.payload for i in items]
+
+        with MicroBatcher(execute, BatchPolicy(max_batch_size=4, max_wait_s=0.01)) as mb:
+            mb.submit("k", 0).result(timeout=5)
+        assert all(isinstance(i, BatchItem) and i.queue_wait_s >= 0 for i in seen)
+
+
+class TestLifecycleAndErrors:
+    def test_execute_error_propagates_to_all_futures(self):
+        rec = Recorder(fail_on="bad")
+        with MicroBatcher(rec, BatchPolicy(max_batch_size=8, max_wait_s=5.0)) as mb:
+            futures = [mb.submit("bad", i) for i in range(3)]
+            good = mb.submit("good", 7)
+            mb.flush()
+            for f in futures:
+                with pytest.raises(RuntimeError, match="boom"):
+                    f.result(timeout=5)
+            assert good.result(timeout=5) == "good:7"
+
+    def test_wrong_result_count_is_an_error(self):
+        def execute(key, items):
+            return []  # wrong arity
+
+        with MicroBatcher(execute, BatchPolicy(max_batch_size=2, max_wait_s=5.0)) as mb:
+            f = mb.submit("k", 1)
+            mb.flush()
+            with pytest.raises(RuntimeError, match="results"):
+                f.result(timeout=5)
+
+    def test_close_drains_pending(self):
+        rec = Recorder()
+        mb = MicroBatcher(rec, BatchPolicy(max_batch_size=64, max_wait_s=60.0))
+        futures = [mb.submit("k", i) for i in range(5)]
+        mb.close()
+        assert [f.result(timeout=5) for f in futures] == [f"k:{i}" for i in range(5)]
+
+    def test_submit_after_close_raises(self):
+        mb = MicroBatcher(Recorder(), BatchPolicy())
+        mb.close()
+        with pytest.raises(RuntimeError):
+            mb.submit("k", 1)
+
+    def test_close_is_idempotent(self):
+        mb = MicroBatcher(Recorder(), BatchPolicy())
+        mb.close()
+        mb.close()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_s=-1.0)
+
+    def test_concurrent_submitters(self):
+        rec = Recorder()
+        results = []
+        lock = threading.Lock()
+
+        def client(tag):
+            with MicroBatcher(rec, BatchPolicy(max_batch_size=4, max_wait_s=0.005)) as mb:
+                futs = [mb.submit("k", f"{tag}-{i}") for i in range(8)]
+                out = [f.result(timeout=5) for f in futs]
+            with lock:
+                results.extend(out)
+
+        threads = [threading.Thread(target=client, args=(t,)) for t in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 24

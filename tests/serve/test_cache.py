@@ -1,0 +1,119 @@
+"""PlanCache: counters, JSON persistence, concurrent access."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.cache import PlanCache
+from repro.serve.planner import Plan
+
+
+def make_plan(key: str = "k", l_bits: int = 8, r_bits: int = 8) -> Plan:
+    return Plan(
+        op="spmm", l_bits=l_bits, r_bits=r_bits, config={"bsn": 64},
+        predicted_time_s=1.5e-6, key=key,
+    )
+
+
+class TestCounters:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        assert cache.get("a") is None
+        cache.put("a", make_plan("a"))
+        assert cache.get("a") is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_peek_does_not_count(self):
+        cache = PlanCache()
+        cache.put("a", make_plan("a"))
+        assert cache.peek("a") is not None
+        assert cache.peek("b") is None
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_empty_hit_rate(self):
+        assert PlanCache().hit_rate == 0.0
+
+    def test_reset_counters(self):
+        cache = PlanCache()
+        cache.get("a")
+        cache.reset_counters()
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_get_or_build_builds_once(self):
+        cache = PlanCache()
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return make_plan("a")
+
+        p1 = cache.get_or_build("a", builder)
+        p2 = cache.get_or_build("a", builder)
+        assert p1 is p2
+        assert len(calls) == 1
+
+    def test_stats_dict(self):
+        cache = PlanCache()
+        cache.put("a", make_plan("a"))
+        cache.get("a")
+        s = cache.stats()
+        assert s == {"entries": 1, "hits": 1, "misses": 0, "hit_rate": 1.0}
+
+
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path):
+        cache = PlanCache()
+        cache.put("a", make_plan("a", 8, 8))
+        cache.put("b", make_plan("b", 4, 4))
+        path = cache.save(tmp_path / "plans.json")
+
+        fresh = PlanCache()
+        assert fresh.load(path) == 2
+        for key in ("a", "b"):
+            plan = fresh.peek(key)
+            original = cache.peek(key)
+            assert plan.to_dict() == original.to_dict()
+
+    def test_hits_after_reload(self, tmp_path):
+        cache = PlanCache()
+        cache.put("a", make_plan("a"))
+        path = cache.save(tmp_path / "plans.json")
+        fresh = PlanCache(path)
+        assert fresh.get("a") is not None
+        assert fresh.hits == 1
+
+    def test_constructor_path_becomes_default(self, tmp_path):
+        path = tmp_path / "plans.json"
+        cache = PlanCache(path)
+        cache.put("a", make_plan("a"))
+        cache.save()
+        assert json.loads(path.read_text())["plans"]["a"]["l_bits"] == 8
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            PlanCache().save()
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"version": 99, "plans": {}}))
+        with pytest.raises(ValueError):
+            PlanCache().load(path)
+
+
+class TestThreadSafety:
+    def test_concurrent_lookups_count_consistently(self):
+        cache = PlanCache()
+        cache.put("a", make_plan("a"))
+
+        def worker():
+            for _ in range(200):
+                cache.get("a")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.hits == 8 * 200

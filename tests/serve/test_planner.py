@@ -1,0 +1,174 @@
+"""Planner: objective handling, search results, memoization."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.cache import PlanCache
+from repro.serve.planner import (
+    BSN_CANDIDATES,
+    ExecutionPlanner,
+    Objective,
+    Plan,
+    PlanKey,
+)
+
+
+@pytest.fixture
+def planner() -> ExecutionPlanner:
+    return ExecutionPlanner(device="A100")
+
+
+class TestObjective:
+    def test_latency_default_admits_everything(self):
+        obj = Objective.latency()
+        assert obj.admits(4, 4) and obj.admits(16, 16)
+
+    def test_fixed_pins_one_pair(self):
+        obj = Objective.fixed(8, 4)
+        assert obj.admits(8, 4)
+        assert not obj.admits(8, 8)
+        assert not obj.admits(4, 4)
+
+    def test_with_min_bits_tightens(self):
+        obj = Objective.latency().with_min_bits(8, 8)
+        assert not obj.admits(4, 4)
+        assert obj.admits(8, 8)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            Objective(min_l_bits=16, max_l_bits=8)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            Objective(kind="speed")
+
+    def test_token_distinguishes_objectives(self):
+        assert Objective.latency().token != Objective.accuracy().token
+        assert (
+            Objective.accuracy(latency_budget_s=1e-3).token
+            != Objective.accuracy().token
+        )
+
+
+class TestSpmmSearch:
+    def test_latency_picks_lowest_precision(self, planner):
+        # the Fig. 12 ladder: L4-R4 is the documented-best throughput
+        # when the operands allow it
+        plan = planner.plan_spmm(256, 512, 128, 8, 0.9, Objective.latency())
+        assert plan.precision == "L4-R4"
+        assert plan.predicted_time_s > 0
+        assert plan.config["bsn"] in BSN_CANDIDATES
+
+    def test_latency_respects_operand_widths(self, planner):
+        obj = Objective.latency(min_l_bits=8, min_r_bits=8)
+        plan = planner.plan_spmm(256, 512, 128, 8, 0.9, obj)
+        assert plan.precision == "L8-R8"  # fastest pair covering int8
+
+    def test_accuracy_picks_highest_fidelity(self, planner):
+        plan = planner.plan_spmm(256, 512, 128, 8, 0.9, Objective.accuracy())
+        assert plan.precision == "L16-R16"
+
+    def test_accuracy_budget_degrades_gracefully(self, planner):
+        fast = planner.plan_spmm(256, 512, 128, 8, 0.9, Objective.latency())
+        # an impossible budget falls back to the fastest plan
+        tight = planner.plan_spmm(
+            256, 512, 128, 8, 0.9,
+            Objective.accuracy(latency_budget_s=fast.predicted_time_s / 1e6),
+        )
+        assert tight.precision == fast.precision
+        # a generous budget keeps full fidelity
+        loose = planner.plan_spmm(
+            256, 512, 128, 8, 0.9, Objective.accuracy(latency_budget_s=10.0)
+        )
+        assert loose.precision == "L16-R16"
+
+    def test_accuracy_budget_middle_ground(self, planner):
+        full = planner.plan_spmm(256, 512, 128, 8, 0.9, Objective.accuracy())
+        budget = full.predicted_time_s * 0.9
+        plan = planner.plan_spmm(
+            256, 512, 128, 8, 0.9, Objective.accuracy(latency_budget_s=budget)
+        )
+        # highest-fidelity pair that still meets the budget
+        assert plan.predicted_time_s <= budget
+        assert plan.l_bits + plan.r_bits < 32
+
+    def test_fixed_objective_only_tunes_knobs(self, planner):
+        plan = planner.plan_spmm(256, 512, 64, 8, 0.8, Objective.fixed(16, 8))
+        assert plan.precision == "L16-R8"
+        assert set(plan.config) == {"bsn"}
+
+    def test_infeasible_objective_raises(self, planner):
+        with pytest.raises(ConfigError):
+            # no Table-IV spmm pair has l_bits < r_bits
+            planner.plan_spmm(
+                256, 512, 64, 8, 0.8,
+                Objective(min_l_bits=4, max_l_bits=4, min_r_bits=8),
+            )
+
+    def test_stride_follows_precision(self, planner):
+        int8 = planner.plan_spmm(256, 512, 64, 8, 0.8, Objective.fixed(8, 8))
+        int4 = planner.plan_spmm(256, 512, 64, 8, 0.8, Objective.fixed(4, 4))
+        assert int8.stride == 16  # int8 MMA k dim
+        assert int4.stride == 32  # int4 MMA k dim
+
+
+class TestSddmmSearch:
+    def test_latency_picks_lowest_precision(self, planner):
+        plan = planner.plan_sddmm(512, 512, 64, 8, 0.9, Objective.latency())
+        assert plan.precision == "L4-R4"
+        assert "warps" in plan.config
+
+    def test_fixed_scheme(self, planner):
+        plan = planner.plan_sddmm(512, 512, 64, 8, 0.9, Objective.fixed(8, 8))
+        assert plan.precision == "L8-R8"
+        assert plan.predicted_time_s > 0
+
+
+class TestMemoization:
+    def test_repeat_query_hits_cache(self, planner):
+        args = (256, 512, 128, 8, 0.9, Objective.latency())
+        first = planner.plan_spmm(*args)
+        assert planner.cache.misses == 1
+        second = planner.plan_spmm(*args)
+        assert second is first
+        assert planner.cache.hits == 1
+
+    def test_different_shapes_get_different_keys(self, planner):
+        planner.plan_spmm(256, 512, 64, 8, 0.9)
+        planner.plan_spmm(256, 512, 128, 8, 0.9)
+        assert len(planner.cache) == 2
+
+    def test_sparsity_bucketing(self, planner):
+        planner.plan_spmm(256, 512, 64, 8, 0.90001)
+        planner.plan_spmm(256, 512, 64, 8, 0.90049)
+        assert len(planner.cache) == 1  # same 3-decimal bucket
+
+    def test_shared_cache_across_planners(self):
+        cache = PlanCache()
+        a = ExecutionPlanner(device="A100", cache=cache)
+        b = ExecutionPlanner(device="A100", cache=cache)
+        a.plan_spmm(256, 512, 64, 8, 0.9)
+        b.plan_spmm(256, 512, 64, 8, 0.9)
+        assert cache.hits == 1 and cache.misses == 1
+
+
+class TestPlanObject:
+    def test_dict_round_trip(self, planner):
+        plan = planner.plan_spmm(256, 512, 64, 8, 0.9)
+        clone = Plan.from_dict(plan.to_dict())
+        assert clone.precision == plan.precision
+        assert clone.config == plan.config
+        assert clone.predicted_time_s == plan.predicted_time_s
+        assert clone.key == plan.key
+
+    def test_config_builders_check_op(self, planner):
+        spmm_plan = planner.plan_spmm(256, 512, 64, 8, 0.9)
+        with pytest.raises(ConfigError):
+            spmm_plan.sddmm_config()
+        cfg = spmm_plan.spmm_config(l_signed=False)
+        assert cfg.l_bits == spmm_plan.l_bits and not cfg.l_signed
+
+    def test_key_string_is_stable(self):
+        key = PlanKey("spmm", 256, 512, 64, 8, 0.9, "A100", "latency[L4-16,R4-16]")
+        assert str(key) == str(key)
+        assert "spmm|256x512" in str(key)
