@@ -12,7 +12,6 @@ makes without sweeping them:
    trades for layout-free LHS loads.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.bench.report import render_table
@@ -21,7 +20,6 @@ from repro.dlmc.generator import MatrixSpec
 from repro.formats import dense_to_bcrs, dense_to_srbcrs
 from repro.dlmc.generator import generate_matrix
 from repro.gpu.mma import mma_shape_for
-from repro.kernels import MagicubeSpMM, SpMMConfig
 from repro.kernels.emulation import mma_count_per_tile, plan_for
 
 SPEC = MatrixSpec("rn50", 256, 2304, 0.8, seed=77)

@@ -6,7 +6,6 @@ cuBLAS-fp16; Magicube L8-R8 averages ~1.4x over cuSPARSE-int8 and
 L16-R8 well over vectorSparse.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.bench.figures import fig14_spmm_speedup

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro import SparseMatrix, spmm
 from repro.baselines import CublasGemm, cost_model_for
-from repro.lowp.quantize import dequantize, symmetric_quantize
+from repro.lowp.quantize import symmetric_quantize
 
 
 def block_prune(w: np.ndarray, v: int, sparsity: float) -> np.ndarray:

@@ -18,18 +18,32 @@ cost accounting matching that library's algorithm and data layout:
 """
 
 from repro.baselines.calibration import cost_model_for
-from repro.baselines.capabilities import LIBRARIES, LibraryCapability, capability_table
+from repro.baselines.capabilities import (
+    LibraryCapability,
+    capability_table,
+    library_capabilities,
+)
 from repro.baselines.cublas import CublasGemm
 from repro.baselines.cusparse import CusparseBlockedEllSpMM, CusparseCsrSpMM
 from repro.baselines.cusparselt import CusparseLt24Gemm
 from repro.baselines.sputnik import SputnikSpMM
 from repro.baselines.vector_sparse import VectorSparseSDDMM, VectorSparseSpMM
 
+def __getattr__(name: str):
+    # LIBRARIES queries the backend registry on first access (see
+    # repro.baselines.capabilities); resolving it lazily keeps this
+    # package importable from inside a runtime backend module
+    if name == "LIBRARIES":
+        return library_capabilities()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "cost_model_for",
     "LIBRARIES",
     "LibraryCapability",
     "capability_table",
+    "library_capabilities",
     "CublasGemm",
     "CusparseBlockedEllSpMM",
     "CusparseCsrSpMM",

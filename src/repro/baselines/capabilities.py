@@ -1,8 +1,13 @@
-"""The Table I feature matrix: what each sparse library supports.
+"""The Table I feature matrix, derived from the backend registry.
 
-Reproduced verbatim from the paper so the Table-I bench can print it and
-the tests can pin it against the implemented baselines' actual
-capabilities.
+Each row of the paper's Table I is now a *query* against
+:mod:`repro.runtime`: the registered execution backends carry their own
+:class:`~repro.runtime.backend.BackendCapabilities`, and this module
+folds them into the paper's five library rows (the cuSPARSE row merges
+the Blocked-ELL and scalar-CSR backends, as the paper does). The
+rendered table therefore can never drift from what the backends
+actually implement — the tests pin it against the paper's published
+cells.
 """
 
 from __future__ import annotations
@@ -24,65 +29,61 @@ class LibraryCapability:
     tensor_cores: bool
 
 
-LIBRARIES: tuple[LibraryCapability, ...] = (
-    LibraryCapability(
-        name="cuSPARSE",
-        fp16=True,
-        int8=True,
-        int4=False,
-        mixed=False,
-        sparsity_granularity="fine-grained / block",
-        dl_friendly=False,
-        tensor_cores=True,  # only the Blocked-ELL path
-    ),
-    LibraryCapability(
-        name="cuSPARSELt",
-        fp16=True,
-        int8=True,
-        int4=True,
-        mixed=False,
-        sparsity_granularity="2:4 structured",
-        dl_friendly=True,
-        tensor_cores=True,
-    ),
-    LibraryCapability(
-        name="Sputnik",
-        fp16=True,
-        int8=False,
-        int4=False,
-        mixed=False,
-        sparsity_granularity="fine-grained",
-        dl_friendly=True,
-        tensor_cores=False,
-    ),
-    LibraryCapability(
-        name="vectorSparse",
-        fp16=True,
-        int8=False,
-        int4=False,
-        mixed=False,
-        sparsity_granularity="1-D block",
-        dl_friendly=True,
-        tensor_cores=True,
-    ),
-    LibraryCapability(
-        name="Magicube",
-        fp16=False,
-        int8=True,
-        int4=True,
-        mixed=True,
-        sparsity_granularity="1-D block",
-        dl_friendly=True,
-        tensor_cores=True,
-    ),
+#: Table I row name -> the registered backends that implement it
+_TABLE1_BACKENDS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("cuSPARSE", ("cusparse-csr", "cusparse-blocked-ell")),
+    ("cuSPARSELt", ("cusparselt",)),
+    ("Sputnik", ("sputnik",)),
+    ("vectorSparse", ("vector-sparse",)),
+    ("Magicube", ("magicube-emulation",)),
 )
+
+
+def _row(name: str, backend_names: tuple[str, ...]) -> LibraryCapability:
+    """Fold one or more backends' capabilities into a Table I row."""
+    from repro.runtime import get_backend
+
+    caps = [get_backend(b).capabilities() for b in backend_names]
+    granularities: list[str] = []
+    for c in caps:
+        if c.granularity and c.granularity not in granularities:
+            granularities.append(c.granularity)
+    return LibraryCapability(
+        name=name,
+        fp16=any(c.fp16 for c in caps),
+        int8=any(c.int8 for c in caps),
+        int4=any(c.int4 for c in caps),
+        mixed=any(c.mixed_precision for c in caps),
+        sparsity_granularity=" / ".join(granularities),
+        dl_friendly=any(c.dl_friendly for c in caps),
+        tensor_cores=any(c.tensor_cores for c in caps),
+    )
+
+
+def library_capabilities() -> tuple[LibraryCapability, ...]:
+    """Table I assembled from the live backend registry.
+
+    Computed fresh on every call (backend instances are memoized by
+    the registry, so this is cheap) — replacing a registered backend
+    is reflected immediately.
+    """
+    return tuple(_row(name, backends) for name, backends in _TABLE1_BACKENDS)
+
+
+def __getattr__(name: str):
+    # LIBRARIES is resolved lazily (PEP 562): building it queries the
+    # backend registry, which imports backend modules — doing that at
+    # import time would cycle through repro.baselines.__init__
+    if name == "LIBRARIES":
+        return library_capabilities()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def capability_table() -> str:
     """Render Table I as aligned text."""
     header = f"{'Library':<14}{'fp16':<6}{'int8':<6}{'int4':<6}{'mixed':<7}{'granularity':<22}{'DL?':<5}{'TC':<4}"
     lines = [header, "-" * len(header)]
-    for lib in LIBRARIES:
+    for lib in library_capabilities():
         tick = lambda b: "yes" if b else "-"  # noqa: E731
         lines.append(
             f"{lib.name:<14}{tick(lib.fp16):<6}{tick(lib.int8):<6}"

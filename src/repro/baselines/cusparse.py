@@ -20,7 +20,6 @@ from repro.formats.blocked_ell import PAD_BLOCK, BlockedEllMatrix
 from repro.formats.csr import CSRMatrix
 from repro.gpu.memory import TrafficCounter
 from repro.gpu.timing import KernelStats
-from repro.gpu.warp import ceil_div
 
 
 @dataclass

@@ -155,6 +155,43 @@ def _print_serve(count: int) -> None:
     demo(num_requests=max(120, count * 40))
 
 
+def _print_backends(count: int) -> None:
+    """Sweep every plannable registered backend on a fixed topology."""
+    from repro.bench.report import render_table
+    from repro.runtime import Device, Problem, REGISTRY
+
+    problem = Problem(
+        op="spmm", rows=512, cols=2048, inner=256, vector_length=8, sparsity=0.9
+    )
+    print(
+        f"fixed topology: {problem.rows}x{problem.cols} @ "
+        f"{problem.cols}x{problem.inner}, V={problem.vector_length}, "
+        f"s={problem.sparsity}"
+    )
+    rows = []
+    for backend in REGISTRY.backends():
+        if not backend.plannable:
+            continue
+        for dev in Device.all():
+            if not backend.supports(dev, op=problem.op):
+                continue
+            cands = backend.plan_candidates(problem, dev)
+            if not cands:
+                continue
+            best = min(cands, key=lambda c: c.time_s)
+            knobs = ", ".join(f"{k}={v}" for k, v in sorted(best.config.items()))
+            rows.append([
+                backend.name,
+                dev.name,
+                best.precision,
+                knobs or "-",
+                f"{best.time_s * 1e6:.2f}",
+            ])
+    print(render_table(
+        ["backend", "device", "precision", "knobs", "predicted us"], rows
+    ))
+
+
 def _print_table5(count: int) -> None:
     from repro.bench.figures import table5_accuracy
     from repro.bench.report import render_table
@@ -177,6 +214,7 @@ EXPERIMENTS = {
     "fig17": ("Fig. 17: e2e Transformer latency", _print_fig17),
     "table5": ("Table V: accuracy study (trains a model)", _print_table5),
     "serve": ("Serving: batched engine throughput demo", _print_serve),
+    "backends": ("Runtime: registered-backend sweep on a fixed topology", _print_backends),
 }
 
 

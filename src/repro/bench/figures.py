@@ -8,8 +8,6 @@ structured results the benches print and assert on.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bench.runner import (
     build_sddmm_workload,
     build_spmm_workload,

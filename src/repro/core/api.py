@@ -17,17 +17,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.calibration import cost_model_for
 from repro.core.precision import Precision, parse_precision
 from repro.errors import ConfigError, ShapeError
 from repro.formats.bcrs import BCRSMatrix
-from repro.formats.convert import bcrs_to_srbcrs, dense_to_bcrs, dense_to_srbcrs
+from repro.formats.convert import bcrs_to_srbcrs, dense_to_bcrs
 from repro.formats.srbcrs import SRBCRSMatrix
 from repro.gpu.device import DeviceSpec
 from repro.gpu.mma import mma_shape_for
 from repro.gpu.timing import KernelStats
-from repro.kernels.sddmm import MagicubeSDDMM, SDDMMConfig
-from repro.kernels.spmm import MagicubeSpMM, SpMMConfig
+from repro.kernels.sddmm import SDDMMConfig
+from repro.kernels.spmm import SpMMConfig
+from repro.runtime import Device, resolve_backend
 
 
 class SparseMatrix:
@@ -120,10 +120,11 @@ def spmm(
     lhs: SparseMatrix,
     rhs: np.ndarray,
     precision: str | None = None,
-    device: DeviceSpec | str = "A100",
+    device: Device | DeviceSpec | str = "A100",
     l_signed: bool | None = None,
     scale: float | None = None,
     config: SpMMConfig | None = None,
+    backend: str | None = None,
     **config_kwargs,
 ) -> OpResult:
     """Sparse x dense -> dense with Magicube's SpMM.
@@ -134,9 +135,14 @@ def spmm(
     A pre-built ``config`` (e.g. from a serving plan) bypasses
     precision parsing and takes the kernel knobs verbatim — the
     plan-injection hook the :mod:`repro.serve` engine uses; combining
-    it with ``precision``/``l_signed``/knob kwargs is an error. The
-    returned ``time_s``/``tops`` come from the calibrated A100 cost
-    model.
+    it with ``precision``/``l_signed``/knob kwargs is an error.
+
+    This function is a thin shim over the :mod:`repro.runtime` backend
+    registry: ``backend`` pins one registered backend by name
+    (``"magicube-strict"`` for the bit-level verification path), the
+    default resolves the priority-ordered fallback chain for
+    (precision, device). ``time_s``/``tops`` come from the resolved
+    backend's calibrated cost model on the resolved device.
     """
     if config is not None:
         clashes = sorted(config_kwargs)
@@ -156,14 +162,13 @@ def spmm(
             l_signed=l_signed if l_signed is not None else True,
             **config_kwargs,
         )
-    kern = MagicubeSpMM(cfg)
-    res = kern(lhs.srbcrs_for(kern.required_stride), rhs, scale=scale)
-    cm = cost_model_for("magicube", device)
+    dev = Device.resolve(device)
+    be = resolve_backend(
+        backend, op="spmm", device=dev, precision=f"L{cfg.l_bits}-R{cfg.r_bits}"
+    )
+    res = be.execute("spmm", dev, config=cfg, lhs=lhs, rhs=rhs, scale=scale)
     return OpResult(
-        output=res.dequantized if res.dequantized is not None else res.output,
-        stats=res.stats,
-        time_s=cm.time(res.stats),
-        tops=cm.tops(res.stats),
+        output=res.output, stats=res.stats, time_s=res.time_s, tops=res.tops
     )
 
 
@@ -172,16 +177,18 @@ def sddmm(
     b: np.ndarray,
     mask: SparseMatrix | BCRSMatrix,
     precision: str | None = None,
-    device: DeviceSpec | str = "A100",
+    device: Device | DeviceSpec | str = "A100",
     output_format: str | None = None,
     config: SDDMMConfig | None = None,
+    backend: str | None = None,
     **config_kwargs,
 ) -> OpResult:
     """(dense x dense) sampled at a sparse mask with Magicube's SDDMM.
 
     As with :func:`spmm`, a pre-built ``config`` injects a serving plan
     directly, bypassing precision parsing (and rejecting the named
-    ``precision``/``output_format`` parameters alongside it).
+    ``precision``/``output_format`` parameters alongside it), and
+    ``backend`` pins one registered runtime backend by name.
     """
     if config is not None:
         clashes = sorted(config_kwargs)
@@ -201,15 +208,14 @@ def sddmm(
             output_format=output_format or "bcrs",
             **config_kwargs,
         )
-    kern = MagicubeSDDMM(cfg)
     topo = mask.bcrs if isinstance(mask, SparseMatrix) else mask
     if not isinstance(topo, BCRSMatrix):
         raise ShapeError("mask must be a SparseMatrix or BCRSMatrix")
-    res = kern(a, b, topo)
-    cm = cost_model_for("magicube", device)
+    dev = Device.resolve(device)
+    be = resolve_backend(
+        backend, op="sddmm", device=dev, precision=f"L{cfg.l_bits}-R{cfg.r_bits}"
+    )
+    res = be.execute("sddmm", dev, config=cfg, a=a, b=b, mask=topo)
     return OpResult(
-        output=res.output,
-        stats=res.stats,
-        time_s=cm.time(res.stats),
-        tops=cm.tops(res.stats),
+        output=res.output, stats=res.stats, time_s=res.time_s, tops=res.tops
     )

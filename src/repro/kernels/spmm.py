@@ -18,7 +18,7 @@ tile through the bit-accurate fragment-level MMA path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -63,7 +63,9 @@ def symmetric_quantize(x: np.ndarray, bits: int) -> tuple[np.ndarray, QuantParam
     x = np.asarray(x, dtype=np.float64)
     qmin, qmax = int_range(bits, signed=True)
     amax = float(np.max(np.abs(x))) if x.size else 0.0
-    scale = amax / qmax if amax > 0 else 1.0
+    # the smallest-normal floor keeps a subnormal amax from underflowing
+    # the division to scale == 0 (which QuantParams rightly rejects)
+    scale = max(amax / qmax, float(np.finfo(np.float64).tiny)) if amax > 0 else 1.0
     q = np.clip(np.rint(x / scale), qmin, qmax).astype(np.int32)
     return q, QuantParams(scale=scale, bits=bits, signed=True)
 

@@ -1,0 +1,214 @@
+"""The execution-backend protocol.
+
+A :class:`Backend` is one way of executing a sparse (or dense) matrix
+operation: the Magicube kernels in emulation or strict mode, or one of
+the paper's comparator libraries. Every backend answers the same five
+questions —
+
+- :meth:`Backend.capabilities` — which ops / precisions / sparsity
+  granularity it implements (the Table I row, machine-readable),
+- :meth:`Backend.supports` — can it run one (device, precision, op)
+  combination,
+- :meth:`Backend.prepare` — convert an operand into the layout the
+  backend executes from (SR-BCRS at the precision's stride, BCRS, CSR,
+  dense...),
+- :meth:`Backend.execute` — run one op functionally and return the
+  output with its cost accounting,
+- :meth:`Backend.cost` — the calibrated :class:`~repro.gpu.timing
+  .CostModel` for one (device, op),
+
+plus an optional planning hook, :meth:`Backend.plan_candidates`, that
+enumerates costed kernel configurations for a :class:`Problem` so the
+serving planner can search across backends and devices uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.gpu.timing import CostModel, KernelStats
+from repro.runtime.device import Device
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend can do (the machine-readable Table I row).
+
+    ``precisions`` are device peak-rate names the backend draws on
+    (``"int8"``, ``"fp16"``, ``"fp16_cuda"``...); a device admits the
+    backend only if it has a peak rate for at least one of them.
+    ``pairs`` are the ``Lx-Ry`` mixed-precision labels (Magicube only).
+    """
+
+    ops: tuple[str, ...]
+    precisions: tuple[str, ...]
+    pairs: tuple[str, ...] = ()
+    granularity: str = ""
+    mixed_precision: bool = False
+    dl_friendly: bool = True
+    tensor_cores: bool = True
+
+    @property
+    def fp16(self) -> bool:
+        return any(p in ("fp16", "fp16_cuda") for p in self.precisions)
+
+    @property
+    def int8(self) -> bool:
+        return "int8" in self.precisions
+
+    @property
+    def int4(self) -> bool:
+        return "int4" in self.precisions
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One request class the planner costs: shape, sparsity, blocking.
+
+    ``inner`` is the SpMM RHS width N, or the SDDMM reduction dim K —
+    the same convention :class:`~repro.serve.planner.PlanKey` uses.
+    """
+
+    op: str
+    rows: int
+    cols: int
+    inner: int
+    vector_length: int
+    sparsity: float
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One costed configuration a backend offers for a :class:`Problem`.
+
+    ``l_bits``/``r_bits`` are the *fidelity* the candidate preserves
+    (16/16 for fp16 paths), which the planner's objective bounds filter;
+    ``config`` holds backend-specific kernel knobs.
+    """
+
+    precision: str
+    l_bits: int
+    r_bits: int
+    config: dict
+    time_s: float
+
+
+@dataclass
+class ExecutionResult:
+    """What :meth:`Backend.execute` returns: output + accounted cost."""
+
+    output: object
+    stats: KernelStats
+    time_s: float
+    tops: float
+    extras: dict = field(default_factory=dict)
+
+
+class Backend(abc.ABC):
+    """One pluggable execution engine for sparse matrix operations."""
+
+    #: registry name (kebab-case, e.g. ``"magicube-emulation"``)
+    name: str = ""
+    #: deterministic fallback rank: lower resolves first
+    priority: int = 100
+    #: calibrated cost-model profile in :mod:`repro.baselines.calibration`
+    library_profile: str = ""
+
+    # -- protocol -------------------------------------------------------
+    @abc.abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """Static description of what the backend implements."""
+
+    def supports(
+        self,
+        device: Device | str,
+        precision: str | None = None,
+        op: str | None = None,
+    ) -> bool:
+        """Whether the backend can run ``op`` at ``precision`` on
+        ``device``.
+
+        ``precision`` may be a device peak-rate name (``"int8"``,
+        ``"fp16"``) or an ``Lx-Ry`` pair label; ``None`` asks whether
+        *any* of the backend's precisions is available on the device.
+        """
+        caps = self.capabilities()
+        dev = Device.resolve(device)
+        if op is not None and op not in caps.ops:
+            return False
+        if precision is None:
+            return any(dev.supports(p) for p in caps.precisions)
+        if precision in caps.pairs:
+            return self._supports_pair(dev, precision, op)
+        return precision in caps.precisions and dev.supports(precision)
+
+    def _supports_pair(self, device: Device, pair: str, op: str | None) -> bool:
+        """Pair-label support check; only pair-capable backends override."""
+        return False
+
+    def cost(self, device: Device | str, op: str = "spmm") -> CostModel:
+        """The calibrated cost model for this backend on one device."""
+        # imported here: repro.baselines.__init__ itself queries the
+        # registry for Table I, so this import must stay off the
+        # module-import path
+        from repro.baselines.calibration import cost_model_for
+
+        return cost_model_for(self.library_profile, Device.resolve(device).spec)
+
+    def prepare(
+        self, operand: object, op: str = "spmm", config: object | None = None
+    ) -> object:
+        """Convert ``operand`` into the backend's execution layout.
+
+        The default is the identity — backends with a conversion
+        (SR-BCRS stride, CSR, dense) override.
+        """
+        return operand
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        op: str,
+        device: Device | str,
+        config: object | None = None,
+        **operands,
+    ) -> ExecutionResult:
+        """Run ``op`` functionally and account its cost on ``device``."""
+
+    # -- planning hook --------------------------------------------------
+    def plan_candidates(
+        self, problem: Problem, device: Device | str, admits=None
+    ) -> list[Candidate]:
+        """Costed configurations for ``problem`` on ``device``.
+
+        ``admits(l_bits, r_bits)`` is the planner objective's fidelity
+        filter (``None`` admits everything). Backends that cannot be
+        planned (no synthetic-topology accounting) return ``[]`` — the
+        default.
+        """
+        return []
+
+    @property
+    def plannable(self) -> bool:
+        """Whether the backend participates in planner searches."""
+        return type(self).plan_candidates is not Backend.plan_candidates
+
+    # -- helpers --------------------------------------------------------
+    def require_support(
+        self,
+        device: Device | str,
+        precision: str | None = None,
+        op: str | None = None,
+    ) -> None:
+        """Raise :class:`ConfigError` unless :meth:`supports` is true."""
+        if not self.supports(device, precision=precision, op=op):
+            raise ConfigError(
+                f"backend {self.name!r} does not support "
+                f"op={op!r} precision={precision!r} on "
+                f"{Device.resolve(device).name}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} priority={self.priority}>"

@@ -1,0 +1,86 @@
+"""Typed device handles for the execution runtime.
+
+A :class:`Device` wraps a :class:`~repro.gpu.device.DeviceSpec` (the
+paper's Table II capability model: A100/V100 plus the H100 and MI250X
+profiles) behind a small, hashable handle that the backend registry,
+the planner and the serving engine pass around instead of bare
+``"A100"`` strings. :meth:`Device.resolve` is the single choke point
+where user-supplied device arguments are validated — unknown names
+raise the library's typed :class:`~repro.errors.DeviceError` instead of
+surfacing as a downstream ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeviceError
+from repro.gpu.device import DeviceSpec, get_device, list_devices
+
+
+class Device:
+    """A resolved, validated handle on one modelled GPU."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        if not isinstance(spec, DeviceSpec):
+            raise DeviceError(
+                f"Device wraps a DeviceSpec, got {type(spec).__name__}"
+            )
+        object.__setattr__(self, "spec", spec)
+
+    # -- resolution -----------------------------------------------------
+    @classmethod
+    def resolve(cls, device: "Device | DeviceSpec | str") -> "Device":
+        """Coerce a device argument into a validated :class:`Device`.
+
+        Accepts an existing handle, a raw :class:`DeviceSpec`, or a
+        name. Names are validated against
+        :func:`repro.gpu.device.list_devices`; anything unknown raises
+        :class:`DeviceError`.
+        """
+        if isinstance(device, Device):
+            return device
+        if isinstance(device, DeviceSpec):
+            return cls(device)
+        if isinstance(device, str):
+            if device.upper() not in list_devices():
+                raise DeviceError(
+                    f"unknown device {device!r}; modelled devices: "
+                    f"{list_devices()}"
+                )
+            return cls(get_device(device))
+        raise DeviceError(
+            f"cannot resolve a device from {type(device).__name__}"
+        )
+
+    @classmethod
+    def all(cls) -> "list[Device]":
+        """Handles for every modelled device profile."""
+        return [cls(get_device(name)) for name in list_devices()]
+
+    # -- views ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def supports(self, precision: str) -> bool:
+        """Whether the device has a peak rate for ``precision``."""
+        return self.spec.supports(precision)
+
+    # -- identity -------------------------------------------------------
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Device handles are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Device):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("repro.runtime.Device", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Device({self.name})"

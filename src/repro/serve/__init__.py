@@ -31,7 +31,7 @@ Quick start::
 ``python -m repro.serve --demo`` runs a self-contained serving demo.
 """
 
-from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.batcher import BatchPolicy, MicroBatcher, RequestHandle
 from repro.serve.cache import PlanCache
 from repro.serve.engine import Engine, ServeResult
 from repro.serve.planner import ExecutionPlanner, Objective, Plan, PlanKey
@@ -46,6 +46,7 @@ __all__ = [
     "Plan",
     "PlanCache",
     "PlanKey",
+    "RequestHandle",
     "ServeResult",
     "Telemetry",
 ]

@@ -8,10 +8,19 @@ hands the batch to a :class:`~concurrent.futures.ThreadPoolExecutor`
 worker that runs the caller-supplied ``execute`` function once for the
 whole batch. Each request's :class:`~concurrent.futures.Future` resolves
 to its slice of the batch result.
+
+Two client APIs sit on top of :meth:`MicroBatcher.submit`:
+
+- the raw :class:`~concurrent.futures.Future` it returns, and
+- :meth:`MicroBatcher.submit_async`, which wraps the future in a
+  ticketed :class:`RequestHandle` — pollable (``done()``), blocking
+  (``result(timeout)`` / :meth:`MicroBatcher.result`), and *awaitable*
+  from asyncio code (``await handle``).
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -57,6 +66,46 @@ class _Group:
         return self.pending[0].enqueued_at if self.pending else float("inf")
 
 
+class RequestHandle:
+    """Ticket for one in-flight request.
+
+    Wraps the request's :class:`~concurrent.futures.Future` behind a
+    stable integer ``id`` (the cross-process-style ticket the engine's
+    ``submit()``/``result()`` client API hands out) and is directly
+    awaitable from asyncio code::
+
+        handle = session.submit_async(rhs)
+        result = await handle          # or handle.result(timeout=...)
+    """
+
+    __slots__ = ("id", "_future")
+
+    def __init__(self, request_id: int, future: Future) -> None:
+        self.id = request_id
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancelled(self) -> bool:
+        return self._future.cancelled()
+
+    def result(self, timeout: float | None = None):
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None):
+        return self._future.exception(timeout)
+
+    def __await__(self):
+        import asyncio
+
+        return asyncio.wrap_future(self._future).__await__()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done() else "pending"
+        return f"RequestHandle(id={self.id}, {state})"
+
+
 class MicroBatcher:
     """Coalesces same-group requests into single batched executions.
 
@@ -81,6 +130,7 @@ class MicroBatcher:
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
         self._closed = False
+        self._ticket_counter = itertools.count(1)
         self._thread = threading.Thread(
             target=self._scheduler_loop, name="repro-serve-scheduler", daemon=True
         )
@@ -98,6 +148,19 @@ class MicroBatcher:
             )
             self._wakeup.notify()
         return future
+
+    def submit_async(self, key: Hashable, payload: object) -> RequestHandle:
+        """Queue one request and return its awaitable ticket."""
+        return self.wrap(self.submit(key, payload))
+
+    def wrap(self, future: Future) -> RequestHandle:
+        """Issue a ticketed :class:`RequestHandle` for ``future``."""
+        return RequestHandle(next(self._ticket_counter), future)
+
+    @staticmethod
+    def result(handle: RequestHandle, timeout: float | None = None):
+        """Block until the ticketed request resolves; return its result."""
+        return handle.result(timeout)
 
     def flush(self) -> None:
         """Dispatch every queued request immediately (no wait policy)."""

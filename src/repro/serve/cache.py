@@ -5,11 +5,21 @@ pays the planner search, every later one reuses the stored decision.
 Hit/miss counters feed the telemetry (the demo asserts a > 50% hit
 rate), and :meth:`save` / :meth:`load` round-trip the whole cache
 through JSON so tuned plans survive process restarts.
+
+The JSON file is shared *across processes*: :meth:`save` writes through
+a temporary sibling and an atomic ``os.replace`` so a reader never
+observes a torn file, and the payload carries a schema version.
+Version 2 added the ``backend@device`` runtime segment to plan keys;
+v1 files still load — their keys are migrated onto the default
+``magicube-emulation`` backend (the only runtime v1 plans could have
+meant), and entries that cannot be migrated are dropped rather than
+served under a stale key.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
@@ -17,7 +27,10 @@ from typing import TYPE_CHECKING, Callable
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner uses us)
     from repro.serve.planner import Plan
 
-_FORMAT_VERSION = 1
+#: current schema: plan keys carry a ``backend@device`` segment
+_FORMAT_VERSION = 2
+#: oldest schema :meth:`PlanCache.load` can migrate
+_OLDEST_SUPPORTED_VERSION = 1
 
 
 class PlanCache:
@@ -106,24 +119,82 @@ class PlanCache:
         return json.dumps(payload, indent=2, sort_keys=True)
 
     def save(self, path: str | Path | None = None) -> Path:
-        """Persist every plan to JSON; returns the path written."""
+        """Persist every plan to JSON atomically; returns the path written.
+
+        The payload lands in a temporary sibling first and is moved
+        into place with ``os.replace``, so a concurrent reader (another
+        serving process sharing the cache file) sees either the old or
+        the new cache, never a partial write.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no path given and the cache has no default path")
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(self.to_json())
+        # pid + thread id: concurrent savers (processes *or* threads)
+        # never share a temp path, so a finished save can't unlink a
+        # neighbour's half-written payload
+        tmp = target.with_name(
+            f".{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_text(self.to_json())
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
         return target
 
     def load(self, path: str | Path) -> int:
-        """Merge plans from a JSON file; returns how many were loaded."""
+        """Merge plans from a JSON file; returns how many were loaded.
+
+        Accepts the current schema and every migratable older one
+        (see :func:`_migrate_v1`); anything else raises ``ValueError``.
+        """
         from repro.serve.planner import Plan
 
         payload = json.loads(Path(path).read_text())
-        if payload.get("version") != _FORMAT_VERSION:
+        version = payload.get("version")
+        if (
+            not isinstance(version, int)
+            or not _OLDEST_SUPPORTED_VERSION <= version <= _FORMAT_VERSION
+        ):
             raise ValueError(
-                f"unsupported plan-cache version {payload.get('version')!r}"
+                f"unsupported plan-cache version {version!r} "
+                f"(supported: {_OLDEST_SUPPORTED_VERSION}..{_FORMAT_VERSION})"
             )
-        plans = {k: Plan.from_dict(d) for k, d in payload["plans"].items()}
+        raw = payload["plans"]
+        if version < 2:
+            raw = _migrate_v1(raw)
+        plans = {k: Plan.from_dict(d) for k, d in raw.items()}
         with self._lock:
             self._plans.update(plans)
         return len(plans)
+
+
+def _migrate_v1(raw: dict) -> dict:
+    """Re-key v1 plan dicts onto the runtime (``backend@device``) schema.
+
+    v1 keys look like ``op|MxK|n=N|v=V|s=S|device|objective`` and could
+    only have meant the Magicube emulation path on that device; the
+    migration inserts the default backend into the key and stamps the
+    plan dict's ``backend``/``device`` fields. Keys that do not match
+    the v1 shape are dropped — an unmappable cached decision must be
+    re-planned, not guessed at.
+    """
+    from repro.runtime import DEFAULT_BACKEND
+
+    migrated: dict = {}
+    for key, plan_dict in raw.items():
+        parts = key.split("|")
+        if len(parts) != 7 or "@" in parts[5] or "x" not in parts[1]:
+            continue  # not a v1 plan key: invalidate
+        device = parts[5]
+        new_key = "|".join(
+            parts[:5] + [f"{DEFAULT_BACKEND}@{device}"] + parts[6:]
+        )
+        migrated[new_key] = {
+            **plan_dict,
+            "key": new_key,
+            "backend": plan_dict.get("backend", DEFAULT_BACKEND),
+            "device": plan_dict.get("device", device),
+        }
+    return migrated

@@ -33,6 +33,7 @@ def demo(
     device: str = "A100",
     cache_path: str | None = None,
     quiet: bool = False,
+    backend: str | None = None,
 ) -> dict:
     """Run the mixed serving demo; returns the engine summary dict."""
     from repro.core.api import spmm as direct_spmm
@@ -52,7 +53,9 @@ def demo(
         device=device,
         cache=cache,
         policy=BatchPolicy(max_batch_size=8, max_wait_s=0.005),
+        backend=backend,
     )
+    say(f"engine: device={engine.device} backend={engine.backend}")
     with engine:
         # -- prepared sessions -----------------------------------------
         ffn_spec = MatrixSpec("transformer", 512, 512, sparsity=0.9, seed=seed + 1)
@@ -187,6 +190,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="demo request count (default 128)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--device", default="A100")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="pin a registered runtime backend "
+                             "(e.g. magicube-strict); default resolves "
+                             "the registry's fallback chain")
     parser.add_argument("--cache", default=None, metavar="PATH",
                         help="persist the PlanCache to this JSON file")
     parser.add_argument("--json", action="store_true",
@@ -208,6 +215,7 @@ def main(argv: list[str] | None = None) -> int:
         device=args.device,
         cache_path=args.cache,
         quiet=args.json,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))

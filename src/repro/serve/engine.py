@@ -7,12 +7,23 @@ An :class:`Engine` owns
 - a :class:`~repro.serve.batcher.MicroBatcher` + thread pool, and
 - :class:`~repro.serve.telemetry.Telemetry`.
 
+The engine is **device- and backend-aware**: its ``device`` argument is
+validated into a :class:`~repro.runtime.Device` handle, and each
+session pins one resolved :mod:`repro.runtime` backend (the registry's
+priority-ordered fallback for the device unless named explicitly), so
+every plan and every launch of that session stays on one execution
+stack — ``backend="magicube-strict"`` serves bit-level verified
+outputs, for example.
+
 Sessions are the prepared-model handles: an :class:`SpmmSession` wraps a
 :class:`~repro.core.api.SparseMatrix` built **once** (the SR-BCRS
 conversions are memoized per stride on the matrix itself), an
 :class:`AttentionSession` a sparse-Transformer attention block routed
 through the planner. ``session.submit(...)`` enqueues a request and
-returns a future; same-shape requests coalesce into one batched kernel
+returns a future; ``session.submit_async(...)`` (or the engine-level
+``engine.submit(name, ...)`` / ``engine.result(ticket)`` client API)
+returns an awaitable ticketed :class:`~repro.serve.batcher
+.RequestHandle`. Same-shape requests coalesce into one batched kernel
 launch. Outputs are bit-identical to the direct
 :func:`repro.core.api.spmm` path — batching concatenates RHS columns,
 which the integer kernels process independently.
@@ -20,6 +31,8 @@ which the integer kernels process independently.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Sequence
@@ -29,7 +42,8 @@ import numpy as np
 from repro.core.api import SparseMatrix, spmm as api_spmm
 from repro.errors import ConfigError, ShapeError
 from repro.lowp.quantize import int_range
-from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher
+from repro.runtime import DEFAULT_BACKEND, Device, get_backend, resolve_backend
+from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher, RequestHandle
 from repro.serve.cache import PlanCache
 from repro.serve.planner import ExecutionPlanner, Objective, Plan
 from repro.serve.telemetry import Telemetry
@@ -72,7 +86,7 @@ class ServeResult:
 
 
 class SpmmSession:
-    """A prepared sparse operand serving SpMM requests."""
+    """A prepared sparse operand serving SpMM requests on one backend."""
 
     def __init__(
         self,
@@ -80,11 +94,13 @@ class SpmmSession:
         name: str,
         matrix: SparseMatrix,
         objective: Objective,
+        backend: str,
     ) -> None:
         self.engine = engine
         self.name = name
         self.matrix = matrix
         self.objective = objective
+        self.backend = backend
         self.weight_bits = bits_required(matrix.bcrs.values, signed=True)
 
     def plan_for(self, n: int, r_bits: int) -> Plan:
@@ -92,7 +108,8 @@ class SpmmSession:
         m, k = self.matrix.shape
         obj = self.objective.with_min_bits(self.weight_bits, r_bits)
         return self.engine.planner.plan_spmm(
-            m, k, n, self.matrix.vector_length, self.matrix.sparsity, obj
+            m, k, n, self.matrix.vector_length, self.matrix.sparsity, obj,
+            backend=self.backend,
         )
 
     def submit(self, rhs: np.ndarray, r_bits: int | None = None) -> Future:
@@ -108,6 +125,12 @@ class SpmmSession:
         plan = self.plan_for(rhs.shape[1], r_bits)
         key = ("spmm", self.name, rhs.shape[1], plan.precision)
         return self.engine._batcher.submit(key, {"rhs": rhs, "plan": plan})
+
+    def submit_async(
+        self, rhs: np.ndarray, r_bits: int | None = None
+    ) -> RequestHandle:
+        """Like :meth:`submit`, returning an awaitable ticketed handle."""
+        return self.engine._track(self.submit(rhs, r_bits=r_bits))
 
     def run(self, rhs: np.ndarray, r_bits: int | None = None) -> ServeResult:
         """Blocking convenience wrapper around :meth:`submit`."""
@@ -133,6 +156,7 @@ class AttentionSession:
         vector_length: int = 8,
         num_layers: int = 4,
         d_head: int = 64,
+        backend: str = "magicube-emulation",
     ) -> None:
         self.engine = engine
         self.name = name
@@ -143,6 +167,7 @@ class AttentionSession:
         self.vector_length = vector_length
         self.num_layers = num_layers
         self.d_head = d_head
+        self.backend = backend
 
     def submit(self, batch: int = 1) -> Future:
         """Enqueue one forward-pass request of ``batch`` sequences."""
@@ -151,34 +176,56 @@ class AttentionSession:
         key = ("attention", self.name)
         return self.engine._batcher.submit(key, {"batch": batch})
 
+    def submit_async(self, batch: int = 1) -> RequestHandle:
+        """Like :meth:`submit`, returning an awaitable ticketed handle."""
+        return self.engine._track(self.submit(batch=batch))
+
     def run(self, batch: int = 1) -> ServeResult:
         return self.submit(batch=batch).result()
 
 
 class Engine:
-    """Batched serving engine over the Magicube kernel library."""
+    """Batched serving engine over the runtime backend registry."""
 
     def __init__(
         self,
-        device: str = "A100",
+        device: "Device | str" = "A100",
         planner: ExecutionPlanner | None = None,
         cache: PlanCache | None = None,
         policy: BatchPolicy | None = None,
         max_workers: int = 4,
+        backend: str | None = None,
     ) -> None:
         if planner is not None and cache is not None:
             raise ConfigError("pass either a planner or a cache, not both")
-        self.device = device
+        self._device = Device.resolve(device)
+        self.backend = resolve_backend(
+            backend, op="spmm", device=self._device
+        ).name
         self.planner = (
             planner
             if planner is not None
-            else ExecutionPlanner(device=device, cache=cache)
+            else ExecutionPlanner(device=self._device, cache=cache)
         )
         self.telemetry = Telemetry()
         self._sessions: dict[str, SpmmSession | AttentionSession] = {}
         self._batcher = MicroBatcher(
             self._execute_batch, policy=policy, max_workers=max_workers
         )
+        self._inflight: dict[int, RequestHandle] = {}
+        self._completed_ids: deque[int] = deque()
+        self._inflight_lock = threading.Lock()
+
+    #: completed-but-unredeemed tickets kept redeemable by integer id;
+    #: beyond this, the oldest are forgotten (callers holding the
+    #: RequestHandle itself are unaffected) — bounds the ticket registry
+    #: for clients that await handles and never call result()
+    COMPLETED_TICKET_LIMIT = 1024
+
+    @property
+    def device(self) -> str:
+        """Name of the engine's (validated) device profile."""
+        return self._device.name
 
     # -- session management --------------------------------------------
     def spmm_session(
@@ -187,9 +234,20 @@ class Engine:
         weights: np.ndarray | SparseMatrix,
         vector_length: int = 8,
         objective: Objective | None = None,
+        backend: str | None = None,
     ) -> SpmmSession:
-        """Prepare a sparse operand once and serve SpMM against it."""
+        """Prepare a sparse operand once and serve SpMM against it.
+
+        ``backend`` pins a registered runtime backend for every plan and
+        launch of this session; the default inherits the engine's
+        resolved backend.
+        """
         self._check_name(name)
+        resolved = resolve_backend(
+            backend if backend is not None else self.backend,
+            op="spmm",
+            device=self._device,
+        ).name
         if not isinstance(weights, SparseMatrix):
             weights = SparseMatrix.from_dense(
                 np.asarray(weights), vector_length=vector_length
@@ -197,13 +255,29 @@ class Engine:
         session = SpmmSession(
             self, name, weights,
             objective if objective is not None else Objective.latency(),
+            backend=resolved,
         )
         self._sessions[name] = session
         return session
 
     def attention_session(self, name: str, seq_len: int, **kwargs) -> AttentionSession:
-        """Prepare an attention-block latency session."""
+        """Prepare an attention-block latency session.
+
+        The attention path models the paper's quantized Magicube
+        pipeline, so its plans must come from a Magicube-family
+        backend; the default inherits the engine's backend when that is
+        one, else ``magicube-emulation``.
+        """
         self._check_name(name)
+        kwargs.setdefault(
+            "backend",
+            self.backend if self.backend.startswith("magicube") else DEFAULT_BACKEND,
+        )
+        if not kwargs["backend"].startswith("magicube"):
+            raise ConfigError(
+                f"attention sessions model the Magicube pipeline; backend "
+                f"{kwargs['backend']!r} cannot plan it"
+            )
         session = AttentionSession(self, name, seq_len, **kwargs)
         self._sessions[name] = session
         return session
@@ -214,6 +288,58 @@ class Engine:
     def _check_name(self, name: str) -> None:
         if name in self._sessions:
             raise ConfigError(f"session {name!r} already exists")
+
+    # -- ticketed client API -------------------------------------------
+    def _track(self, future: Future) -> RequestHandle:
+        handle = self._batcher.wrap(future)
+        with self._inflight_lock:
+            self._inflight[handle.id] = handle
+        future.add_done_callback(
+            lambda _f, ticket=handle.id: self._note_completed(ticket)
+        )
+        return handle
+
+    def _note_completed(self, ticket: int) -> None:
+        """Move a resolved ticket to the bounded completed window."""
+        with self._inflight_lock:
+            if ticket not in self._inflight:
+                return  # already redeemed
+            self._completed_ids.append(ticket)
+            while len(self._completed_ids) > self.COMPLETED_TICKET_LIMIT:
+                evicted = self._completed_ids.popleft()
+                self._inflight.pop(evicted, None)
+
+    def submit(self, session: str, *args, **kwargs) -> RequestHandle:
+        """Enqueue one request on a named session; returns its ticket.
+
+        The ticket is an awaitable :class:`RequestHandle`; redeem it
+        with :meth:`result` (also accepted by integer id), ``await`` it
+        from asyncio code, or poll ``handle.done()``.
+        """
+        return self._sessions[session].submit_async(*args, **kwargs)
+
+    def result(
+        self, request: "RequestHandle | int", timeout: float | None = None
+    ) -> ServeResult:
+        """Redeem a ticket from :meth:`submit`; blocks until resolved."""
+        if isinstance(request, RequestHandle):
+            handle = request
+        else:
+            with self._inflight_lock:
+                handle = self._inflight.get(request)
+            if handle is None:
+                raise ConfigError(f"unknown request ticket {request!r}")
+        try:
+            return handle.result(timeout)
+        finally:
+            if handle.done():
+                with self._inflight_lock:
+                    self._inflight.pop(handle.id, None)
+
+    def pending_requests(self) -> int:
+        """Outstanding tickets issued but not yet redeemed."""
+        with self._inflight_lock:
+            return sum(1 for h in self._inflight.values() if not h.done())
 
     # -- lifecycle ------------------------------------------------------
     def flush(self) -> None:
@@ -256,10 +382,20 @@ class Engine:
                 m, k, rhs.shape[1], session.matrix.vector_length,
                 session.matrix.sparsity,
                 Objective.fixed(plan.l_bits, plan.r_bits),
+                backend=session.backend,
             )
-        res = api_spmm(
-            session.matrix, rhs, device=self.device, config=plan.spmm_config()
-        )
+        if plan.is_magicube:
+            res = api_spmm(
+                session.matrix, rhs, device=self._device,
+                config=plan.spmm_config(), backend=plan.backend,
+            )
+        else:
+            # non-magicube plans (vector-sparse on V100, a pinned
+            # baseline...) dispatch through the Backend protocol; their
+            # configs carry no Magicube kernel knobs
+            res = get_backend(plan.backend).execute(
+                "spmm", self._device, lhs=session.matrix, rhs=rhs
+            )
         self.telemetry.record_batch(
             session.name, "spmm", res.time_s, [i.queue_wait_s for i in items]
         )
@@ -302,7 +438,9 @@ class Engine:
             device=self.device,
         )
         backend = Backend("magicube", *session.scheme)
-        res = estimate_latency(cfg, backend, planner=self.planner)
+        res = estimate_latency(
+            cfg, backend, planner=self.planner, plan_backend=session.backend
+        )
         self.telemetry.record_batch(
             session.name, "attention", res.total_s,
             [i.queue_wait_s for i in items],
@@ -325,6 +463,7 @@ class Engine:
         """Machine-readable engine state (telemetry + plan cache)."""
         return {
             "device": self.device,
+            "backend": self.backend,
             "sessions": {
                 name: self.telemetry.summary(name).to_dict()
                 for name in self.telemetry.sessions()

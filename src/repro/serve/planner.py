@@ -1,37 +1,55 @@
-"""Cost-model-guided execution planning.
+"""Cost-model-guided execution planning across backends and devices.
 
 Given an operand's shape / sparsity / vector length and an
 :class:`Objective` (minimize latency, or maximize fidelity under an
-optional latency budget), the :class:`ExecutionPlanner` searches
+optional latency budget), the :class:`ExecutionPlanner` searches the
+cross-product of
 
-- the Table-IV precision pairs admissible for the operands (which fixes
-  the SR-BCRS stride: the native MMA reduction dim of the pair),
-- the SpMM RHS tile width ``BSn`` (32 / 64 / 96 / 128), and
-- the SDDMM warps-per-block knob,
+- the admissible **runtime backends** (every registered
+  :class:`~repro.runtime.backend.Backend` that implements the planning
+  hook — the Magicube kernels, vectorSparse, Sputnik, dense cuBLAS...),
+- the **devices** the planner was given (Table II profiles: A100,
+  H100, MI250X, V100), and
+- each backend's own configuration space (Table-IV precision pairs,
+  SpMM ``BSn`` tile widths, SDDMM warps-per-block),
 
-costing every candidate with the kernels' exact accounting applied to a
-uniform synthetic topology and the calibrated Magicube cost model. The
-winning configuration is memoized in a :class:`~repro.serve.cache
-.PlanCache` keyed by the rounded problem signature, so repeated requests
-skip the search entirely.
+costing every candidate with that backend's calibrated cost model. The
+winner is memoized in a :class:`~repro.serve.cache.PlanCache` under a
+:class:`PlanKey` that carries the searched ``(backend, device)``
+tokens, so repeated requests skip the search entirely.
+
+By default the planner pins the registry's fallback backend for its
+device (``magicube-emulation`` wherever integer Tensor cores exist), so
+single-backend planning behaves exactly as before; pass ``backends=``
+(or per-call ``backend=``) and ``devices=`` to open the search.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
-from repro.baselines.calibration import cost_model_for
 from repro.errors import ConfigError
-from repro.kernels.emulation import supported_pairs
-from repro.kernels.sddmm import MagicubeSDDMM, SDDMMConfig
+from repro.kernels.sddmm import SDDMMConfig
 from repro.kernels.spmm import MagicubeSpMM, SpMMConfig
+from repro.runtime import (
+    DEFAULT_BACKEND,
+    Candidate,
+    Device,
+    Problem,
+    plannable_backends,
+)
+from repro.runtime.magicube import BSN_CANDIDATES, WARP_CANDIDATES
 from repro.serve.cache import PlanCache
-from repro.serve.topology import UniformBCRSMask, UniformSRBCRS
 
-#: SpMM RHS tile widths searched (elements; SpMMConfig's legal range)
-BSN_CANDIDATES = (32, 64, 96, 128)
-#: SDDMM warps-per-block searched (each warp owns 8 output columns)
-WARP_CANDIDATES = (2, 4, 8)
+__all__ = [
+    "BSN_CANDIDATES",
+    "WARP_CANDIDATES",
+    "ExecutionPlanner",
+    "Objective",
+    "Plan",
+    "PlanKey",
+]
 
 
 @dataclass(frozen=True)
@@ -120,7 +138,12 @@ class Objective:
 
 @dataclass(frozen=True)
 class PlanKey:
-    """Memoization key: one request class the planner solves once."""
+    """Memoization key: one request class the planner solves once.
+
+    ``backend`` and ``device`` are the *searched* sets — ``+``-joined
+    tokens when the planner spans several — so plans found under
+    different search spaces never alias.
+    """
 
     op: str  # "spmm" | "sddmm"
     rows: int
@@ -128,6 +151,7 @@ class PlanKey:
     inner: int  # SpMM: RHS columns N; SDDMM: reduction dim K
     vector_length: int
     sparsity: float  # rounded to 3 decimals (the planning bucket)
+    backend: str
     device: str
     objective: str  # Objective.token
 
@@ -135,17 +159,52 @@ class PlanKey:
         return (
             f"{self.op}|{self.rows}x{self.cols}|n={self.inner}"
             f"|v={self.vector_length}|s={self.sparsity:.3f}"
-            f"|{self.device}|{self.objective}"
+            f"|{self.backend}@{self.device}|{self.objective}"
         )
+
+    @classmethod
+    def parse(cls, key: str) -> "PlanKey":
+        """Rebuild a :class:`PlanKey` from its string form.
+
+        Raises ``ValueError`` for malformed keys — including the
+        pre-runtime (v1) format whose runtime segment lacks the
+        ``backend@device`` shape.
+        """
+        parts = key.split("|")
+        if len(parts) != 7:
+            raise ValueError(f"plan key {key!r} does not have 7 segments")
+        op, shape, inner, v, s, runtime_part, objective = parts
+        backend, sep, device = runtime_part.partition("@")
+        if not sep or not backend or not device:
+            raise ValueError(
+                f"plan key {key!r} lacks the backend@device segment"
+            )
+        try:
+            rows, cols = (int(x) for x in shape.split("x"))
+            return cls(
+                op=op,
+                rows=rows,
+                cols=cols,
+                inner=int(inner.removeprefix("n=")),
+                vector_length=int(v.removeprefix("v=")),
+                sparsity=float(s.removeprefix("s=")),
+                backend=backend,
+                device=device,
+                objective=objective,
+            )
+        except ValueError as exc:
+            raise ValueError(f"malformed plan key {key!r}: {exc}") from None
 
 
 @dataclass
 class Plan:
     """One memoized execution decision.
 
-    ``config`` holds the non-default kernel-config kwargs; rebuild the
-    concrete config with :meth:`spmm_config` / :meth:`sddmm_config`
-    (overrides allowed for value-only knobs such as signedness).
+    ``backend``/``device`` identify the *winning* backend and device of
+    the search. ``config`` holds the backend-specific kernel knobs;
+    for Magicube plans, rebuild the concrete config with
+    :meth:`spmm_config` / :meth:`sddmm_config` (overrides allowed for
+    value-only knobs such as signedness).
     """
 
     op: str
@@ -154,19 +213,34 @@ class Plan:
     config: dict = field(default_factory=dict)
     predicted_time_s: float = 0.0
     key: str = ""
+    backend: str = DEFAULT_BACKEND
+    device: str = "A100"
+    precision_label: str = ""
 
     @property
     def precision(self) -> str:
-        return f"L{self.l_bits}-R{self.r_bits}"
+        return self.precision_label or f"L{self.l_bits}-R{self.r_bits}"
+
+    @property
+    def is_magicube(self) -> bool:
+        return self.backend.startswith("magicube")
 
     @property
     def stride(self) -> int:
         """SR-BCRS stride the plan's precision requires (SpMM only)."""
         return MagicubeSpMM(self.spmm_config()).required_stride
 
+    def _require_magicube(self) -> None:
+        if not self.is_magicube:
+            raise ConfigError(
+                f"plan executes on backend {self.backend!r}; it has no "
+                f"Magicube kernel config"
+            )
+
     def spmm_config(self, **overrides) -> SpMMConfig:
         if self.op != "spmm":
             raise ConfigError(f"plan is for {self.op}, not spmm")
+        self._require_magicube()
         return SpMMConfig(
             l_bits=self.l_bits, r_bits=self.r_bits, **{**self.config, **overrides}
         )
@@ -174,6 +248,7 @@ class Plan:
     def sddmm_config(self, **overrides) -> SDDMMConfig:
         if self.op != "sddmm":
             raise ConfigError(f"plan is for {self.op}, not sddmm")
+        self._require_magicube()
         return SDDMMConfig(
             l_bits=self.l_bits, r_bits=self.r_bits, **{**self.config, **overrides}
         )
@@ -187,6 +262,9 @@ class Plan:
             "config": dict(self.config),
             "predicted_time_s": self.predicted_time_s,
             "key": self.key,
+            "backend": self.backend,
+            "device": self.device,
+            "precision_label": self.precision_label,
         }
 
     @classmethod
@@ -198,16 +276,58 @@ class Plan:
             config=dict(d.get("config", {})),
             predicted_time_s=float(d.get("predicted_time_s", 0.0)),
             key=d.get("key", ""),
+            backend=d.get("backend", DEFAULT_BACKEND),
+            device=d.get("device", "A100"),
+            precision_label=d.get("precision_label", ""),
         )
 
 
-class ExecutionPlanner:
-    """Searches kernel configurations against the calibrated cost model."""
+@dataclass(frozen=True)
+class _Scored:
+    """One (backend, device, candidate) triple of the search space."""
 
-    def __init__(self, device: str = "A100", cache: PlanCache | None = None) -> None:
-        self.device = device
+    backend: str
+    device: str
+    candidate: Candidate
+
+    @property
+    def fidelity(self) -> int:
+        return self.candidate.l_bits + self.candidate.r_bits
+
+    @property
+    def time_s(self) -> float:
+        return self.candidate.time_s
+
+
+class ExecutionPlanner:
+    """Searches (backend x device x config) against calibrated cost models."""
+
+    def __init__(
+        self,
+        device: "Device | str" = "A100",
+        cache: PlanCache | None = None,
+        backends: Sequence[str] | None = None,
+        devices: Sequence["Device | str"] | None = None,
+    ) -> None:
+        self._device = Device.resolve(device)
+        extra = [Device.resolve(d) for d in (devices or ())]
+        self._devices: list[Device] = [self._device]
+        for dev in extra:
+            if dev not in self._devices:
+                self._devices.append(dev)
+        self.backends = tuple(backends) if backends is not None else None
         self.cache = cache if cache is not None else PlanCache()
-        self._cost_model = cost_model_for("magicube", device)
+
+    # -- views ----------------------------------------------------------
+    @property
+    def device(self) -> str:
+        """Primary device name (the planner's home profile)."""
+        return self._device.name
+
+    @property
+    def devices(self) -> tuple[str, ...]:
+        """Names of every device the search spans."""
+        return tuple(d.name for d in self._devices)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -219,6 +339,66 @@ class ExecutionPlanner:
                 f"rows ({rows}) must divide by the vector length ({vector_length})"
             )
 
+    def _search_backends(self, op: str, backend: str | None) -> list:
+        """The backend set one plan call searches, in fallback order."""
+        if backend is not None:
+            names: Sequence[str] | None = (backend,)
+        elif self.backends is not None:
+            names = self.backends
+        else:
+            # default: pin the registry's fallback backend for the
+            # primary device, preserving single-backend behaviour
+            chain = plannable_backends(op, self._device)
+            if not chain:
+                raise ConfigError(
+                    f"no plannable backend supports {op} on {self.device}"
+                )
+            names = (chain[0].name,)
+        found = plannable_backends(op, self._device, names)
+        # a multi-device search keeps backends admissible on *any*
+        # searched device (the per-device filter happens per candidate)
+        if not found and len(self._devices) > 1:
+            for dev in self._devices[1:]:
+                found = plannable_backends(op, dev, names)
+                if found:
+                    break
+        if not found:
+            raise ConfigError(
+                f"none of the backends {list(names)} can plan {op} on "
+                f"{list(self.devices)}"
+            )
+        return found
+
+    def _plan(
+        self,
+        op: str,
+        rows: int,
+        cols: int,
+        inner: int,
+        vector_length: int,
+        sparsity: float,
+        objective: Objective | None,
+        backend: str | None,
+    ) -> Plan:
+        self._check_problem(rows, vector_length, sparsity)
+        obj = objective if objective is not None else Objective.latency()
+        search = self._search_backends(op, backend)
+        key = PlanKey(
+            op,
+            rows,
+            cols,
+            inner,
+            vector_length,
+            round(sparsity, 3),
+            "+".join(b.name for b in search),
+            "+".join(self.devices),
+            obj.token,
+        )
+        problem = Problem(op, rows, cols, inner, vector_length, round(sparsity, 3))
+        return self.cache.get_or_build(
+            str(key), lambda: self._search(key, problem, obj, search)
+        )
+
     def plan_spmm(
         self,
         rows: int,
@@ -227,16 +407,11 @@ class ExecutionPlanner:
         vector_length: int,
         sparsity: float,
         objective: Objective | None = None,
+        backend: str | None = None,
     ) -> Plan:
         """Best SpMM plan for a (rows x cols) @ (cols x n) request class."""
-        self._check_problem(rows, vector_length, sparsity)
-        obj = objective if objective is not None else Objective.latency()
-        key = PlanKey(
-            "spmm", rows, cols, n, vector_length, round(sparsity, 3),
-            self.device, obj.token,
-        )
-        return self.cache.get_or_build(
-            str(key), lambda: self._search_spmm(key, obj)
+        return self._plan(
+            "spmm", rows, cols, n, vector_length, sparsity, objective, backend
         )
 
     def plan_sddmm(
@@ -247,83 +422,63 @@ class ExecutionPlanner:
         vector_length: int,
         sparsity: float,
         objective: Objective | None = None,
+        backend: str | None = None,
     ) -> Plan:
         """Best SDDMM plan for a (rows x k) @ (k x cols) sampled product."""
-        self._check_problem(rows, vector_length, sparsity)
-        obj = objective if objective is not None else Objective.latency()
-        key = PlanKey(
-            "sddmm", rows, cols, k, vector_length, round(sparsity, 3),
-            self.device, obj.token,
-        )
-        return self.cache.get_or_build(
-            str(key), lambda: self._search_sddmm(key, obj)
+        return self._plan(
+            "sddmm", rows, cols, k, vector_length, sparsity, objective, backend
         )
 
     # ------------------------------------------------------------------
-    def _admissible_pairs(self, op: str, obj: Objective) -> list[tuple[int, int]]:
-        pairs = [p for p in supported_pairs(op) if obj.admits(*p)]
-        if not pairs:
+    def _search(
+        self, key: PlanKey, problem: Problem, obj: Objective, search: list
+    ) -> Plan:
+        scored: list[_Scored] = []
+        for backend in search:
+            for dev in self._devices:
+                if not backend.supports(dev, op=problem.op):
+                    continue
+                for cand in backend.plan_candidates(problem, dev, obj.admits):
+                    scored.append(_Scored(backend.name, dev.name, cand))
+        if not scored:
             raise ConfigError(
-                f"no Table-IV {op} pair satisfies objective {obj.token}"
+                f"no (backend, device, config) candidate satisfies objective "
+                f"{obj.token} for {key}"
             )
-        return pairs
+        winner = self._select(scored, obj)
+        cand = winner.candidate
+        return Plan(
+            op=problem.op,
+            l_bits=cand.l_bits,
+            r_bits=cand.r_bits,
+            config=dict(cand.config),
+            predicted_time_s=cand.time_s,
+            key=str(key),
+            backend=winner.backend,
+            device=winner.device,
+            precision_label=cand.precision,
+        )
 
-    def _select(
-        self, candidates: list[tuple[tuple[int, int], dict, float]], obj: Objective
-    ) -> tuple[tuple[int, int], dict, float]:
-        """Pick the winning (pair, config, time) per the objective."""
+    @staticmethod
+    def _select(scored: list[_Scored], obj: Objective) -> _Scored:
+        """Pick the winning candidate per the objective.
+
+        Candidate order is deterministic (backends in fallback order,
+        devices in planner order), so stable sorts break ties toward
+        higher-priority backends.
+        """
         if obj.kind == "latency":
             # fastest; ties broken toward higher fidelity
-            return min(candidates, key=lambda c: (c[2], -(c[0][0] + c[0][1])))
+            return min(scored, key=lambda c: (c.time_s, -c.fidelity))
         by_fidelity = sorted(
-            candidates, key=lambda c: (c[0][0] + c[0][1], c[0][0]), reverse=True
+            scored,
+            key=lambda c: (c.fidelity, c.candidate.l_bits),
+            reverse=True,
         )
         if obj.latency_budget_s is not None:
             for cand in by_fidelity:
-                if cand[2] <= obj.latency_budget_s:
+                if cand.time_s <= obj.latency_budget_s:
                     return cand
             # nothing meets the budget: degrade to the fastest plan
-            return min(candidates, key=lambda c: c[2])
+            return min(scored, key=lambda c: c.time_s)
         return by_fidelity[0]
-
-    def _search_spmm(self, key: PlanKey, obj: Objective) -> Plan:
-        candidates = []
-        for l_bits, r_bits in self._admissible_pairs("spmm", obj):
-            best = None
-            for bsn in BSN_CANDIDATES:
-                cfg = SpMMConfig(l_bits=l_bits, r_bits=r_bits, bsn=bsn)
-                kern = MagicubeSpMM(cfg)
-                sr = UniformSRBCRS(
-                    key.rows, key.cols, key.vector_length, key.sparsity,
-                    kern.required_stride,
-                )
-                t = self._cost_model.time(kern._account(sr, key.inner))
-                if best is None or t < best[1]:
-                    best = ({"bsn": bsn}, t)
-            candidates.append(((l_bits, r_bits), best[0], best[1]))
-        pair, config, t = self._select(candidates, obj)
-        return Plan(
-            op="spmm", l_bits=pair[0], r_bits=pair[1], config=config,
-            predicted_time_s=t, key=str(key),
-        )
-
-    def _search_sddmm(self, key: PlanKey, obj: Objective) -> Plan:
-        mask = UniformBCRSMask(key.rows, key.cols, key.vector_length, key.sparsity)
-        candidates = []
-        for l_bits, r_bits in self._admissible_pairs("sddmm", obj):
-            best = None
-            for warps in WARP_CANDIDATES:
-                cfg = SDDMMConfig(l_bits=l_bits, r_bits=r_bits, warps=warps)
-                kern = MagicubeSDDMM(cfg)
-                stats = kern._account(
-                    (key.rows, key.inner), (key.inner, key.cols), mask
-                )
-                t = self._cost_model.time(stats)
-                if best is None or t < best[1]:
-                    best = ({"warps": warps}, t)
-            candidates.append(((l_bits, r_bits), best[0], best[1]))
-        pair, config, t = self._select(candidates, obj)
-        return Plan(
-            op="sddmm", l_bits=pair[0], r_bits=pair[1], config=config,
-            predicted_time_s=t, key=str(key),
-        )

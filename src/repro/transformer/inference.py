@@ -23,16 +23,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.baselines.calibration import cost_model_for
 from repro.baselines.cublas import CublasGemm
 from repro.errors import ConfigError
 from repro.gpu.memory import TrafficCounter
 from repro.gpu.timing import KernelStats
 from repro.gpu.warp import LaunchGrid, ThreadBlock
-from repro.kernels.emulation import mma_count_per_tile, plan_for
-from repro.gpu.mma import mma_shape_for
 from repro.serve.topology import UniformBCRSMask, UniformSRBCRS
 
 
@@ -233,7 +229,7 @@ def _sparse_attention_time_vectorsparse(cfg: InferenceConfig) -> float:
 
 
 def _sparse_attention_time_magicube(
-    cfg: InferenceConfig, backend: Backend, planner=None
+    cfg: InferenceConfig, backend: Backend, planner=None, plan_backend=None
 ) -> float:
     from repro.kernels.sddmm import MagicubeSDDMM, SDDMMConfig
     from repro.kernels.spmm import MagicubeSpMM, SpMMConfig
@@ -245,16 +241,22 @@ def _sparse_attention_time_magicube(
     if planner is not None:
         # serving path: kernel configs come from the planner's cached
         # search (same precision scheme; the tile knobs are tuned). The
-        # planner should be built for ``cfg.device``.
+        # planner should be built for ``cfg.device``. The search is
+        # pinned to a Magicube runtime backend — this path models the
+        # Magicube attention pipeline specifically.
+        from repro.runtime import DEFAULT_BACKEND
         from repro.serve.planner import Objective
 
+        pinned = plan_backend if plan_backend is not None else DEFAULT_BACKEND
         sd_plan = planner.plan_sddmm(
             l, l, dh, cfg.vector_length, cfg.sparsity,
             Objective.fixed(qkv_bits, qkv_bits),
+            backend=pinned,
         )
         sp_plan = planner.plan_spmm(
             l, l, dh, cfg.vector_length, cfg.sparsity,
             Objective.fixed(sm_bits, qkv_bits),
+            backend=pinned,
         )
         sddmm = MagicubeSDDMM(sd_plan.sddmm_config())
         spmm = MagicubeSpMM(sp_plan.spmm_config(l_signed=False))
@@ -288,7 +290,7 @@ _OPS_PER_LAYER = {
 
 
 def estimate_latency(
-    cfg: InferenceConfig, backend: Backend, planner=None
+    cfg: InferenceConfig, backend: Backend, planner=None, plan_backend=None
 ) -> LatencyResult:
     """Full-model latency for one Fig. 17 point.
 
@@ -296,7 +298,9 @@ def estimate_latency(
     buffers exceed the device's 40 GB. ``planner`` (an
     :class:`~repro.serve.planner.ExecutionPlanner`) routes the magicube
     attention kernels through cached serving plans — the
-    :class:`repro.serve.engine.Engine` path.
+    :class:`repro.serve.engine.Engine` path; ``plan_backend`` pins
+    which Magicube runtime backend those plans are searched on
+    (default ``magicube-emulation``).
     """
     components: dict = {}
     proj = _dense_projection_time(cfg)
@@ -313,7 +317,9 @@ def estimate_latency(
     elif backend.kind == "vector_sparse":
         attn = _sparse_attention_time_vectorsparse(cfg)
     elif backend.kind == "magicube":
-        attn = _sparse_attention_time_magicube(cfg, backend, planner=planner)
+        attn = _sparse_attention_time_magicube(
+            cfg, backend, planner=planner, plan_backend=plan_backend
+        )
     else:
         raise ConfigError(f"unknown backend {backend.kind!r}")
     components["attention"] = attn * cfg.num_layers

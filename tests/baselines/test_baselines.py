@@ -14,7 +14,7 @@ from repro.baselines import (
     cost_model_for,
 )
 from repro.baselines.cusparselt import is_2to4, prune_2to4
-from repro.errors import ConfigError, FormatError, PrecisionError, ShapeError
+from repro.errors import ConfigError, FormatError, PrecisionError
 from repro.formats import (
     dense_to_bcrs,
     dense_to_blocked_ell,

@@ -1,7 +1,5 @@
 """Smoke tests for the python -m repro.bench CLI."""
 
-import pytest
-
 from repro.bench.cli import EXPERIMENTS, main
 
 
@@ -27,6 +25,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert "L4-R4" in out
 
+    def test_backends_sweep_runs(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        # magicube on every integer-tensor-core device, fp16 elsewhere
+        assert "magicube-emulation" in out
+        assert "vector-sparse" in out
+        assert "H100" in out and "V100" in out
+        assert "L4-R4" in out  # A100's int4 latency winner
+
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "table1",
@@ -41,4 +48,5 @@ class TestCli:
             "fig15",
             "fig17",
             "serve",
+            "backends",
         }

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, PrecisionError, ShapeError
-from repro.formats import BCRSMatrix, SRBCRSMatrix, dense_to_bcrs
+from repro.formats import SRBCRSMatrix, dense_to_bcrs
 from repro.kernels import MagicubeSDDMM, SDDMMConfig
 from tests.conftest import make_structured_sparse
 

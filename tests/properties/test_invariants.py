@@ -10,7 +10,7 @@ from repro.gpu.memory import TrafficCounter
 from repro.gpu.timing import CostModel, KernelStats
 from repro.gpu.device import A100
 from repro.kernels import MagicubeSpMM, SpMMConfig
-from repro.kernels.emulation import plan_for, stack_factor
+from repro.kernels.emulation import stack_factor
 from repro.lowp.decompose import recombine, split_signed
 from tests.conftest import make_structured_sparse
 

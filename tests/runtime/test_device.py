@@ -1,0 +1,62 @@
+"""Device handles: resolution, validation, capability gating."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import get_device, list_devices
+from repro.runtime import Device
+
+
+class TestResolve:
+    def test_from_name(self):
+        dev = Device.resolve("A100")
+        assert dev.name == "A100"
+        assert dev.spec is get_device("A100")
+
+    def test_case_insensitive(self):
+        assert Device.resolve("a100").name == "A100"
+
+    def test_from_spec(self):
+        dev = Device.resolve(get_device("H100"))
+        assert dev.name == "H100"
+
+    def test_from_device_is_identity(self):
+        dev = Device.resolve("A100")
+        assert Device.resolve(dev) is dev
+
+    def test_unknown_name_raises_typed_error(self):
+        with pytest.raises(DeviceError) as exc:
+            Device.resolve("B200")
+        assert "B200" in str(exc.value)
+        assert "A100" in str(exc.value)  # lists the modelled devices
+
+    def test_non_device_raises(self):
+        with pytest.raises(DeviceError):
+            Device.resolve(42)
+
+    def test_all_profiles(self):
+        names = [d.name for d in Device.all()]
+        assert names == list_devices()
+        assert {"A100", "V100", "H100", "MI250X"} <= set(names)
+
+
+class TestSemantics:
+    def test_equality_and_hash(self):
+        a, b = Device.resolve("A100"), Device.resolve("A100")
+        assert a == b and hash(a) == hash(b)
+        assert a != Device.resolve("H100")
+        assert len({a, b, Device.resolve("H100")}) == 2
+
+    def test_immutability(self):
+        dev = Device.resolve("A100")
+        with pytest.raises(AttributeError):
+            dev.spec = None
+
+    def test_precision_gating(self):
+        assert Device.resolve("A100").supports("int4")
+        assert not Device.resolve("H100").supports("int4")
+        assert not Device.resolve("V100").supports("int8")
+        assert Device.resolve("MI250X").supports("int8")
+
+    def test_str_is_name(self):
+        assert str(Device.resolve("MI250X")) == "MI250X"

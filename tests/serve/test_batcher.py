@@ -1,7 +1,6 @@
 """MicroBatcher: coalescing, policy limits, error propagation."""
 
 import threading
-import time
 
 import pytest
 

@@ -101,6 +101,90 @@ class TestPersistence:
         with pytest.raises(ValueError):
             PlanCache().load(path)
 
+    def test_saved_files_carry_current_version(self, tmp_path):
+        cache = PlanCache()
+        cache.put("a", make_plan("a"))
+        path = cache.save(tmp_path / "plans.json")
+        assert json.loads(path.read_text())["version"] == 2
+
+    def test_atomic_save_leaves_no_temp_files(self, tmp_path):
+        cache = PlanCache()
+        cache.put("a", make_plan("a"))
+        cache.save(tmp_path / "plans.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["plans.json"]
+
+    def test_save_replaces_existing_file_atomically(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text("garbage that a torn write would leave behind")
+        cache = PlanCache()
+        cache.put("a", make_plan("a"))
+        cache.save(path)
+        assert json.loads(path.read_text())["plans"]["a"]["op"] == "spmm"
+
+
+_V1_KEY = "spmm|256x512|n=64|v=8|s=0.900|A100|latency[L4-16,R4-16]"
+_V2_KEY = (
+    "spmm|256x512|n=64|v=8|s=0.900|magicube-emulation@A100|latency[L4-16,R4-16]"
+)
+
+
+class TestV1Migration:
+    def _v1_payload(self, extra_plans: dict | None = None) -> dict:
+        plan = {
+            "op": "spmm", "l_bits": 4, "r_bits": 4, "config": {"bsn": 64},
+            "predicted_time_s": 1.5e-6, "key": _V1_KEY,
+        }
+        plans = {_V1_KEY: plan, **(extra_plans or {})}
+        return {"version": 1, "plans": plans}
+
+    def test_v1_keys_migrate_to_default_backend(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps(self._v1_payload()))
+        cache = PlanCache()
+        assert cache.load(path) == 1
+        plan = cache.peek(_V2_KEY)
+        assert plan is not None
+        assert plan.backend == "magicube-emulation"
+        assert plan.device == "A100"
+        assert plan.key == _V2_KEY
+        assert cache.peek(_V1_KEY) is None  # old key no longer served
+
+    def test_migrated_plan_matches_new_planner_keys(self, tmp_path):
+        """A migrated v1 cache is *hit* by a v2 planner, not re-planned."""
+        from repro.serve.planner import ExecutionPlanner, Objective
+
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps(self._v1_payload()))
+        cache = PlanCache(path)
+        planner = ExecutionPlanner(device="A100", cache=cache)
+        plan = planner.plan_spmm(256, 512, 64, 8, 0.9, Objective.latency())
+        assert cache.hits == 1 and cache.misses == 0
+        assert plan.predicted_time_s == 1.5e-6  # the stored decision
+
+    def test_unmigratable_v1_keys_are_invalidated(self, tmp_path):
+        bogus = {"not-a-plan-key": {"op": "spmm", "l_bits": 8, "r_bits": 8}}
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps(self._v1_payload(bogus)))
+        cache = PlanCache()
+        assert cache.load(path) == 1  # bogus entry dropped
+        assert cache.keys() == [_V2_KEY]
+
+    def test_v2_round_trip_preserves_backend_fields(self, tmp_path):
+        from repro.serve.planner import Plan
+
+        plan = Plan(
+            op="spmm", l_bits=8, r_bits=8, config={"bsn": 96},
+            predicted_time_s=2e-6, key=_V2_KEY,
+            backend="magicube-strict", device="H100",
+        )
+        cache = PlanCache()
+        cache.put(_V2_KEY, plan)
+        path = cache.save(tmp_path / "plans.json")
+        fresh = PlanCache(path)
+        loaded = fresh.peek(_V2_KEY)
+        assert loaded.backend == "magicube-strict"
+        assert loaded.device == "H100"
+
 
 class TestThreadSafety:
     def test_concurrent_lookups_count_consistently(self):

@@ -1,5 +1,7 @@
 """Engine: prepared sessions, batched serving, exactness, telemetry."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -8,7 +10,7 @@ from repro.errors import ConfigError, ShapeError
 from repro.serve.batcher import BatchPolicy
 from repro.serve.cache import PlanCache
 from repro.serve.engine import Engine, bits_required
-from repro.serve.planner import ExecutionPlanner, Objective
+from repro.serve.planner import ExecutionPlanner
 from tests.conftest import make_structured_sparse
 
 
@@ -179,6 +181,162 @@ class TestEngineBookkeeping:
                 rng.integers(-128, 128, size=(128, 16))
             )
         assert warm.misses == 0  # every lookup served by the reloaded plans
+
+
+class TestBackendPinning:
+    def test_engine_resolves_default_backend(self, engine):
+        assert engine.backend == "magicube-emulation"
+        assert engine.device == "A100"
+
+    def test_invalid_device_raises_typed_error(self):
+        from repro.errors import DeviceError
+
+        with pytest.raises(DeviceError):
+            Engine(device="TPUv4")
+
+    def test_session_pins_backend_into_plans(self, engine, weights, rng):
+        session = engine.spmm_session("w", weights, vector_length=8)
+        assert session.backend == "magicube-emulation"
+        future = session.submit(rng.integers(-128, 128, size=(128, 16)))
+        engine.flush()
+        res = future.result(timeout=30)
+        assert res.plan.backend == "magicube-emulation"
+        assert "magicube-emulation@A100" in res.plan.key
+
+    def test_strict_backend_session_serves_identical_outputs(self, weights, rng):
+        with Engine(policy=BatchPolicy(1, 0.0)) as e:
+            fast = e.spmm_session("fast", weights, vector_length=8)
+            strict = e.spmm_session(
+                "strict", weights, vector_length=8, backend="magicube-strict"
+            )
+            rhs = rng.integers(-8, 8, size=(128, 8))
+            a = fast.run(rhs)
+            b = strict.run(rhs)
+        assert b.plan.backend == "magicube-strict"
+        np.testing.assert_array_equal(a.output, b.output)
+
+    def test_unknown_backend_rejected(self, engine, weights):
+        with pytest.raises(ConfigError):
+            engine.spmm_session("w", weights, backend="tpu-xla")
+
+    def test_v100_engine_serves_through_fallback_backend(self, weights, rng):
+        """V100 has no integer Tensor cores: the engine resolves the
+        vector-sparse fallback and serves float results through the
+        Backend protocol instead of a Magicube kernel config."""
+        with Engine(device="V100", policy=BatchPolicy(1, 0.0)) as e:
+            assert e.backend == "vector-sparse"
+            session = e.spmm_session("w", weights, vector_length=8)
+            rhs = rng.integers(-4, 4, size=(128, 16))
+            res = session.run(rhs)
+        assert res.plan.backend == "vector-sparse"
+        assert res.plan.precision == "fp16"
+        np.testing.assert_allclose(
+            res.output, (weights @ rhs).astype(np.float32), rtol=1e-2
+        )
+
+    def test_non_magicube_batched_requests_coalesce(self, weights, rng):
+        with Engine(device="V100", policy=BatchPolicy(max_batch_size=8,
+                                                      max_wait_s=10.0)) as e:
+            session = e.spmm_session("w", weights, vector_length=8)
+            payloads = [rng.integers(-4, 4, size=(128, 16)) for _ in range(3)]
+            futures = [session.submit(rhs) for rhs in payloads]
+            e.flush()
+            results = [f.result(timeout=30) for f in futures]
+        assert all(r.batch_size == 3 for r in results)
+        for rhs, res in zip(payloads, results):
+            np.testing.assert_allclose(
+                res.output, (weights @ rhs).astype(np.float32), rtol=1e-2
+            )
+
+    def test_attention_session_requires_magicube_backend(self):
+        with Engine(device="V100") as e:  # engine backend: vector-sparse
+            session = e.attention_session("attn", seq_len=512)
+            assert session.backend == "magicube-emulation"
+        with Engine(device="A100") as e:
+            with pytest.raises(ConfigError):
+                e.attention_session("attn", seq_len=512, backend="sputnik")
+
+
+class TestTicketedClientAPI:
+    def test_submit_result_round_trip(self, engine, weights, rng):
+        engine.spmm_session("w", weights, vector_length=8)
+        rhs = rng.integers(-128, 128, size=(128, 16))
+        handle = engine.submit("w", rhs)
+        assert not handle.done()
+        engine.flush()
+        res = engine.result(handle, timeout=30)
+        np.testing.assert_array_equal(res.output, weights.astype(np.int64) @ rhs)
+
+    def test_result_by_integer_ticket(self, engine, weights, rng):
+        engine.spmm_session("w", weights, vector_length=8)
+        handle = engine.submit("w", rng.integers(-128, 128, size=(128, 16)))
+        engine.flush()
+        res = engine.result(handle.id, timeout=30)
+        assert res.batch_size == 1
+        # redeemed tickets are forgotten
+        with pytest.raises(ConfigError):
+            engine.result(handle.id)
+
+    def test_unknown_ticket_rejected(self, engine):
+        with pytest.raises(ConfigError):
+            engine.result(999999)
+
+    def test_pending_requests_counter(self, engine, weights, rng):
+        engine.spmm_session("w", weights, vector_length=8)
+        handles = [
+            engine.submit("w", rng.integers(-128, 128, size=(128, 16)))
+            for _ in range(3)
+        ]
+        assert engine.pending_requests() == 3
+        engine.flush()
+        for h in handles:
+            engine.result(h, timeout=30)
+        assert engine.pending_requests() == 0
+
+    def test_handles_are_awaitable(self, engine, weights, rng):
+        import asyncio
+
+        engine.spmm_session("w", weights, vector_length=8)
+        rhs = rng.integers(-128, 128, size=(128, 16))
+
+        async def client():
+            handle = engine.submit("w", rhs)
+            engine.flush()
+            return await handle
+
+        res = asyncio.run(client())
+        np.testing.assert_array_equal(res.output, weights.astype(np.int64) @ rhs)
+
+    def test_attention_submit_async(self, engine):
+        session = engine.attention_session("attn", seq_len=512)
+        handle = session.submit_async(batch=2)
+        engine.flush()
+        res = handle.result(timeout=60)
+        assert res.output is None and res.detail.total_s > 0
+
+    def test_completed_unredeemed_tickets_are_bounded(self, weights, rng):
+        """Clients that await handles without calling engine.result()
+        must not grow the ticket registry without bound."""
+        with Engine(policy=BatchPolicy(1, 0.0)) as e:
+            e.COMPLETED_TICKET_LIMIT = 4
+            session = e.spmm_session("w", weights, vector_length=8)
+            rhs = rng.integers(-128, 128, size=(128, 8))
+            handles = []
+            for _ in range(10):
+                h = session.submit_async(rhs)
+                h.result(timeout=30)  # resolved directly, never redeemed
+                handles.append(h)
+            # done-callbacks fire on worker threads; give them a moment
+            deadline = time.monotonic() + 5.0
+            while len(e._inflight) > 4 + 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(e._inflight) <= 4 + 1  # window + one in flight
+            # recent tickets stay redeemable by id; evicted ones do not
+            assert e.result(handles[-1].id, timeout=5) is not None
+            with pytest.raises(ConfigError):
+                e.result(handles[0].id)
+            # handles themselves always resolve, evicted or not
+            assert handles[0].result(timeout=5) is not None
 
 
 class TestPlannerRoutedInference:

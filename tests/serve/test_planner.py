@@ -169,6 +169,102 @@ class TestPlanObject:
         assert cfg.l_bits == spmm_plan.l_bits and not cfg.l_signed
 
     def test_key_string_is_stable(self):
-        key = PlanKey("spmm", 256, 512, 64, 8, 0.9, "A100", "latency[L4-16,R4-16]")
+        key = PlanKey(
+            "spmm", 256, 512, 64, 8, 0.9,
+            "magicube-emulation", "A100", "latency[L4-16,R4-16]",
+        )
         assert str(key) == str(key)
         assert "spmm|256x512" in str(key)
+        assert "magicube-emulation@A100" in str(key)
+
+    def test_key_round_trips_through_parse(self):
+        key = PlanKey(
+            "sddmm", 512, 512, 64, 8, 0.9,
+            "magicube-emulation", "A100+H100", "latency[L4-16,R4-16]",
+        )
+        assert PlanKey.parse(str(key)) == key
+
+    def test_parse_rejects_v1_keys(self):
+        # pre-runtime keys lack the backend@device segment
+        with pytest.raises(ValueError):
+            PlanKey.parse("spmm|256x512|n=64|v=8|s=0.900|A100|latency[L4-16,R4-16]")
+
+
+class TestCrossDeviceSearch:
+    """The runtime refactor's acceptance surface: (backend, device) keys."""
+
+    def test_plan_key_carries_backend_and_device(self, planner):
+        plan = planner.plan_spmm(256, 512, 128, 8, 0.9)
+        key = PlanKey.parse(plan.key)
+        assert key.backend == "magicube-emulation"
+        assert key.device == "A100"
+        assert plan.backend == "magicube-emulation"
+        assert plan.device == "A100"
+
+    def test_same_workload_differs_between_a100_and_h100(self):
+        """Latency planning on A100 vs H100 picks different configs:
+        H100 lacks int4 Tensor cores, so the L4-R4 winner is
+        inadmissible there."""
+        args = (256, 512, 128, 8, 0.9, Objective.latency())
+        a100 = ExecutionPlanner(device="A100").plan_spmm(*args)
+        h100 = ExecutionPlanner(device="H100").plan_spmm(*args)
+        assert a100.precision == "L4-R4"
+        assert h100.precision != a100.precision
+        assert h100.l_bits >= 8  # no int4 path on H100
+        assert a100.device == "A100" and h100.device == "H100"
+        assert a100.key != h100.key
+
+    def test_multi_device_search_picks_fastest_profile(self):
+        planner = ExecutionPlanner(device="A100", devices=("H100",))
+        plan = planner.plan_spmm(
+            256, 512, 128, 8, 0.9, Objective.fixed(8, 8)
+        )
+        key = PlanKey.parse(plan.key)
+        assert key.device == "A100+H100"
+        # H100's int8 peak and bandwidth dominate A100's at this shape
+        assert plan.device == "H100"
+
+    def test_pinned_backend_appears_in_plan(self, planner):
+        plan = planner.plan_spmm(
+            256, 512, 128, 8, 0.9, backend="magicube-strict"
+        )
+        assert plan.backend == "magicube-strict"
+        assert "magicube-strict@A100" in plan.key
+
+    def test_cross_backend_search_keeps_fallback_order(self):
+        """An explicit multi-backend search stays deterministic and the
+        magicube kernels win the latency objective at high sparsity."""
+        planner = ExecutionPlanner(
+            device="A100",
+            backends=("magicube-emulation", "vector-sparse", "cublas-fp16"),
+        )
+        plan = planner.plan_spmm(256, 512, 128, 8, 0.95)
+        assert plan.backend == "magicube-emulation"
+        key = PlanKey.parse(plan.key)
+        assert key.backend == "magicube-emulation+vector-sparse+cublas-fp16"
+
+    def test_dense_cublas_wins_at_low_sparsity(self):
+        """The paper's dense/sparse crossover at equal (fp16) precision:
+        dense GEMM wins at low sparsity, the sparse kernel at high, and
+        the cross-backend search finds the boundary per shape."""
+        planner = ExecutionPlanner(
+            device="A100",
+            backends=("vector-sparse", "cublas-fp16"),
+        )
+        dense_wins = planner.plan_spmm(1024, 2048, 256, 8, 0.3)
+        sparse_wins = planner.plan_spmm(1024, 2048, 256, 8, 0.95)
+        assert dense_wins.backend == "cublas-fp16"
+        assert sparse_wins.backend == "vector-sparse"
+
+    def test_unknown_device_raises_typed_error(self):
+        from repro.errors import DeviceError
+
+        with pytest.raises(DeviceError):
+            ExecutionPlanner(device="B200")
+
+    def test_non_magicube_plan_rejects_kernel_config(self):
+        planner = ExecutionPlanner(device="A100", backends=("cublas-fp16",))
+        plan = planner.plan_spmm(256, 512, 64, 8, 0.5)
+        assert plan.precision == "fp16"
+        with pytest.raises(ConfigError):
+            plan.spmm_config()

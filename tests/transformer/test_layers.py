@@ -1,7 +1,6 @@
 """Gradient checks for the manual-backprop layers."""
 
 import numpy as np
-import pytest
 
 from repro.transformer.layers import (
     Adam,
