@@ -43,6 +43,7 @@ setup(
         "console_scripts": [
             "repro-bench=repro.bench.cli:main",
             "repro-serve=repro.serve.cli:main",
+            "repro-autotune=repro.autotune.cli:main",
         ]
     },
 )

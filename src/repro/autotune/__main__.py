@@ -1,0 +1,6 @@
+"""``python -m repro.autotune`` — alias for the ``repro-autotune`` CLI."""
+
+from repro.autotune.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,310 @@
+"""Shipped autotune artifacts: plan cache + provenance manifest.
+
+An artifact is two sibling JSON files:
+
+- ``<name>.json`` — a schema-v2 :class:`~repro.serve.cache.PlanCache`
+  payload, loadable by any planner (the engine's ``warm_start=`` path,
+  ``PlanCache.load``, another process sharing the file), and
+- ``<name>.manifest.json`` — provenance: the sweep config that
+  produced the plans, ``git describe`` of the producing tree, and
+  **fingerprints** of every backend and device the sweep saw.
+
+Fingerprints are short hashes of the machine-readable capability
+descriptions (a backend's :class:`~repro.runtime.BackendCapabilities`
+row + priority, a device's Table II spec). Loading an artifact against
+a registry whose fingerprints no longer match — a backend re-tuned, a
+device profile edited, a backend gone — is *drift*: the plans still
+load (a stale plan merely re-loses the planner search when its key no
+longer matches), but :func:`check_drift` names every mismatch so
+``repro-autotune verify`` can fail CI before a stale artifact ships.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import subprocess
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import PlanCacheError
+from repro.gpu.device import list_devices
+from repro.runtime import REGISTRY, BackendRegistry, Device
+from repro.serve.cache import PlanCache
+from repro.version import __version__
+
+__all__ = [
+    "ArtifactManifest",
+    "backend_fingerprint",
+    "check_drift",
+    "device_fingerprint",
+    "load_artifact",
+    "manifest_path",
+    "warm_start_cache",
+    "write_artifact",
+]
+
+#: manifest schema version (independent of the plan-cache schema)
+MANIFEST_SCHEMA = 1
+
+
+def _digest(payload: object) -> str:
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:12]
+
+
+def backend_fingerprint(backend) -> str:
+    """Hash of one backend's machine-readable capability row."""
+    caps = backend.capabilities()
+    return _digest({
+        "name": backend.name,
+        "priority": backend.priority,
+        "capabilities": dataclasses.asdict(caps),
+    })
+
+
+def device_fingerprint(device: "Device | str") -> str:
+    """Hash of one device's Table II capability model."""
+    # asdict recurses into the peaks dict's PeakRate values
+    return _digest(dataclasses.asdict(Device.resolve(device).spec))
+
+
+def registry_fingerprints(
+    registry: BackendRegistry | None = None,
+    names: Sequence[str] | None = None,
+) -> dict:
+    """``{backend name: fingerprint}`` for a registry (or a subset)."""
+    reg = registry if registry is not None else REGISTRY
+    chosen = list(names) if names is not None else reg.names()
+    return {name: backend_fingerprint(reg.get(name)) for name in sorted(chosen)}
+
+
+def device_fingerprints(names: Sequence[str] | None = None) -> dict:
+    """``{device name: fingerprint}`` for the modelled device table."""
+    chosen = list(names) if names is not None else list(list_devices())
+    return {name: device_fingerprint(name) for name in sorted(chosen)}
+
+
+def git_describe(cwd: "str | Path | None" = None) -> str:
+    """``git describe --always --dirty`` of the producing tree, or
+    ``"unknown"`` outside a repository (shipped artifacts built from a
+    tarball still get a manifest, just without a revision)."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True, text=True, timeout=10,
+            cwd=str(cwd) if cwd is not None else None,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+@dataclass
+class ArtifactManifest:
+    """Provenance of one shipped plan cache."""
+
+    sweep: dict = field(default_factory=dict)
+    git: str = "unknown"
+    created_by: str = f"repro-autotune {__version__}"
+    backends: dict = field(default_factory=dict)
+    devices: dict = field(default_factory=dict)
+    plans: int = 0
+    measurements: list = field(default_factory=list)
+    schema: int = MANIFEST_SCHEMA
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def for_report(cls, report, registry=None) -> "ArtifactManifest":
+        """Manifest for a :class:`~repro.autotune.runner.SweepReport`."""
+        # fingerprint exactly what was measured: an empty sweep claims
+        # provenance over nothing, not over the whole registry
+        swept_backends = sorted({m.point.backend for m in report.measurements})
+        swept_devices = sorted({m.point.device for m in report.measurements})
+        return cls(
+            sweep={**report.config.to_dict(), **report.summary()},
+            git=git_describe(),
+            backends=registry_fingerprints(registry, swept_backends),
+            devices=device_fingerprints(swept_devices),
+            plans=len(report.cache),
+            measurements=[m.to_dict() for m in report.measurements],
+        )
+
+    @classmethod
+    def for_cache(cls, cache: PlanCache, registry=None) -> "ArtifactManifest":
+        """Manifest for an exported, already-populated plan cache."""
+        backends, devices = set(), set()
+        for key in cache.keys():
+            plan = cache.peek(key)
+            if plan is not None:
+                backends.update(plan.backend.split("+"))
+                devices.update(plan.device.split("+"))
+        reg = registry if registry is not None else REGISTRY
+        known = {b for b in backends if b in reg}
+        return cls(
+            sweep={"source": "export"},
+            git=git_describe(),
+            backends=registry_fingerprints(registry, sorted(known)),
+            devices=device_fingerprints(
+                sorted(d for d in devices if d in list_devices())
+            ),
+            plans=len(cache),
+        )
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "sweep": self.sweep,
+            "git": self.git,
+            "created_by": self.created_by,
+            "backends": dict(self.backends),
+            "devices": dict(self.devices),
+            "plans": self.plans,
+            "measurements": list(self.measurements),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ArtifactManifest":
+        schema = d.get("schema")
+        if schema != MANIFEST_SCHEMA:
+            raise PlanCacheError(
+                f"unsupported artifact-manifest schema {schema!r} "
+                f"(supported: {MANIFEST_SCHEMA})"
+            )
+        return cls(
+            sweep=dict(d.get("sweep", {})),
+            git=d.get("git", "unknown"),
+            created_by=d.get("created_by", "unknown"),
+            backends=dict(d.get("backends", {})),
+            devices=dict(d.get("devices", {})),
+            plans=int(d.get("plans", 0)),
+            measurements=list(d.get("measurements", [])),
+            schema=schema,
+        )
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ArtifactManifest":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise PlanCacheError(
+                f"cannot read artifact manifest {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise PlanCacheError(
+                f"artifact manifest {path} holds "
+                f"{type(payload).__name__}, not an object"
+            )
+        return cls.from_dict(payload)
+
+
+def manifest_path(plans_path: "str | Path") -> Path:
+    """``plans.json`` -> ``plans.manifest.json`` (the sibling rule)."""
+    plans_path = Path(plans_path)
+    return plans_path.with_name(f"{plans_path.stem}.manifest.json")
+
+
+def write_artifact(
+    path: "str | Path",
+    cache: PlanCache,
+    manifest: ArtifactManifest | None = None,
+    registry=None,
+) -> tuple[Path, Path]:
+    """Write the plan-cache JSON + manifest; returns both paths."""
+    path = Path(path)
+    if manifest is None:
+        manifest = ArtifactManifest.for_cache(cache, registry)
+    manifest.plans = len(cache)
+    plans_path = cache.save(path)
+    return plans_path, manifest.save(manifest_path(path))
+
+
+def load_artifact(
+    path: "str | Path",
+) -> tuple[PlanCache, ArtifactManifest | None]:
+    """Load an artifact into a fresh cache; manifest ``None`` if absent."""
+    path = Path(path)
+    cache = PlanCache()
+    cache.load(path)
+    mpath = manifest_path(path)
+    manifest = ArtifactManifest.load(mpath) if mpath.exists() else None
+    return cache, manifest
+
+
+def check_drift(
+    manifest: ArtifactManifest,
+    registry: BackendRegistry | None = None,
+) -> list[str]:
+    """Mismatches between a manifest and the live registry/device table.
+
+    Returns one human-readable line per drift; an empty list means the
+    artifact was produced against exactly this execution environment.
+    """
+    reg = registry if registry is not None else REGISTRY
+    drift: list[str] = []
+    for name, fingerprint in sorted(manifest.backends.items()):
+        if name not in reg:
+            drift.append(f"backend {name!r} is no longer registered")
+        elif backend_fingerprint(reg.get(name)) != fingerprint:
+            drift.append(
+                f"backend {name!r} changed since the sweep "
+                f"(capabilities/priority fingerprint mismatch)"
+            )
+    for name, fingerprint in sorted(manifest.devices.items()):
+        if name not in list_devices():
+            drift.append(f"device {name!r} is no longer modelled")
+        elif device_fingerprint(name) != fingerprint:
+            drift.append(
+                f"device {name!r} profile changed since the sweep "
+                f"(Table II fingerprint mismatch)"
+            )
+    return drift
+
+
+def warm_start_cache(
+    cache: PlanCache,
+    artifacts: "str | Path | Sequence[str | Path]",
+    registry: BackendRegistry | None = None,
+    check: bool = True,
+) -> int:
+    """Merge shipped artifacts into a live cache; returns plans loaded.
+
+    Manifest drift (when ``check``) and unreadable artifacts surface as
+    ``RuntimeWarning``s — a bad shipped cache must degrade a server to
+    a cold start, not keep it from booting.
+    """
+    if isinstance(artifacts, (str, Path)):
+        artifacts = [artifacts]
+    loaded = 0
+    for path in artifacts:
+        path = Path(path)
+        try:
+            shipped, manifest = load_artifact(path)
+        except PlanCacheError as exc:
+            warnings.warn(
+                f"skipping warm-start artifact: {exc}",
+                RuntimeWarning, stacklevel=2,
+            )
+            continue
+        if check and manifest is not None:
+            for line in check_drift(manifest, registry):
+                warnings.warn(
+                    f"warm-start artifact {path.name} drifted: {line}",
+                    RuntimeWarning, stacklevel=2,
+                )
+        for key in shipped.keys():
+            plan = shipped.peek(key)
+            if plan is not None and cache.peek(key) is None:
+                cache.put(key, plan)
+                loaded += 1
+    return loaded

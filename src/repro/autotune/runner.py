@@ -1,0 +1,288 @@
+"""Measured offline sweeps: warmup/repeat timing, budgets, pruning.
+
+The runner walks an enumerated sweep space point by point. For every
+point it (a) plans the request class into the sweep's **shipping
+cache** — the :class:`~repro.serve.cache.PlanCache` the artifact will
+carry — and (b) measures the *cold planner-search latency* with
+warmup + repeat runs on throwaway caches, reporting the median (the
+statistic a warm start saves at serving time).
+
+Two mechanisms keep full sweeps tractable:
+
+- a :class:`SweepBudget` (trial count and/or wall-clock ceiling) stops
+  the walk early, recording the untouched tail as skipped rather than
+  silently pretending full coverage, and
+- **cost-model-guided pruning**: per (op, device), once a backend's
+  planned time has lost to the best backend by more than
+  ``prune_ratio`` on ``prune_after`` consecutive problems, its
+  remaining points on that (op, device) are skipped — the cost models
+  already told us it cannot win there.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import SweepError
+from repro.serve.cache import PlanCache
+from repro.serve.planner import ExecutionPlanner
+from repro.autotune.space import SweepConfig, SweepPoint, enumerate_space
+
+__all__ = ["Measurement", "SweepBudget", "SweepReport", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepBudget:
+    """How much a sweep is allowed to spend.
+
+    ``max_trials`` caps measured points; ``max_seconds`` caps the
+    sweep's wall clock. ``None`` means unbounded.
+    """
+
+    max_trials: int | None = None
+    max_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_trials is not None and self.max_trials < 1:
+            raise SweepError("max_trials must be >= 1 (or None)")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise SweepError("max_seconds must be > 0 (or None)")
+
+    def exhausted(self, trials: int, elapsed_s: float) -> str | None:
+        """The reason the budget is spent, or ``None`` while it isn't."""
+        if self.max_trials is not None and trials >= self.max_trials:
+            return f"trial budget ({self.max_trials}) exhausted"
+        if self.max_seconds is not None and elapsed_s >= self.max_seconds:
+            return f"time budget ({self.max_seconds}s) exhausted"
+        return None
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured sweep point."""
+
+    point: SweepPoint
+    plan_key: str
+    precision: str
+    config: dict
+    predicted_time_s: float
+    search_s_median: float
+    search_s_mean: float
+    search_s_min: float
+    repeats: int
+
+    def to_dict(self) -> dict:
+        return {
+            "plan_key": self.plan_key,
+            "backend": self.point.backend,
+            "device": self.point.device,
+            "precision": self.precision,
+            "config": dict(self.config),
+            "predicted_time_s": self.predicted_time_s,
+            "search_s_median": self.search_s_median,
+            "search_s_mean": self.search_s_mean,
+            "search_s_min": self.search_s_min,
+            "repeats": self.repeats,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep produced.
+
+    ``cache`` holds the shipped plans; ``pruned``/``skipped`` record
+    every point the sweep did *not* measure, with the reason — a sweep
+    never silently truncates its coverage.
+    """
+
+    config: SweepConfig
+    cache: PlanCache
+    measurements: list[Measurement] = field(default_factory=list)
+    pruned: list[tuple[SweepPoint, str]] = field(default_factory=list)
+    skipped: list[tuple[SweepPoint, str]] = field(default_factory=list)
+    failed: list[tuple[SweepPoint, str]] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def points_total(self) -> int:
+        return (len(self.measurements) + len(self.pruned)
+                + len(self.skipped) + len(self.failed))
+
+    def summary(self) -> dict:
+        return {
+            "points": self.points_total,
+            "measured": len(self.measurements),
+            "pruned": len(self.pruned),
+            "skipped": len(self.skipped),
+            "failed": len(self.failed),
+            "plans": len(self.cache),
+            "elapsed_s": self.elapsed_s,
+            "search_s_median": (
+                statistics.median(m.search_s_median for m in self.measurements)
+                if self.measurements else 0.0
+            ),
+        }
+
+
+class _PruneState:
+    """Consecutive-loss tracking for one (op, device) group of backends."""
+
+    def __init__(self, ratio: float, after: int) -> None:
+        self.ratio = ratio
+        self.after = after
+        #: predicted times per problem cell (the backend-free part of
+        #: the plan key), keyed by backend within the cell
+        self._cells: dict[tuple, dict[str, float]] = {}
+        self._losses: dict[tuple[str, str, str], int] = {}
+
+    @staticmethod
+    def _cell(point: SweepPoint) -> tuple:
+        return (point.op, point.device, point.rows, point.cols, point.inner,
+                point.vector_length, round(point.sparsity, 3),
+                point.objective.token)
+
+    @staticmethod
+    def _group(point: SweepPoint) -> tuple[str, str, str]:
+        return (point.op, point.device, point.backend)
+
+    def should_prune(self, point: SweepPoint) -> bool:
+        return self._losses.get(self._group(point), 0) >= self.after
+
+    def observe(self, point: SweepPoint, predicted_time_s: float) -> None:
+        """Fold one measured point in and update the loss counter.
+
+        Backends enumerate in priority order, so by the time a
+        low-priority backend reaches a cell the cell already holds the
+        front-runners' times to lose against.
+        """
+        cell = self._cell(point)
+        times = self._cells.setdefault(cell, {})
+        times[point.backend] = predicted_time_s
+        best = min(times.values())
+        group = self._group(point)
+        if predicted_time_s > self.ratio * best:
+            self._losses[group] = self._losses.get(group, 0) + 1
+        else:
+            self._losses[group] = 0
+
+
+def run_sweep(
+    config: SweepConfig,
+    budget: SweepBudget | None = None,
+    warmup: int = 1,
+    repeats: int = 3,
+    prune_ratio: float | None = 4.0,
+    prune_after: int = 2,
+    cache: PlanCache | None = None,
+    progress=None,
+) -> SweepReport:
+    """Run one offline sweep and return its report (plans + stats).
+
+    ``warmup``/``repeats`` control the cold-search timing loop (each
+    run plans into a fresh throwaway cache, so every repeat pays the
+    full search). ``prune_ratio=None`` disables pruning; ``progress``
+    is an optional callable fed one human-readable line per point.
+
+    Sweeps enumerate *and measure* against the process-wide backend
+    registry — the one the serving planner resolves names through —
+    so custom backends must be :func:`~repro.runtime.register_backend`\\
+    ed before sweeping, not handed in as a side registry.
+    """
+    if repeats < 1:
+        raise SweepError("repeats must be >= 1")
+    if warmup < 0:
+        raise SweepError("warmup must be >= 0")
+    if prune_ratio is not None and prune_ratio <= 1.0:
+        raise SweepError("prune_ratio must be > 1 (or None to disable)")
+    points = enumerate_space(config)
+    report = SweepReport(
+        config=config, cache=cache if cache is not None else PlanCache()
+    )
+    planners: dict[str, ExecutionPlanner] = {}
+    pruner = (
+        _PruneState(prune_ratio, prune_after) if prune_ratio is not None else None
+    )
+    started = time.perf_counter()
+    budget = budget if budget is not None else SweepBudget()
+    spent: str | None = None
+    for point in points:
+        spent = spent or budget.exhausted(
+            len(report.measurements), time.perf_counter() - started
+        )
+        if spent:
+            report.skipped.append((point, spent))
+            continue
+        if pruner is not None and pruner.should_prune(point):
+            report.pruned.append((
+                point,
+                f"cost model: {point.backend} lost >{pruner.ratio}x on "
+                f"{pruner.after} consecutive {point.op} problems on "
+                f"{point.device}",
+            ))
+            continue
+        try:
+            measurement = _measure(point, planners, report.cache, warmup, repeats)
+        except Exception as exc:  # a point must not kill the sweep
+            report.failed.append((point, f"{type(exc).__name__}: {exc}"))
+            continue
+        report.measurements.append(measurement)
+        if pruner is not None:
+            pruner.observe(point, measurement.predicted_time_s)
+        if progress is not None:
+            progress(
+                f"{point.label}: {measurement.precision} "
+                f"predicted {measurement.predicted_time_s * 1e6:.2f}us "
+                f"search {measurement.search_s_median * 1e3:.2f}ms"
+            )
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def _measure(
+    point: SweepPoint,
+    planners: dict[str, ExecutionPlanner],
+    ship_cache: PlanCache,
+    warmup: int,
+    repeats: int,
+) -> Measurement:
+    """Plan one point into the shipping cache and time the cold search."""
+    planner = planners.get(point.device)
+    if planner is None:
+        planner = planners[point.device] = ExecutionPlanner(
+            device=point.device, cache=ship_cache
+        )
+    plan = _plan(planner, point)
+    if plan.key != point.plan_key:  # pragma: no cover - contract guard
+        raise SweepError(
+            f"sweep produced key {plan.key!r} but expected "
+            f"{point.plan_key!r}; the artifact would never hit"
+        )
+    times = []
+    for i in range(warmup + repeats):
+        cold = ExecutionPlanner(device=point.device, cache=PlanCache())
+        t0 = time.perf_counter()
+        _plan(cold, point)
+        t1 = time.perf_counter()
+        if i >= warmup:
+            times.append(t1 - t0)
+    return Measurement(
+        point=point,
+        plan_key=plan.key,
+        precision=plan.precision,
+        config=dict(plan.config),
+        predicted_time_s=plan.predicted_time_s,
+        search_s_median=statistics.median(times),
+        search_s_mean=statistics.fmean(times),
+        search_s_min=min(times),
+        repeats=repeats,
+    )
+
+
+def _plan(planner: ExecutionPlanner, point: SweepPoint):
+    plan_fn = planner.plan_spmm if point.op == "spmm" else planner.plan_sddmm
+    return plan_fn(
+        point.rows, point.cols, point.inner, point.vector_length,
+        point.sparsity, point.objective, backend=point.backend,
+    )

@@ -1,0 +1,222 @@
+"""Sweep-space enumeration over the backend registry.
+
+A sweep space is the cross-product the offline autotuner walks:
+
+    plannable backends x devices x (op, shape, vector length, sparsity)
+    x objective minima
+
+enumerated **from the registry**, not hard-coded — registering a new
+backend (or adding a device profile) grows the next sweep
+automatically. Enumeration is deterministic: backends come out in the
+registry's priority-ordered fallback order, devices in
+:func:`~repro.gpu.device.list_devices` order, and the topology grid in
+the order the config declares, so the same registry and config always
+produce the same ordered list of :class:`SweepPoint`\\ s — the property
+that makes shipped artifacts reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SweepError
+from repro.gpu.device import list_devices
+from repro.runtime import (
+    REGISTRY,
+    BackendRegistry,
+    Device,
+    Problem,
+    plannable_backends,
+)
+from repro.serve.planner import Objective, PlanKey
+
+__all__ = ["SweepConfig", "SweepPoint", "enumerate_space"]
+
+#: the (rows, cols, inner) topology grid a no-argument sweep walks
+DEFAULT_SHAPES: tuple[tuple[int, int, int], ...] = (
+    (512, 512, 64),
+    (512, 512, 128),
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (problem, backend, device, objective) cell of a sweep.
+
+    ``plan_key`` is exactly the key a single-device, pinned-backend
+    :class:`~repro.serve.planner.ExecutionPlanner` would memoize the
+    search under — the contract that makes a shipped artifact *hit* at
+    serving time instead of merely resembling the serving keys.
+    """
+
+    op: str
+    rows: int
+    cols: int
+    inner: int
+    vector_length: int
+    sparsity: float
+    backend: str
+    device: str
+    objective: Objective
+
+    @property
+    def problem(self) -> Problem:
+        return Problem(
+            op=self.op,
+            rows=self.rows,
+            cols=self.cols,
+            inner=self.inner,
+            vector_length=self.vector_length,
+            sparsity=round(self.sparsity, 3),
+        )
+
+    @property
+    def plan_key(self) -> str:
+        return str(PlanKey(
+            op=self.op,
+            rows=self.rows,
+            cols=self.cols,
+            inner=self.inner,
+            vector_length=self.vector_length,
+            sparsity=round(self.sparsity, 3),
+            backend=self.backend,
+            device=self.device,
+            objective=self.objective.token,
+        ))
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.op} {self.rows}x{self.cols} n={self.inner} "
+            f"v={self.vector_length} s={self.sparsity:.3f} "
+            f"{self.backend}@{self.device} {self.objective.token}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """What one offline sweep covers.
+
+    ``backends``/``devices`` of ``None`` mean "everything the registry
+    / device table offers" *at enumeration time* — the sweep literally
+    reads the live registry. ``min_bits`` mirrors how serving sessions
+    tighten their objective to the operands' actual bit widths
+    (:meth:`Objective.with_min_bits`): sweep the pairs your sessions
+    will classify requests into, and the shipped keys line up.
+    """
+
+    ops: tuple[str, ...] = ("spmm",)
+    shapes: tuple[tuple[int, int, int], ...] = DEFAULT_SHAPES
+    vector_lengths: tuple[int, ...] = (8,)
+    sparsities: tuple[float, ...] = (0.9,)
+    backends: tuple[str, ...] | None = None
+    devices: tuple[str, ...] | None = None
+    min_bits: tuple[tuple[int, int], ...] = ((4, 4), (8, 8))
+    objective: str = "latency"
+    latency_budget_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("latency", "accuracy"):
+            raise SweepError(f"unknown sweep objective {self.objective!r}")
+        for op in self.ops:
+            if op not in ("spmm", "sddmm"):
+                raise SweepError(f"unknown sweep op {op!r}")
+        if not (self.ops and self.shapes and self.vector_lengths
+                and self.sparsities and self.min_bits):
+            raise SweepError("sweep config has an empty axis")
+
+    def objectives(self) -> tuple[Objective, ...]:
+        """The objective grid, one per ``min_bits`` pair."""
+        out = []
+        for l_bits, r_bits in self.min_bits:
+            if self.objective == "latency":
+                out.append(Objective.latency(min_l_bits=l_bits, min_r_bits=r_bits))
+            else:
+                out.append(Objective.accuracy(
+                    latency_budget_s=self.latency_budget_s,
+                    min_l_bits=l_bits, min_r_bits=r_bits,
+                ))
+        return tuple(out)
+
+    # -- provenance ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "ops": list(self.ops),
+            "shapes": [list(s) for s in self.shapes],
+            "vector_lengths": list(self.vector_lengths),
+            "sparsities": list(self.sparsities),
+            "backends": list(self.backends) if self.backends is not None else None,
+            "devices": list(self.devices) if self.devices is not None else None,
+            "min_bits": [list(p) for p in self.min_bits],
+            "objective": self.objective,
+            "latency_budget_s": self.latency_budget_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepConfig":
+        def _tuples(key, default):
+            value = d.get(key)
+            if value is None:
+                return default
+            return tuple(tuple(v) if isinstance(v, list) else v for v in value)
+
+        backends = d.get("backends")
+        devices = d.get("devices")
+        return cls(
+            ops=tuple(d.get("ops", ("spmm",))),
+            shapes=_tuples("shapes", DEFAULT_SHAPES),
+            vector_lengths=tuple(d.get("vector_lengths", (8,))),
+            sparsities=tuple(d.get("sparsities", (0.9,))),
+            backends=tuple(backends) if backends is not None else None,
+            devices=tuple(devices) if devices is not None else None,
+            min_bits=_tuples("min_bits", ((4, 4), (8, 8))),
+            objective=d.get("objective", "latency"),
+            latency_budget_s=d.get("latency_budget_s"),
+        )
+
+
+def enumerate_space(
+    config: SweepConfig, registry: BackendRegistry | None = None
+) -> list[SweepPoint]:
+    """The ordered sweep grid one config spans against one registry.
+
+    Cells a backend cannot serve — the (op, device) pair unsupported,
+    or rows not divisible by the vector length — are dropped here, so
+    the runner only ever sees plannable points. An entirely empty grid
+    raises :class:`~repro.errors.SweepError` (a sweep that measures
+    nothing is a misconfiguration, not a success).
+    """
+    reg = registry if registry is not None else REGISTRY
+    devices = config.devices if config.devices is not None else tuple(list_devices())
+    objectives = config.objectives()
+    points: list[SweepPoint] = []
+    for op in config.ops:
+        for device_name in devices:
+            device = Device.resolve(device_name)
+            backends = plannable_backends(
+                op, device, names=config.backends, registry=reg
+            )
+            for backend in backends:
+                for rows, cols, inner in config.shapes:
+                    for v in config.vector_lengths:
+                        if rows % v != 0:
+                            continue
+                        for sparsity in config.sparsities:
+                            for objective in objectives:
+                                points.append(SweepPoint(
+                                    op=op,
+                                    rows=rows,
+                                    cols=cols,
+                                    inner=inner,
+                                    vector_length=v,
+                                    sparsity=sparsity,
+                                    backend=backend.name,
+                                    device=device.name,
+                                    objective=objective,
+                                ))
+    if not points:
+        raise SweepError(
+            "sweep space is empty: no (backend, device, topology) cell "
+            "survived the registry's support filters"
+        )
+    return points

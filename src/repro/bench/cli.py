@@ -192,6 +192,95 @@ def _print_backends(count: int) -> None:
     ))
 
 
+def _print_autotune(count: int) -> None:
+    """Cold-vs-warm serving: sweep offline, warm-start, compare planners."""
+    import tempfile
+    import time as _time
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.autotune import ArtifactManifest, SweepConfig, run_sweep, write_artifact
+    from repro.bench.report import render_table
+    from repro.dlmc.generator import MatrixSpec, generate_matrix
+    from repro.serve.engine import Engine
+
+    widths = (64, 128, 256)
+    spec = MatrixSpec("transformer", 512, 512, sparsity=0.9, seed=1)
+    weights = generate_matrix(spec, vector_length=8, bits=8)
+    rng = np.random.default_rng(0)
+
+    def first_contact(engine: Engine) -> dict:
+        """Plan every request class once; returns hit/miss/latency stats."""
+        session = engine.spmm_session("ffn", weights, vector_length=8)
+        cache = engine.planner.cache
+        cache.reset_counters()
+        t0 = _time.perf_counter()
+        for n in widths:
+            session.plan_for(n, 8)
+        planner_s = _time.perf_counter() - t0
+        stats = dict(cache.stats())
+        # then actually serve one request per class through the batcher
+        for n in widths:
+            session.run(rng.integers(-128, 128, size=(512, n)))
+        return {"planner_ms": planner_s * 1e3, **stats}
+
+    # offline: sweep exactly the request classes the engine will see
+    with Engine(device="A100") as probe:
+        probe_session = probe.spmm_session("probe", weights, vector_length=8)
+        weight_bits = probe_session.weight_bits
+        weights = probe_session.matrix  # converted once, reused below
+    config = SweepConfig(
+        ops=("spmm",),
+        shapes=tuple((512, 512, n) for n in widths),
+        vector_lengths=(8,),
+        sparsities=(weights.sparsity,),
+        devices=("A100",),
+        backends=("magicube-emulation",),
+        min_bits=((weight_bits, 8),),
+    )
+    report = run_sweep(config, repeats=max(1, count))
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "plans.json"
+        write_artifact(artifact, report.cache, ArtifactManifest.for_report(report))
+        s = report.summary()
+        print(
+            f"sweep: {s['measured']} points in {s['elapsed_s']:.2f}s, "
+            f"median cold search {s['search_s_median'] * 1e3:.2f}ms, "
+            f"{s['plans']} plans shipped"
+        )
+        results = {}
+        for mode, kwargs in (("cold", {}), ("warm", {"warm_start": artifact})):
+            with Engine(device="A100", **kwargs) as engine:
+                preloaded = len(engine.planner.cache)
+                results[mode] = {"preloaded": preloaded, **first_contact(engine)}
+    print(render_table(
+        ["mode", "preloaded", "hits", "misses", "hit rate", "planner ms"],
+        [
+            [
+                mode, r["preloaded"], r["hits"], r["misses"],
+                f"{r['hit_rate']:.1%}", f"{r['planner_ms']:.2f}",
+            ]
+            for mode, r in results.items()
+        ],
+        title="-- first contact with swept request classes --",
+    ))
+    warm, cold = results["warm"], results["cold"]
+    if warm["hit_rate"] <= 0.5:
+        raise AssertionError(
+            f"warm-start first-contact hit rate {warm['hit_rate']:.1%} <= 50%"
+        )
+    speedup = (
+        f" ({cold['planner_ms'] / warm['planner_ms']:.1f}x faster)"
+        if warm["planner_ms"] > 0 else ""
+    )
+    print(
+        f"warm start: {warm['hit_rate']:.0%} first-contact hit rate, "
+        f"planner {cold['planner_ms']:.2f}ms -> {warm['planner_ms']:.2f}ms"
+        f"{speedup}"
+    )
+
+
 def _print_table5(count: int) -> None:
     from repro.bench.figures import table5_accuracy
     from repro.bench.report import render_table
@@ -215,6 +304,7 @@ EXPERIMENTS = {
     "table5": ("Table V: accuracy study (trains a model)", _print_table5),
     "serve": ("Serving: batched engine throughput demo", _print_serve),
     "backends": ("Runtime: registered-backend sweep on a fixed topology", _print_backends),
+    "autotune": ("Autotune: offline sweep -> warm-start cold/warm comparison", _print_autotune),
 }
 
 

@@ -51,3 +51,28 @@ class QuantizationError(MagicubeError):
 
 class ConfigError(MagicubeError):
     """Invalid kernel/launch configuration (tile sizes, warp counts...)."""
+
+
+class AdmissionError(MagicubeError):
+    """The serving layer refused to enqueue a request.
+
+    Raised by the micro-batcher's admission control when a group's
+    queue depth exceeds ``BatchPolicy.max_queue_depth`` or the
+    estimated queue delay would blow ``BatchPolicy.admission_budget_s``.
+    Rejected requests are counted, never silently dropped.
+    """
+
+
+class PlanCacheError(MagicubeError, ValueError):
+    """A persisted plan cache or autotune artifact could not be read.
+
+    Wraps corrupt / truncated JSON, unsupported schema versions and
+    missing payload fields behind one typed error so startup code can
+    distinguish "bad cache file" from a programming error. Also a
+    ``ValueError`` so pre-existing callers that caught the old untyped
+    rejection keep working.
+    """
+
+
+class SweepError(MagicubeError):
+    """An autotuning sweep was misconfigured or produced no points."""

@@ -205,18 +205,25 @@ def resolve_backend(
 
 
 def plannable_backends(
-    op: str, device: "Device | str", names: Iterable[str] | None = None
+    op: str,
+    device: "Device | str",
+    names: Iterable[str] | None = None,
+    registry: BackendRegistry | None = None,
 ) -> list[Backend]:
     """Admissible backends that implement the planning hook.
 
     ``names`` restricts (and orders by) an explicit backend list;
-    ``None`` takes every admissible plannable backend in fallback order.
+    ``None`` takes every admissible plannable backend in fallback
+    order. ``registry`` defaults to the process-wide one — the
+    autotuner passes its own when enumerating sweep spaces against an
+    isolated registry.
     """
+    reg = registry if registry is not None else REGISTRY
     dev = Device.resolve(device)
     if names is not None:
-        found = [REGISTRY.get(n) for n in names]
+        found = [reg.get(n) for n in names]
     else:
-        found = REGISTRY.backends()
+        found = reg.backends()
     return [
         b
         for b in found

@@ -13,9 +13,16 @@ engine:
   requests through cached plans.
 - :class:`~repro.serve.batcher.MicroBatcher` coalesces same-shape
   requests into one batched kernel launch under a max-batch-size /
-  max-wait policy, executing concurrently on a thread pool.
-- :class:`~repro.serve.telemetry.Telemetry` aggregates per-session
-  p50/p95/p99 modelled latency, throughput and batch occupancy.
+  max-wait policy (plus optional queue-depth / latency-budget
+  admission control raising :class:`~repro.errors.AdmissionError`),
+  executing concurrently on a thread pool.
+- :class:`~repro.serve.telemetry.Telemetry` aggregates p50/p95/p99
+  modelled latency, throughput, batch occupancy and admission
+  rejections, per session *and* per ``(backend, device)``.
+
+``Engine(warm_start="plans.json")`` preloads a shipped
+:mod:`repro.autotune` artifact so swept request classes hit the plan
+cache on first contact.
 
 Quick start::
 

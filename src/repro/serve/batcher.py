@@ -2,7 +2,10 @@
 
 Requests enter per-group queues (the group key encodes everything that
 must match for requests to share a kernel launch — session, shape,
-precision). A scheduler thread flushes a group as soon as it reaches
+precision), gated by the policy's optional admission control
+(queue-depth and latency-budget checks that raise
+:class:`~repro.errors.AdmissionError` instead of letting a backlog grow
+without bound). A scheduler thread flushes a group as soon as it reaches
 ``max_batch_size`` or its oldest request has waited ``max_wait_s``, and
 hands the batch to a :class:`~concurrent.futures.ThreadPoolExecutor`
 worker that runs the caller-supplied ``execute`` function once for the
@@ -27,19 +30,43 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
+from repro.errors import AdmissionError
+
 
 @dataclass(frozen=True)
 class BatchPolicy:
-    """When a group of queued requests is flushed to a worker."""
+    """When a group of queued requests is flushed to a worker.
+
+    The two admission knobs gate :meth:`MicroBatcher.submit` *before* a
+    request enters its queue: ``max_queue_depth`` bounds a group's
+    pending backlog outright, and ``admission_budget_s`` rejects a
+    request whose estimated queue delay —
+    ``max_wait_s * (1 + depth // max_batch_size)``, one wait window per
+    full batch already ahead of it — would exceed the budget. Both
+    raise the typed :class:`~repro.errors.AdmissionError` and bump the
+    batcher's rejection counters; ``None`` (the default) admits
+    everything, preserving the PR 1 behaviour.
+    """
 
     max_batch_size: int = 8
     max_wait_s: float = 0.002
+    max_queue_depth: int | None = None
+    admission_budget_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if self.admission_budget_s is not None and self.admission_budget_s < 0:
+            raise ValueError("admission_budget_s must be >= 0 (or None)")
+
+    def estimated_queue_delay_s(self, depth: int) -> float:
+        """Conservative queue-delay model for a request entering at
+        ``depth``: every full batch ahead of it costs one wait window."""
+        return self.max_wait_s * (1 + depth // self.max_batch_size)
 
 
 @dataclass
@@ -130,6 +157,9 @@ class MicroBatcher:
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
         self._closed = False
+        #: requests refused by admission control, total and per group key
+        self.rejected = 0
+        self._rejected_by_key: dict[Hashable, int] = {}
         self._ticket_counter = itertools.count(1)
         self._thread = threading.Thread(
             target=self._scheduler_loop, name="repro-serve-scheduler", daemon=True
@@ -138,16 +168,54 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def submit(self, key: Hashable, payload: object) -> Future:
-        """Queue one request; the future resolves to its own result."""
+        """Queue one request; the future resolves to its own result.
+
+        Raises :class:`~repro.errors.AdmissionError` when the policy's
+        admission gates refuse the request (see :class:`BatchPolicy`).
+        """
         future: Future = Future()
         with self._wakeup:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
+            self._admit(key)
             self._groups.setdefault(key, _Group()).pending.append(
                 _Pending(payload, future, time.monotonic())
             )
             self._wakeup.notify()
         return future
+
+    def _admit(self, key: Hashable) -> None:
+        """Apply the policy's admission gates (call with lock held)."""
+        policy = self.policy
+        if policy.max_queue_depth is None and policy.admission_budget_s is None:
+            return
+        group = self._groups.get(key)
+        depth = len(group.pending) if group is not None else 0
+        if policy.max_queue_depth is not None and depth >= policy.max_queue_depth:
+            self._reject(key)
+            raise AdmissionError(
+                f"group {key!r} queue depth {depth} is at max_queue_depth="
+                f"{policy.max_queue_depth}"
+            )
+        if policy.admission_budget_s is not None:
+            estimate = policy.estimated_queue_delay_s(depth)
+            if estimate > policy.admission_budget_s:
+                self._reject(key)
+                raise AdmissionError(
+                    f"group {key!r} estimated queue delay {estimate:.6f}s "
+                    f"exceeds admission_budget_s={policy.admission_budget_s}"
+                )
+
+    def _reject(self, key: Hashable) -> None:
+        self.rejected += 1
+        self._rejected_by_key[key] = self._rejected_by_key.get(key, 0) + 1
+
+    def rejections(self, key: Hashable | None = None) -> int:
+        """Requests refused by admission control (one group, or all)."""
+        with self._lock:
+            if key is None:
+                return self.rejected
+            return self._rejected_by_key.get(key, 0)
 
     def submit_async(self, key: Hashable, payload: object) -> RequestHandle:
         """Queue one request and return its awaitable ticket."""

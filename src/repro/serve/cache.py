@@ -21,8 +21,11 @@ from __future__ import annotations
 import json
 import os
 import threading
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
+
+from repro.errors import PlanCacheError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner uses us)
     from repro.serve.planner import Plan
@@ -43,7 +46,9 @@ class PlanCache:
         self.misses = 0
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
-            self.load(self.path)
+            # startup auto-load is forgiving: a corrupt shared cache
+            # file degrades to a cold start, never a crashed server
+            self.load(self.path, strict=False)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -143,28 +148,61 @@ class PlanCache:
             tmp.unlink(missing_ok=True)
         return target
 
-    def load(self, path: str | Path) -> int:
+    def load(self, path: str | Path, strict: bool = True) -> int:
         """Merge plans from a JSON file; returns how many were loaded.
 
         Accepts the current schema and every migratable older one
-        (see :func:`_migrate_v1`); anything else raises ``ValueError``.
+        (see :func:`_migrate_v1`). A corrupt, truncated or
+        wrong-schema file raises the typed
+        :class:`~repro.errors.PlanCacheError` (also a ``ValueError``)
+        when ``strict``; with ``strict=False`` it is reported via
+        ``warnings.warn`` and the cache simply stays as it was — the
+        behaviour of the constructor's auto-load, where a shared cache
+        file torn by another writer must not take the server down.
         """
+        try:
+            return self._load(path)
+        except PlanCacheError as exc:
+            if strict:
+                raise
+            warnings.warn(
+                f"ignoring unreadable plan cache: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0
+
+    def _load(self, path: str | Path) -> int:
         from repro.serve.planner import Plan
 
-        payload = json.loads(Path(path).read_text())
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise PlanCacheError(f"cannot read plan cache {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise PlanCacheError(
+                f"plan cache {path} holds {type(payload).__name__}, not an object"
+            )
         version = payload.get("version")
         if (
             not isinstance(version, int)
             or not _OLDEST_SUPPORTED_VERSION <= version <= _FORMAT_VERSION
         ):
-            raise ValueError(
+            raise PlanCacheError(
                 f"unsupported plan-cache version {version!r} "
                 f"(supported: {_OLDEST_SUPPORTED_VERSION}..{_FORMAT_VERSION})"
             )
-        raw = payload["plans"]
+        raw = payload.get("plans")
+        if not isinstance(raw, dict):
+            raise PlanCacheError(f"plan cache {path} has no 'plans' object")
         if version < 2:
             raw = _migrate_v1(raw)
-        plans = {k: Plan.from_dict(d) for k, d in raw.items()}
+        try:
+            plans = {k: Plan.from_dict(d) for k, d in raw.items()}
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise PlanCacheError(
+                f"plan cache {path} holds a malformed plan entry: {exc!r}"
+            ) from exc
         with self._lock:
             self._plans.update(plans)
         return len(plans)

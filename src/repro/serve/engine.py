@@ -35,12 +35,13 @@ import threading
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.api import SparseMatrix, spmm as api_spmm
-from repro.errors import ConfigError, ShapeError
+from repro.errors import AdmissionError, ConfigError, ShapeError
 from repro.lowp.quantize import int_range
 from repro.runtime import DEFAULT_BACKEND, Device, get_backend, resolve_backend
 from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher, RequestHandle
@@ -124,7 +125,7 @@ class SpmmSession:
             r_bits = next(w for w in _RHS_WIDTHS if w >= needed)
         plan = self.plan_for(rhs.shape[1], r_bits)
         key = ("spmm", self.name, rhs.shape[1], plan.precision)
-        return self.engine._batcher.submit(key, {"rhs": rhs, "plan": plan})
+        return self.engine._enqueue(self.name, key, {"rhs": rhs, "plan": plan})
 
     def submit_async(
         self, rhs: np.ndarray, r_bits: int | None = None
@@ -174,7 +175,7 @@ class AttentionSession:
         if batch < 1:
             raise ConfigError(f"batch must be >= 1, got {batch}")
         key = ("attention", self.name)
-        return self.engine._batcher.submit(key, {"batch": batch})
+        return self.engine._enqueue(self.name, key, {"batch": batch})
 
     def submit_async(self, batch: int = 1) -> RequestHandle:
         """Like :meth:`submit`, returning an awaitable ticketed handle."""
@@ -195,7 +196,13 @@ class Engine:
         policy: BatchPolicy | None = None,
         max_workers: int = 4,
         backend: str | None = None,
+        warm_start: "str | Path | Sequence[str | Path] | None" = None,
     ) -> None:
+        """``warm_start`` preloads one or more shipped autotune
+        artifacts (see :mod:`repro.autotune`) into the planner's plan
+        cache, so swept request classes skip the cold planner search on
+        first contact. Manifest drift against the live backend registry
+        is reported as warnings, never an error."""
         if planner is not None and cache is not None:
             raise ConfigError("pass either a planner or a cache, not both")
         self._device = Device.resolve(device)
@@ -207,6 +214,8 @@ class Engine:
             if planner is not None
             else ExecutionPlanner(device=self._device, cache=cache)
         )
+        if warm_start is not None:
+            self.planner.warm_start(warm_start)
         self.telemetry = Telemetry()
         self._sessions: dict[str, SpmmSession | AttentionSession] = {}
         self._batcher = MicroBatcher(
@@ -288,6 +297,15 @@ class Engine:
     def _check_name(self, name: str) -> None:
         if name in self._sessions:
             raise ConfigError(f"session {name!r} already exists")
+
+    # -- request intake -------------------------------------------------
+    def _enqueue(self, session: str, key: tuple, payload: dict) -> Future:
+        """Submit to the micro-batcher, accounting admission rejections."""
+        try:
+            return self._batcher.submit(key, payload)
+        except AdmissionError:
+            self.telemetry.record_rejection(session)
+            raise
 
     # -- ticketed client API -------------------------------------------
     def _track(self, future: Future) -> RequestHandle:
@@ -397,7 +415,8 @@ class Engine:
                 "spmm", self._device, lhs=session.matrix, rhs=rhs
             )
         self.telemetry.record_batch(
-            session.name, "spmm", res.time_s, [i.queue_wait_s for i in items]
+            session.name, "spmm", res.time_s, [i.queue_wait_s for i in items],
+            backend=plan.backend, device=plan.device,
         )
         offsets = np.concatenate([[0], np.cumsum(widths)])
         share = res.time_s / len(items)
@@ -444,6 +463,7 @@ class Engine:
         self.telemetry.record_batch(
             session.name, "attention", res.total_s,
             [i.queue_wait_s for i in items],
+            backend=session.backend, device=self.device,
         )
         return [
             ServeResult(
@@ -468,6 +488,12 @@ class Engine:
                 name: self.telemetry.summary(name).to_dict()
                 for name in self.telemetry.sessions()
             },
+            "backends": {
+                f"{backend}@{device}":
+                    self.telemetry.backend_summary(backend, device).to_dict()
+                for backend, device in self.telemetry.backends()
+            },
+            "rejected": self.telemetry.rejections(),
             "total": self.telemetry.summary().to_dict(),
             "plan_cache": self.planner.cache.stats(),
             "plans": {

@@ -308,6 +308,7 @@ class ExecutionPlanner:
         cache: PlanCache | None = None,
         backends: Sequence[str] | None = None,
         devices: Sequence["Device | str"] | None = None,
+        warm_start: "str | Sequence[str] | None" = None,
     ) -> None:
         self._device = Device.resolve(device)
         extra = [Device.resolve(d) for d in (devices or ())]
@@ -317,6 +318,24 @@ class ExecutionPlanner:
                 self._devices.append(dev)
         self.backends = tuple(backends) if backends is not None else None
         self.cache = cache if cache is not None else PlanCache()
+        if warm_start is not None:
+            self.warm_start(warm_start)
+
+    def warm_start(self, artifacts: "str | Sequence[str]") -> int:
+        """Preload shipped autotune artifacts into the plan cache.
+
+        ``artifacts`` is one path or a sequence of paths to plan-cache
+        JSON files written by ``repro-autotune sweep``/``export``. Each
+        sibling manifest (when present) is checked against the live
+        backend registry and device table; drift is surfaced as
+        warnings — stale plans still load, they just re-lose the
+        planner search when their keys no longer match. Returns the
+        number of plans loaded.
+        """
+        # imported lazily: repro.autotune imports this module
+        from repro.autotune.artifact import warm_start_cache
+
+        return warm_start_cache(self.cache, artifacts)
 
     # -- views ----------------------------------------------------------
     @property

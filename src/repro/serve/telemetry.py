@@ -6,6 +6,12 @@ launch time. Throughput comes in two flavours: modelled (requests per
 second of modelled GPU busy time, the number a real deployment would
 see from the device) and wall (requests per second of host wall time in
 this process, dominated by the Python execution of the kernels).
+
+Batches are aggregated along two axes: per *session* (the serving
+view) and per ``(backend, device)`` (the runtime view) — the same axes
+the autotuner sweeps on, so an offline sweep report and a live serving
+report line up column for column. Admission-control rejections are
+counted per session alongside the served requests.
 """
 
 from __future__ import annotations
@@ -64,6 +70,8 @@ class Telemetry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._sessions: dict[str, _SessionStats] = {}
+        self._backends: dict[tuple[str, str], _SessionStats] = {}
+        self._rejections: dict[str, int] = {}
         self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -73,21 +81,54 @@ class Telemetry:
         op: str,
         modelled_time_s: float,
         queue_waits_s: list[float],
+        backend: str | None = None,
+        device: str | None = None,
     ) -> None:
-        """Record one batched launch serving ``len(queue_waits_s)`` requests."""
+        """Record one batched launch serving ``len(queue_waits_s)`` requests.
+
+        ``backend``/``device`` attribute the launch to one runtime
+        execution stack; batches recorded without them only show up in
+        the per-session view.
+        """
         n = len(queue_waits_s)
         with self._lock:
-            s = self._sessions.setdefault(session, _SessionStats())
-            s.ops.add(op)
-            s.batch_sizes.append(n)
-            s.batch_times_s.append(modelled_time_s)
-            s.latencies_s.extend([modelled_time_s] * n)
-            s.queue_waits_s.extend(queue_waits_s)
+            buckets = [self._sessions.setdefault(session, _SessionStats())]
+            if backend is not None and device is not None:
+                buckets.append(
+                    self._backends.setdefault((backend, device), _SessionStats())
+                )
+            for s in buckets:
+                s.ops.add(op)
+                s.batch_sizes.append(n)
+                s.batch_times_s.append(modelled_time_s)
+                s.latencies_s.extend([modelled_time_s] * n)
+                s.queue_waits_s.extend(queue_waits_s)
+
+    def record_rejection(self, session: str, count: int = 1) -> None:
+        """Count ``count`` admission-control rejections against a session."""
+        with self._lock:
+            self._rejections[session] = self._rejections.get(session, 0) + count
+
+    def rejections(self, session: str | None = None) -> int:
+        """Rejected requests for one session, or in total."""
+        with self._lock:
+            if session is None:
+                return sum(self._rejections.values())
+            return self._rejections.get(session, 0)
 
     # ------------------------------------------------------------------
     def sessions(self) -> list[str]:
+        """Every session seen — including ones whose every request was
+        rejected, so a fully-throttled session stays visible in the
+        report instead of vanishing while the TOTAL rejected count
+        grows."""
         with self._lock:
-            return sorted(self._sessions)
+            return sorted(set(self._sessions) | set(self._rejections))
+
+    def backends(self) -> list[tuple[str, str]]:
+        """Every ``(backend, device)`` pair that served at least one batch."""
+        with self._lock:
+            return sorted(self._backends)
 
     def summary(self, session: str | None = None) -> LatencySummary:
         """Aggregate one session, or everything when ``session`` is None."""
@@ -96,13 +137,23 @@ class Telemetry:
                 stats = list(self._sessions.values())
             else:
                 stats = [self._sessions.get(session, _SessionStats())]
-            latencies = np.array(
-                [t for s in stats for t in s.latencies_s], dtype=np.float64
-            )
-            waits = [w for s in stats for w in s.queue_waits_s]
-            sizes = [b for s in stats for b in s.batch_sizes]
-            busy = float(sum(t for s in stats for t in s.batch_times_s))
-            wall = time.monotonic() - self._started_at
+            return self._summarize(stats)
+
+    def backend_summary(self, backend: str, device: str) -> LatencySummary:
+        """Aggregate everything one ``(backend, device)`` pair served."""
+        with self._lock:
+            stats = [self._backends.get((backend, device), _SessionStats())]
+            return self._summarize(stats)
+
+    def _summarize(self, stats: list[_SessionStats]) -> LatencySummary:
+        """Aggregate a list of stat buckets (call with lock held)."""
+        latencies = np.array(
+            [t for s in stats for t in s.latencies_s], dtype=np.float64
+        )
+        waits = [w for s in stats for w in s.queue_waits_s]
+        sizes = [b for s in stats for b in s.batch_sizes]
+        busy = float(sum(t for s in stats for t in s.batch_times_s))
+        wall = time.monotonic() - self._started_at
         n = latencies.size
         if n == 0:
             return LatencySummary(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, wall, 0.0)
@@ -126,7 +177,7 @@ class Telemetry:
         from repro.bench.report import render_table
 
         headers = [
-            "session", "requests", "batches", "mean batch",
+            "session", "requests", "rejected", "batches", "mean batch",
             "p50 ms", "p95 ms", "p99 ms", "model req/s",
         ]
         rows = []
@@ -135,6 +186,7 @@ class Telemetry:
             rows.append([
                 name if name is not None else "TOTAL",
                 s.requests,
+                self.rejections(name),
                 s.batches,
                 f"{s.mean_batch_size:.2f}",
                 f"{s.p50_ms:.4f}",
@@ -143,6 +195,26 @@ class Telemetry:
                 f"{s.modelled_throughput_rps:.0f}",
             ])
         lines = [render_table(headers, rows, title="-- serving telemetry --")]
+        pairs = self.backends()
+        if pairs:
+            brows = []
+            for backend, device in pairs:
+                s = self.backend_summary(backend, device)
+                brows.append([
+                    backend,
+                    device,
+                    s.requests,
+                    s.batches,
+                    f"{s.p50_ms:.4f}",
+                    f"{s.p95_ms:.4f}",
+                    f"{s.p99_ms:.4f}",
+                    f"{s.modelled_throughput_rps:.0f}",
+                ])
+            lines.append(render_table(
+                ["backend", "device", "requests", "batches",
+                 "p50 ms", "p95 ms", "p99 ms", "model req/s"],
+                brows, title="-- per-backend telemetry --",
+            ))
         total = self.summary()
         lines.append(
             f"wall: {total.wall_s:.2f}s ({total.wall_throughput_rps:.0f} req/s host); "

@@ -1,0 +1,52 @@
+"""Shared fixtures: controllable plannable backends in the live registry.
+
+The measurement runner resolves backend names through the process-wide
+registry (the same path serving takes), so fake backends register
+globally and the fixture guarantees cleanup.
+"""
+
+import pytest
+
+from repro.runtime import (
+    REGISTRY,
+    Backend,
+    BackendCapabilities,
+    Candidate,
+    ExecutionResult,
+)
+
+
+class FakePlannableBackend(Backend):
+    """A plannable backend whose candidate cost is a constant."""
+
+    def __init__(self, name: str, priority: int, time_s: float) -> None:
+        self.name = name
+        self.priority = priority
+        self.time_s = time_s
+        self.planned = 0
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(ops=("spmm",), precisions=("int8",))
+
+    def execute(self, op, device, config=None, **operands) -> ExecutionResult:
+        raise NotImplementedError
+
+    def plan_candidates(self, problem, device, admits=None):
+        self.planned += 1
+        if admits is not None and not admits(8, 8):
+            return []
+        return [Candidate("L8-R8", 8, 8, {"bsn": 64}, self.time_s)]
+
+
+@pytest.fixture
+def fake_backends():
+    """Register a fast and a 10x-slower fake backend; unregister after."""
+    fast = FakePlannableBackend("fake-fast", 1, 1e-6)
+    slow = FakePlannableBackend("fake-slow", 2, 1e-5)
+    REGISTRY.register(fast.name, fast)
+    REGISTRY.register(slow.name, slow)
+    try:
+        yield fast, slow
+    finally:
+        REGISTRY.unregister(fast.name)
+        REGISTRY.unregister(slow.name)

@@ -1,0 +1,177 @@
+"""Artifacts: manifest round-trip, fingerprints, drift detection."""
+
+import json
+
+import pytest
+
+from repro.autotune.artifact import (
+    ArtifactManifest,
+    backend_fingerprint,
+    check_drift,
+    device_fingerprint,
+    load_artifact,
+    manifest_path,
+    warm_start_cache,
+    write_artifact,
+)
+from repro.autotune.runner import run_sweep
+from repro.autotune.space import SweepConfig
+from repro.errors import PlanCacheError
+from repro.runtime import REGISTRY
+from repro.serve.cache import PlanCache
+
+
+def small_report(fake_backends=None):
+    backends = ("fake-fast",) if fake_backends else ("magicube-emulation",)
+    config = SweepConfig(
+        shapes=((512, 512, 64),), devices=("A100",), backends=backends,
+        min_bits=((8, 8),),
+    )
+    return run_sweep(config, warmup=0, repeats=1, prune_ratio=None)
+
+
+class TestFingerprints:
+    def test_backend_fingerprint_is_stable(self):
+        backend = REGISTRY.get("magicube-emulation")
+        assert backend_fingerprint(backend) == backend_fingerprint(backend)
+
+    def test_backend_fingerprint_distinguishes_backends(self):
+        a = backend_fingerprint(REGISTRY.get("magicube-emulation"))
+        b = backend_fingerprint(REGISTRY.get("cublas-fp16"))
+        assert a != b
+
+    def test_device_fingerprint_distinguishes_devices(self):
+        assert device_fingerprint("A100") != device_fingerprint("H100")
+
+
+class TestRoundTrip:
+    def test_empty_sweep_claims_no_provenance(self):
+        """A budget-starved sweep must not fingerprint the whole
+        registry — its manifest covers exactly what was measured."""
+        from repro.autotune.runner import SweepBudget
+
+        config = SweepConfig(
+            shapes=((512, 512, 64),), devices=("A100",),
+            backends=("magicube-emulation",), min_bits=((8, 8),),
+        )
+        report = run_sweep(
+            config, budget=SweepBudget(max_seconds=1e-9),
+            warmup=0, repeats=1,
+        )
+        assert report.measurements == []
+        manifest = ArtifactManifest.for_report(report)
+        assert manifest.backends == {} and manifest.devices == {}
+        assert check_drift(manifest) == []
+
+    def test_write_then_load(self, tmp_path):
+        report = small_report()
+        manifest = ArtifactManifest.for_report(report)
+        plans_path, mpath = write_artifact(
+            tmp_path / "plans.json", report.cache, manifest
+        )
+        assert plans_path.exists() and mpath.exists()
+        assert mpath == manifest_path(plans_path)
+        loaded_cache, loaded_manifest = load_artifact(plans_path)
+        assert sorted(loaded_cache.keys()) == sorted(report.cache.keys())
+        assert loaded_manifest.plans == len(report.cache)
+        assert "magicube-emulation" in loaded_manifest.backends
+        assert "A100" in loaded_manifest.devices
+        assert loaded_manifest.sweep["measured"] == len(report.measurements)
+        assert loaded_manifest.measurements[0]["plan_key"] in loaded_cache
+
+    def test_plans_file_is_schema_v2(self, tmp_path):
+        report = small_report()
+        plans_path, _ = write_artifact(tmp_path / "plans.json", report.cache)
+        payload = json.loads(plans_path.read_text())
+        assert payload["version"] == 2
+        # loadable by a bare PlanCache, no autotune involved
+        assert PlanCache().load(plans_path) == len(report.cache)
+
+    def test_missing_manifest_loads_as_none(self, tmp_path):
+        report = small_report()
+        plans_path, mpath = write_artifact(tmp_path / "plans.json", report.cache)
+        mpath.unlink()
+        _, manifest = load_artifact(plans_path)
+        assert manifest is None
+
+    def test_unsupported_manifest_schema_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"schema": 99}))
+        with pytest.raises(PlanCacheError):
+            ArtifactManifest.load(path)
+
+    def test_corrupt_manifest_raises_typed_error(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{not json")
+        with pytest.raises(PlanCacheError):
+            ArtifactManifest.load(path)
+
+
+class TestDrift:
+    def _artifact(self, tmp_path):
+        report = small_report()
+        manifest = ArtifactManifest.for_report(report)
+        return write_artifact(tmp_path / "plans.json", report.cache, manifest)
+
+    def test_no_drift_against_the_producing_registry(self, tmp_path):
+        plans_path, _ = self._artifact(tmp_path)
+        _, manifest = load_artifact(plans_path)
+        assert check_drift(manifest) == []
+
+    def test_changed_fingerprint_is_flagged(self, tmp_path):
+        plans_path, mpath = self._artifact(tmp_path)
+        payload = json.loads(mpath.read_text())
+        payload["backends"]["magicube-emulation"] = "deadbeefcafe"
+        mpath.write_text(json.dumps(payload))
+        _, manifest = load_artifact(plans_path)
+        drift = check_drift(manifest)
+        assert len(drift) == 1
+        assert "magicube-emulation" in drift[0] and "changed" in drift[0]
+
+    def test_unregistered_backend_is_flagged(self, tmp_path):
+        plans_path, mpath = self._artifact(tmp_path)
+        payload = json.loads(mpath.read_text())
+        payload["backends"]["ghost-backend"] = "deadbeefcafe"
+        mpath.write_text(json.dumps(payload))
+        _, manifest = load_artifact(plans_path)
+        drift = check_drift(manifest)
+        assert any("ghost-backend" in line and "no longer registered" in line
+                   for line in drift)
+
+    def test_unknown_device_is_flagged(self, tmp_path):
+        plans_path, mpath = self._artifact(tmp_path)
+        payload = json.loads(mpath.read_text())
+        payload["devices"]["B200"] = "deadbeefcafe"
+        mpath.write_text(json.dumps(payload))
+        _, manifest = load_artifact(plans_path)
+        assert any("B200" in line for line in check_drift(manifest))
+
+
+class TestWarmStartCache:
+    def test_merges_plans_without_overwriting(self, tmp_path):
+        report = small_report()
+        plans_path, _ = write_artifact(tmp_path / "plans.json", report.cache)
+        cache = PlanCache()
+        assert warm_start_cache(cache, plans_path) == len(report.cache)
+        # idempotent: already-present keys are not double-counted
+        assert warm_start_cache(cache, plans_path) == 0
+
+    def test_drifted_manifest_warns_but_loads(self, tmp_path):
+        report = small_report()
+        manifest = ArtifactManifest.for_report(report)
+        manifest.backends["magicube-emulation"] = "deadbeefcafe"
+        plans_path, _ = write_artifact(
+            tmp_path / "plans.json", report.cache, manifest
+        )
+        cache = PlanCache()
+        with pytest.warns(RuntimeWarning, match="drifted"):
+            loaded = warm_start_cache(cache, plans_path)
+        assert loaded == len(report.cache)
+
+    def test_corrupt_artifact_warns_and_skips(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text("{torn write")
+        cache = PlanCache()
+        with pytest.warns(RuntimeWarning, match="skipping"):
+            assert warm_start_cache(cache, path) == 0
+        assert len(cache) == 0

@@ -1,0 +1,101 @@
+"""repro-autotune CLI: sweep / export / verify / diff."""
+
+import json
+
+from repro.autotune.cli import main
+
+
+def run_sweep_cli(tmp_path, *extra):
+    out = tmp_path / "plans.json"
+    rc = main([
+        "sweep", "--device", "A100", "--shape", "512x512x64",
+        "--backend", "magicube-emulation", "--min-bits", "8x8",
+        "--warmup", "0", "--repeats", "1", "--quiet",
+        "--out", str(out), *extra,
+    ])
+    return rc, out
+
+
+class TestSweep:
+    def test_writes_artifact_pair(self, tmp_path, capsys):
+        rc, out = run_sweep_cli(tmp_path)
+        assert rc == 0
+        assert out.exists()
+        manifest = tmp_path / "plans.manifest.json"
+        assert manifest.exists()
+        payload = json.loads(out.read_text())
+        assert payload["version"] == 2 and payload["plans"]
+        m = json.loads(manifest.read_text())
+        assert m["backends"] and m["devices"] and m["plans"] >= 1
+
+    def test_json_summary(self, tmp_path, capsys):
+        out = tmp_path / "plans.json"
+        rc = main([
+            "sweep", "--device", "A100", "--shape", "512x512x64",
+            "--backend", "magicube-emulation", "--min-bits", "8x8",
+            "--warmup", "0", "--repeats", "1", "--json", "--out", str(out),
+        ])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["measured"] == 1
+        assert summary["artifact"] == str(out)
+
+    def test_bad_device_is_a_clean_error(self, tmp_path, capsys):
+        rc = main([
+            "sweep", "--device", "TPU9000", "--quiet",
+            "--out", str(tmp_path / "p.json"),
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_fresh_artifact_verifies(self, tmp_path, capsys):
+        _, out = run_sweep_cli(tmp_path)
+        assert main(["verify", str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_registry_mismatch_is_flagged(self, tmp_path, capsys):
+        """The ISSUE acceptance gate: verify flags manifest drift."""
+        _, out = run_sweep_cli(tmp_path)
+        mpath = tmp_path / "plans.manifest.json"
+        payload = json.loads(mpath.read_text())
+        payload["backends"]["magicube-emulation"] = "deadbeefcafe"
+        mpath.write_text(json.dumps(payload))
+        assert main(["verify", str(out)]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_missing_manifest_fails_verification(self, tmp_path, capsys):
+        _, out = run_sweep_cli(tmp_path)
+        (tmp_path / "plans.manifest.json").unlink()
+        assert main(["verify", str(out)]) == 1
+
+
+class TestExportAndDiff:
+    def test_export_wraps_a_bare_cache(self, tmp_path, capsys):
+        _, out = run_sweep_cli(tmp_path)
+        exported = tmp_path / "shipped.json"
+        assert main(["export", str(out), "--out", str(exported)]) == 0
+        assert exported.exists()
+        assert (tmp_path / "shipped.manifest.json").exists()
+        assert main(["verify", str(exported)]) == 0
+
+    def test_diff_identical(self, tmp_path, capsys):
+        _, out = run_sweep_cli(tmp_path)
+        assert main(["diff", str(out), str(out)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_reports_added_plans(self, tmp_path, capsys):
+        _, small = run_sweep_cli(tmp_path)
+        big_dir = tmp_path / "big"
+        big_dir.mkdir()
+        rc = main([
+            "sweep", "--device", "A100", "--shape", "512x512x64",
+            "--shape", "512x512x128", "--backend", "magicube-emulation",
+            "--min-bits", "8x8", "--warmup", "0", "--repeats", "1",
+            "--quiet", "--out", str(big_dir / "plans.json"),
+        ])
+        assert rc == 0
+        assert main(["diff", str(small), str(big_dir / "plans.json")]) == 1
+        out = capsys.readouterr().out
+        assert "added" in out and "1 added" in out

@@ -1,0 +1,135 @@
+"""Measurement runner: stats, budgets, cost-model-guided pruning."""
+
+import pytest
+
+from repro.autotune.runner import SweepBudget, run_sweep
+from repro.autotune.space import SweepConfig
+from repro.errors import SweepError
+
+FOUR_SHAPES = ((512, 512, 32), (512, 512, 64), (512, 512, 96), (512, 512, 128))
+
+
+def fake_config(**overrides) -> SweepConfig:
+    defaults = dict(
+        ops=("spmm",),
+        shapes=FOUR_SHAPES,
+        devices=("A100",),
+        backends=("fake-fast", "fake-slow"),
+        min_bits=((8, 8),),
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+class TestMeasurement:
+    def test_every_point_measured_and_shipped(self, fake_backends):
+        report = run_sweep(fake_config(), warmup=0, repeats=2, prune_ratio=None)
+        assert len(report.measurements) == 8
+        assert len(report.cache) == 8
+        assert report.pruned == [] and report.skipped == [] and report.failed == []
+
+    def test_measurement_carries_search_statistics(self, fake_backends):
+        report = run_sweep(
+            fake_config(shapes=FOUR_SHAPES[:1]), warmup=1, repeats=3,
+            prune_ratio=None,
+        )
+        m = report.measurements[0]
+        assert m.repeats == 3
+        assert 0 < m.search_s_min <= m.search_s_median
+        assert m.plan_key in report.cache
+        assert m.precision == "L8-R8"
+
+    def test_shipped_plans_hit_under_the_predicted_key(self, fake_backends):
+        """The runner's key contract: artifact keys == serving keys."""
+        report = run_sweep(
+            fake_config(shapes=FOUR_SHAPES[:1]), warmup=0, repeats=1,
+            prune_ratio=None,
+        )
+        for m in report.measurements:
+            assert report.cache.peek(m.point.plan_key) is not None
+
+    def test_caller_supplied_empty_cache_is_used(self, fake_backends):
+        """An empty (falsy: PlanCache has __len__) cache still receives
+        the sweep's plans — e.g. a path-backed cache to save() later."""
+        from repro.serve.cache import PlanCache
+
+        shared = PlanCache()
+        report = run_sweep(
+            fake_config(shapes=FOUR_SHAPES[:1]), warmup=0, repeats=1,
+            prune_ratio=None, cache=shared,
+        )
+        assert report.cache is shared
+        assert len(shared) == 2
+
+    def test_validation(self, fake_backends):
+        with pytest.raises(SweepError):
+            run_sweep(fake_config(), repeats=0)
+        with pytest.raises(SweepError):
+            run_sweep(fake_config(), warmup=-1)
+        with pytest.raises(SweepError):
+            run_sweep(fake_config(), prune_ratio=0.5)
+
+
+class TestBudget:
+    def test_trial_budget_skips_the_tail(self, fake_backends):
+        report = run_sweep(
+            fake_config(), budget=SweepBudget(max_trials=3),
+            warmup=0, repeats=1, prune_ratio=None,
+        )
+        assert len(report.measurements) == 3
+        assert len(report.skipped) == 5
+        assert all("trial budget" in reason for _, reason in report.skipped)
+        assert report.points_total == 8
+
+    def test_time_budget_is_honoured(self, fake_backends):
+        # an already-expired clock budget measures nothing
+        report = run_sweep(
+            fake_config(), budget=SweepBudget(max_seconds=1e-9),
+            warmup=0, repeats=1, prune_ratio=None,
+        )
+        assert report.measurements == []
+        assert len(report.skipped) == 8
+
+    def test_budget_validation(self):
+        with pytest.raises(SweepError):
+            SweepBudget(max_trials=0)
+        with pytest.raises(SweepError):
+            SweepBudget(max_seconds=0)
+
+
+class TestPruning:
+    def test_consistent_loser_is_pruned(self, fake_backends):
+        """fake-slow loses 10x on every cell; after 2 losses it is cut."""
+        report = run_sweep(
+            fake_config(), warmup=0, repeats=1,
+            prune_ratio=4.0, prune_after=2,
+        )
+        measured = [m.point.backend for m in report.measurements]
+        assert measured.count("fake-fast") == 4
+        assert measured.count("fake-slow") == 2  # the two probing losses
+        assert len(report.pruned) == 2
+        assert all(p.backend == "fake-slow" for p, _ in report.pruned)
+        assert all("cost model" in reason for _, reason in report.pruned)
+
+    def test_close_competitor_is_never_pruned(self, fake_backends):
+        fast, slow = fake_backends
+        slow.time_s = fast.time_s * 2  # inside the 4x ratio
+        report = run_sweep(
+            fake_config(), warmup=0, repeats=1,
+            prune_ratio=4.0, prune_after=2,
+        )
+        assert report.pruned == []
+        assert len(report.measurements) == 8
+
+    def test_pruning_disabled_measures_everything(self, fake_backends):
+        report = run_sweep(fake_config(), warmup=0, repeats=1, prune_ratio=None)
+        assert len(report.measurements) == 8
+
+    def test_report_summary_accounts_every_point(self, fake_backends):
+        report = run_sweep(
+            fake_config(), budget=SweepBudget(max_trials=5),
+            warmup=0, repeats=1, prune_ratio=4.0, prune_after=2,
+        )
+        s = report.summary()
+        assert s["measured"] + s["pruned"] + s["skipped"] + s["failed"] == 8
+        assert s["plans"] == s["measured"]

@@ -34,6 +34,14 @@ class TestCli:
         assert "H100" in out and "V100" in out
         assert "L4-R4" in out  # A100's int4 latency winner
 
+    def test_autotune_cold_vs_warm_runs(self, capsys):
+        """The warm engine hits every swept class on first contact."""
+        assert main(["autotune", "--count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cold" in out and "warm" in out
+        assert "100.0%" in out  # warm first-contact hit rate
+        assert "plans shipped" in out
+
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "table1",
@@ -49,4 +57,5 @@ class TestCli:
             "fig17",
             "serve",
             "backends",
+            "autotune",
         }

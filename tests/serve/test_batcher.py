@@ -1,9 +1,10 @@
-"""MicroBatcher: coalescing, policy limits, error propagation."""
+"""MicroBatcher: coalescing, policy limits, admission, error propagation."""
 
 import threading
 
 import pytest
 
+from repro.errors import AdmissionError
 from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher
 
 
@@ -126,6 +127,12 @@ class TestLifecycleAndErrors:
         with pytest.raises(ValueError):
             BatchPolicy(max_wait_s=-1.0)
 
+    def test_admission_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(admission_budget_s=-0.1)
+
     def test_concurrent_submitters(self):
         rec = Recorder()
         results = []
@@ -144,3 +151,73 @@ class TestLifecycleAndErrors:
         for t in threads:
             t.join()
         assert len(results) == 24
+
+
+class TestAdmissionControl:
+    def test_default_policy_admits_everything(self):
+        rec = Recorder()
+        with MicroBatcher(rec, BatchPolicy(max_batch_size=64, max_wait_s=60.0)) as mb:
+            futures = [mb.submit("k", i) for i in range(40)]
+            mb.flush()
+            [f.result(timeout=5) for f in futures]
+        assert mb.rejections() == 0
+
+    def test_queue_depth_gate_rejects(self):
+        rec = Recorder()
+        policy = BatchPolicy(max_batch_size=64, max_wait_s=60.0, max_queue_depth=3)
+        with MicroBatcher(rec, policy) as mb:
+            futures = [mb.submit("k", i) for i in range(3)]
+            with pytest.raises(AdmissionError, match="max_queue_depth"):
+                mb.submit("k", 99)
+            mb.flush()
+            assert [f.result(timeout=5) for f in futures] == [
+                f"k:{i}" for i in range(3)
+            ]
+        assert mb.rejections() == 1
+        assert mb.rejections("k") == 1
+        assert mb.rejections("other") == 0
+
+    def test_depth_gate_is_per_group(self):
+        rec = Recorder()
+        policy = BatchPolicy(max_batch_size=64, max_wait_s=60.0, max_queue_depth=1)
+        with MicroBatcher(rec, policy) as mb:
+            a = mb.submit("a", 1)
+            b = mb.submit("b", 1)  # a full 'a' queue must not block 'b'
+            with pytest.raises(AdmissionError):
+                mb.submit("a", 2)
+            mb.flush()
+            assert a.result(timeout=5) == "a:1"
+            assert b.result(timeout=5) == "b:1"
+
+    def test_latency_budget_gate_rejects(self):
+        rec = Recorder()
+        # est delay = max_wait_s * (1 + depth // max_batch_size):
+        # depth 0, 1 -> 0.2s (admitted); depth 2 -> 0.4s (> 0.3 budget)
+        policy = BatchPolicy(
+            max_batch_size=2, max_wait_s=0.2, admission_budget_s=0.3
+        )
+        with MicroBatcher(rec, policy) as mb:
+            futures = [mb.submit("k", i) for i in range(2)]
+            with pytest.raises(AdmissionError, match="admission_budget_s"):
+                mb.submit("k", 99)
+            assert mb.rejections("k") == 1
+            [f.result(timeout=5) for f in futures]
+
+    def test_estimated_queue_delay_model(self):
+        policy = BatchPolicy(max_batch_size=4, max_wait_s=0.01)
+        assert policy.estimated_queue_delay_s(0) == pytest.approx(0.01)
+        assert policy.estimated_queue_delay_s(3) == pytest.approx(0.01)
+        assert policy.estimated_queue_delay_s(4) == pytest.approx(0.02)
+        assert policy.estimated_queue_delay_s(9) == pytest.approx(0.03)
+
+    def test_rejected_request_future_is_never_created(self):
+        """Rejection is synchronous: the caller gets the exception, not
+        a future that later fails."""
+        rec = Recorder()
+        policy = BatchPolicy(max_batch_size=64, max_wait_s=60.0, max_queue_depth=1)
+        with MicroBatcher(rec, policy) as mb:
+            mb.submit("k", 1)
+            with pytest.raises(AdmissionError):
+                mb.submit_async("k", 2)
+            mb.flush()
+        assert [p for _, p in rec.batches] == [[1]]

@@ -201,3 +201,60 @@ class TestThreadSafety:
         for t in threads:
             t.join()
         assert cache.hits == 8 * 200
+
+
+class TestCorruptFiles:
+    """PlanCache.load hardening: typed errors, forgiving auto-load."""
+
+    CASES = {
+        "truncated": '{"version": 2, "plans": {"a": {"op": "spm',
+        "not-json": "plan cache? never heard of it",
+        "empty": "",
+        "wrong-top-level": '["version", 2]',
+        "no-plans-key": '{"version": 2}',
+        "plans-not-a-dict": '{"version": 2, "plans": [1, 2]}',
+        "malformed-entry": '{"version": 2, "plans": {"a": {"l_bits": 8}}}',
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_strict_load_raises_typed_error(self, tmp_path, name):
+        from repro.errors import PlanCacheError
+
+        path = tmp_path / "plans.json"
+        path.write_text(self.CASES[name])
+        with pytest.raises(PlanCacheError):
+            PlanCache().load(path)
+
+    def test_plan_cache_error_is_a_value_error(self, tmp_path):
+        """Callers that caught the old untyped rejection keep working."""
+        path = tmp_path / "plans.json"
+        path.write_text("{broken")
+        with pytest.raises(ValueError):
+            PlanCache().load(path)
+
+    def test_lenient_load_warns_and_keeps_going(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text("{broken")
+        cache = PlanCache()
+        cache.put("existing", make_plan("existing"))
+        with pytest.warns(RuntimeWarning, match="unreadable plan cache"):
+            assert cache.load(path, strict=False) == 0
+        assert cache.peek("existing") is not None  # untouched
+
+    def test_constructor_autoload_survives_corruption(self, tmp_path):
+        """A torn shared cache file degrades startup to a cold cache."""
+        path = tmp_path / "plans.json"
+        path.write_text('{"version": 2, "plans": {"a"')
+        with pytest.warns(RuntimeWarning):
+            cache = PlanCache(path)
+        assert len(cache) == 0
+        # the cache is fully usable afterwards, including saving back
+        cache.put("a", make_plan("a"))
+        cache.save()
+        assert PlanCache(path).peek("a") is not None
+
+    def test_missing_file_still_raises_typed_error(self, tmp_path):
+        from repro.errors import PlanCacheError
+
+        with pytest.raises(PlanCacheError):
+            PlanCache().load(tmp_path / "nope.json")

@@ -1,0 +1,105 @@
+"""Telemetry: per-(backend, device) columns and rejection counters."""
+
+import numpy as np
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.engine import Engine
+from repro.serve.telemetry import Telemetry
+
+
+class TestPerBackendColumns:
+    def test_batches_aggregate_by_backend_device(self):
+        t = Telemetry()
+        t.record_batch("s1", "spmm", 1e-3, [0.0],
+                       backend="magicube-emulation", device="A100")
+        t.record_batch("s2", "spmm", 2e-3, [0.0, 0.0],
+                       backend="magicube-emulation", device="A100")
+        t.record_batch("s1", "spmm", 4e-3, [0.0],
+                       backend="cublas-fp16", device="H100")
+        assert t.backends() == [
+            ("cublas-fp16", "H100"), ("magicube-emulation", "A100"),
+        ]
+        mc = t.backend_summary("magicube-emulation", "A100")
+        assert mc.requests == 3 and mc.batches == 2
+        cb = t.backend_summary("cublas-fp16", "H100")
+        assert cb.requests == 1
+        assert cb.p50_ms > mc.p50_ms
+
+    def test_unattributed_batches_only_in_session_view(self):
+        t = Telemetry()
+        t.record_batch("s1", "spmm", 1e-3, [0.0])
+        assert t.backends() == []
+        assert t.summary("s1").requests == 1
+
+    def test_unknown_pair_summarizes_empty(self):
+        t = Telemetry()
+        assert t.backend_summary("nope", "A100").requests == 0
+
+    def test_render_includes_backend_table_and_rejections(self):
+        t = Telemetry()
+        t.record_batch("s1", "spmm", 1e-3, [0.0],
+                       backend="magicube-emulation", device="A100")
+        t.record_rejection("s1")
+        text = t.render()
+        assert "per-backend telemetry" in text
+        assert "magicube-emulation" in text
+        assert "rejected" in text
+
+
+class TestRejections:
+    def test_fully_rejected_session_stays_visible(self):
+        """A session whose every request was rejected still gets a
+        report row; the TOTAL rejected count always adds up."""
+        t = Telemetry()
+        t.record_batch("served", "spmm", 1e-3, [0.0])
+        t.record_rejection("throttled")
+        assert t.sessions() == ["served", "throttled"]
+        assert t.summary("throttled").requests == 0
+        assert "throttled" in t.render()
+
+    def test_counts_per_session_and_total(self):
+        t = Telemetry()
+        t.record_rejection("a")
+        t.record_rejection("a", count=2)
+        t.record_rejection("b")
+        assert t.rejections("a") == 3
+        assert t.rejections("b") == 1
+        assert t.rejections() == 4
+        assert t.rejections("never-seen") == 0
+
+
+class TestEngineIntegration:
+    def test_summary_breaks_out_backends(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-8, 8, size=(64, 64))
+        with Engine(device="A100") as engine:
+            session = engine.spmm_session("ffn", weights, vector_length=8)
+            session.run(rng.integers(-8, 8, size=(64, 16)))
+            summary = engine.summary()
+        assert summary["rejected"] == 0
+        (pair,) = summary["backends"]
+        backend, device = pair.split("@")
+        assert device == "A100"
+        assert summary["backends"][pair]["requests"] == 1
+        assert "per-backend telemetry" in engine.report()
+
+    def test_admission_rejections_reach_telemetry(self):
+        import pytest
+
+        from repro.errors import AdmissionError
+
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-8, 8, size=(64, 64))
+        policy = BatchPolicy(
+            max_batch_size=64, max_wait_s=5.0, max_queue_depth=1
+        )
+        with Engine(device="A100", policy=policy) as engine:
+            session = engine.spmm_session("ffn", weights, vector_length=8)
+            rhs = rng.integers(-8, 8, size=(64, 16))
+            first = session.submit(rhs)
+            with pytest.raises(AdmissionError):
+                session.submit(rhs)
+            engine.flush()
+            first.result(timeout=5)
+            assert engine.telemetry.rejections("ffn") == 1
+            assert engine.summary()["rejected"] == 1
