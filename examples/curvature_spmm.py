@@ -13,7 +13,7 @@ Run:  python examples/curvature_spmm.py
 
 import numpy as np
 
-from repro import SparseMatrix, spmm
+from repro import SparseMatrix, api
 from repro.baselines import CublasGemm, cost_model_for
 from repro.lowp.quantize import symmetric_quantize
 
@@ -45,7 +45,8 @@ grads = rng.normal(size=(dim, 32)).astype(np.float32)
 cq, cp = symmetric_quantize(sparse_curv, 8)
 gq, gp = symmetric_quantize(grads, 8)
 A = SparseMatrix.from_dense(cq, vector_length=v, precision="L8-R8")
-r = spmm(A, gq, precision="L8-R8", scale=cp.scale * gp.scale)
+r = api.run(api.SpmmRequest(lhs=A, rhs=gq, precision="L8-R8",
+                            scale=cp.scale * gp.scale))
 
 exact = sparse_curv @ grads
 rel = float(np.abs(r.output - exact).mean() / np.abs(exact).mean())

@@ -9,7 +9,7 @@ Run:  python examples/mixed_precision_spmm.py
 
 import numpy as np
 
-from repro import SparseMatrix, spmm, supported_precisions
+from repro import SparseMatrix, api, supported_precisions
 from repro.dlmc import MatrixSpec, generate_matrix
 
 N = 256
@@ -24,7 +24,7 @@ for sparsity in (0.7, 0.8, 0.9, 0.95):
         dense = generate_matrix(spec, vector_length=8, bits=min(l_bits, 8))
         A = SparseMatrix.from_dense(dense, vector_length=8, precision=precision)
         rhs = rng.integers(-(1 << (r_bits - 1)), 1 << (r_bits - 1), size=(2304, N))
-        r = spmm(A, rhs, precision=precision)
+        r = api.run(api.SpmmRequest(lhs=A, rhs=rhs, precision=precision))
         # every precision pair computes the exact integer product
         assert np.array_equal(r.output, dense.astype(np.int64) @ rhs)
         cells.append(f"{r.tops:10.1f}")
@@ -41,7 +41,7 @@ for v in (8, 4):
     dense = generate_matrix(spec, vector_length=v, bits=8)
     A = SparseMatrix.from_dense(dense, vector_length=v, precision="L16-R8")
     rhs = np.random.default_rng(6).integers(-128, 128, size=(2304, N))
-    r = spmm(A, rhs, precision="L16-R8")
+    r = api.run(api.SpmmRequest(lhs=A, rhs=rhs, precision="L16-R8"))
     mma_ops = r.stats.mma_ops["int8"]
     print(f"  V={v}: {mma_ops / 1e6:8.1f}M MMA ops "
           f"({'2 digit-MMAs stacked into 1' if v == 4 else '2 MMAs per tile'})")

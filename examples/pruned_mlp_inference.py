@@ -12,7 +12,7 @@ Run:  python examples/pruned_mlp_inference.py
 
 import numpy as np
 
-from repro import SparseMatrix, spmm
+from repro import SparseMatrix, api
 from repro.baselines import CublasGemm, cost_model_for
 from repro.lowp.quantize import symmetric_quantize
 
@@ -51,7 +51,8 @@ for i, w in enumerate(pruned):
     wq, wp = symmetric_quantize(w.T, 8)  # (out, in) int8 codes
     xq, xp = symmetric_quantize(x, 8)
     A = SparseMatrix.from_dense(wq, vector_length=v, precision="L8-R8")
-    r = spmm(A, xq, precision="L8-R8", scale=wp.scale * xp.scale)
+    r = api.run(api.SpmmRequest(lhs=A, rhs=xq, precision="L8-R8",
+                                scale=wp.scale * xp.scale))
     x = np.maximum(np.asarray(r.output, dtype=np.float32), 0.0)
     total_time += r.time_s
     dense_time += cm_dense.time(CublasGemm("fp16")(w.T, x0[: w.shape[0]] * 0 + 1.0).stats)

@@ -1,15 +1,17 @@
 """Quickstart: sparse x dense products with Magicube in five minutes.
 
 Builds a pruned weight matrix with 8x1 block sparsity, runs SpMM at a
-few precisions, runs SDDMM with the same topology as a mask, and prints
-the modelled A100 execution times.
+few precisions through the typed v1 API, runs SDDMM with the same
+topology as a mask, and finally serves a batch of requests through
+``repro.open_engine`` — all on the modelled A100.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import SparseMatrix, sddmm, spmm
+import repro
+from repro import SparseMatrix, api
 from repro.dlmc import MatrixSpec, generate_matrix
 
 # --- 1. a pruned layer: 256 x 1024, 90% sparse, 8x1 dense blocks -------
@@ -21,14 +23,14 @@ print(f"LHS: {A}")
 # --- 2. SpMM: sparse weights x dense activations ------------------------
 rng = np.random.default_rng(0)
 activations = rng.integers(-128, 128, size=(1024, 256))
-r = spmm(A, activations, precision="L8-R8")
+r = api.run(api.SpmmRequest(lhs=A, rhs=activations, precision="L8-R8"))
 expected = weights.astype(np.int64) @ activations
 assert np.array_equal(r.output, expected)
 print(f"SpMM L8-R8 : exact result, modelled time {r.time_s * 1e6:7.1f} us, "
       f"{r.tops:5.1f} TOP/s")
 
 # --- 3. the same product at mixed precision -----------------------------
-r16 = spmm(A, activations, precision="L16-R8")
+r16 = api.run(api.SpmmRequest(lhs=A, rhs=activations, precision="L16-R8"))
 assert np.array_equal(r16.output, expected)
 print(f"SpMM L16-R8: exact result, modelled time {r16.time_s * 1e6:7.1f} us, "
       f"{r16.tops:5.1f} TOP/s  (emulated: two int8 MMAs per tile)")
@@ -36,7 +38,7 @@ print(f"SpMM L16-R8: exact result, modelled time {r16.time_s * 1e6:7.1f} us, "
 # --- 4. SDDMM: sample a dense product at the sparse topology ------------
 q = rng.integers(-128, 128, size=(256, 64))
 k = rng.integers(-128, 128, size=(64, 1024))
-s = sddmm(q, k, mask=A, precision="L8-R8")
+s = api.run(api.SddmmRequest(a=q, b=k, mask=A, precision="L8-R8"))
 dense_scores = q.astype(np.int64) @ k
 sampled = s.output.to_dense()
 keep = sampled != 0
@@ -45,5 +47,20 @@ print(f"SDDMM L8-R8: exact sampled result, modelled time "
       f"{s.time_s * 1e6:7.1f} us, {s.tops:5.1f} TOP/s")
 
 # --- 5. fused dequantization epilogue ------------------------------------
-rq = spmm(A, activations, precision="L8-R8", scale=0.01)
+rq = api.run(api.SpmmRequest(lhs=A, rhs=activations, precision="L8-R8",
+                             scale=0.01))
 print(f"Fused dequant: float32 output, max |value| = {np.abs(rq.output).max():.2f}")
+
+# --- 6. the same requests, served: batching + cached plans ---------------
+with repro.open_engine(device="A100") as client:
+    futures = [
+        client.submit(api.SpmmRequest(lhs=A, session="rn50-layer",
+                                      rhs=rng.integers(-128, 128, size=(1024, 64))))
+        for _ in range(8)
+    ]
+    client.flush()
+    served = [f.result() for f in futures]
+print(f"Served {len(served)} requests in batches of "
+      f"{served[0].batch_size}; plan {served[0].plan.precision} via "
+      f"{served[0].backend}, amortized {served[0].request_time_s * 1e6:.1f} us "
+      f"per request")

@@ -41,9 +41,12 @@ setup(
     extras_require={"test": ["pytest", "pytest-benchmark"]},
     entry_points={
         "console_scripts": [
-            "repro-bench=repro.bench.cli:main",
-            "repro-serve=repro.serve.cli:main",
-            "repro-autotune=repro.autotune.cli:main",
+            # the single v1 entry point: serve / autotune / bench
+            "repro=repro.cli:main",
+            # pre-v1 per-subsystem scripts (deprecation shims)
+            "repro-bench=repro.cli:bench_main",
+            "repro-serve=repro.cli:serve_main",
+            "repro-autotune=repro.cli:autotune_main",
         ]
     },
 )

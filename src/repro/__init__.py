@@ -8,45 +8,85 @@ DLMC workload generator, and the quantized sparse-Transformer
 application — on a bit-accurate Tensor-core simulator substrate with a
 calibrated A100 cost model (see DESIGN.md for the substitution map).
 
-Quick start::
+The public surface is :mod:`repro.api` — typed requests, one uniform
+:class:`~repro.api.Response`, and one resolution pipeline behind both
+one-shot calls and the serving engine:
+
+One-shot::
 
     import numpy as np
-    from repro import SparseMatrix, spmm
+    from repro import SparseMatrix, api
 
     A = SparseMatrix.from_dense(pruned_weights, vector_length=8)
-    r = spmm(A, activations, precision="L8-R8")
+    r = api.run(api.SpmmRequest(lhs=A, rhs=activations, precision="L8-R8"))
     r.output, r.time_s, r.tops
+
+Serving::
+
+    import repro
+
+    with repro.open_engine(device="A100") as client:
+        future = client.submit(api.SpmmRequest(lhs=A, rhs=activations))
+        future.result().output
+
+The pre-v1 ``spmm`` / ``sddmm`` kwarg calls still work as deprecation
+shims over the same pipeline.
 """
 
-from repro.core.api import OpResult, SparseMatrix, sddmm, spmm
+from repro import api
+from repro.api import (
+    AttentionRequest,
+    Client,
+    Response,
+    SddmmRequest,
+    SpmmRequest,
+    open_engine,
+)
+from repro.core.api import OpResult, sddmm, spmm
+from repro.core.matrix import SparseMatrix
 from repro.core.precision import Precision, parse_precision, supported_precisions
 from repro.errors import (
+    AdmissionError,
     ConfigError,
     DeviceError,
+    EngineClosedError,
     FormatError,
     LayoutError,
     MagicubeError,
+    PlanCacheError,
     PrecisionError,
     QuantizationError,
+    ReproError,
     ShapeError,
 )
 from repro.version import __version__
 
 __all__ = [
-    "SparseMatrix",
-    "spmm",
-    "sddmm",
-    "OpResult",
-    "Precision",
-    "parse_precision",
-    "supported_precisions",
-    "MagicubeError",
-    "PrecisionError",
-    "FormatError",
-    "ShapeError",
-    "LayoutError",
-    "DeviceError",
-    "QuantizationError",
+    "AdmissionError",
+    "AttentionRequest",
+    "Client",
     "ConfigError",
+    "DeviceError",
+    "EngineClosedError",
+    "FormatError",
+    "LayoutError",
+    "MagicubeError",
+    "OpResult",
+    "PlanCacheError",
+    "Precision",
+    "PrecisionError",
+    "QuantizationError",
+    "ReproError",
+    "Response",
+    "SddmmRequest",
+    "ShapeError",
+    "SparseMatrix",
+    "SpmmRequest",
+    "api",
+    "open_engine",
+    "parse_precision",
+    "sddmm",
+    "spmm",
+    "supported_precisions",
     "__version__",
 ]

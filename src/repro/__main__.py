@@ -1,0 +1,6 @@
+"""``python -m repro`` — alias of the ``repro`` console entry point."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,273 @@
+"""The v1 client facade: one engine handle, three verbs.
+
+:func:`open_engine` stands up a serving engine and returns a
+:class:`Client` that accepts every typed request the same three ways::
+
+    import repro
+    from repro.api import SpmmRequest, AttentionRequest
+
+    with repro.open_engine(device="A100", warm_start="plans.json") as client:
+        r = client.run(SpmmRequest(lhs=A, rhs=x))            # sync
+        fut = client.submit(SpmmRequest(lhs=A, rhs=x))       # Future
+        handle = client.submit_async(AttentionRequest(1024)) # awaitable
+
+Request classes are prepared lazily and memoized: the first
+``SpmmRequest`` carrying a given operand (or ``session=`` name) builds
+the prepared session — SR-BCRS conversion, operand-width
+classification, backend pinning — and every later request on the same
+operand reuses it. Warm-start artifacts, the batcher's admission
+policy, and telemetry all thread through :func:`open_engine`'s
+constructor, so there is exactly one place to configure a deployment.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.api.requests import (
+    AttentionRequest,
+    Request,
+    Response,
+    SddmmRequest,
+    SpmmRequest,
+)
+from repro.api.resolution import normalize
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+    from typing import Sequence
+
+    from repro.serve.batcher import BatchPolicy, RequestHandle
+    from repro.serve.cache import PlanCache
+    from repro.serve.engine import Engine
+    from repro.serve.planner import ExecutionPlanner
+    from repro.serve.telemetry import Telemetry
+
+__all__ = ["Client", "open_engine"]
+
+
+def open_engine(
+    device: str = "A100",
+    *,
+    backend: str | None = None,
+    policy: "BatchPolicy | None" = None,
+    warm_start: "str | Path | Sequence[str | Path] | None" = None,
+    cache: "PlanCache | None" = None,
+    planner: "ExecutionPlanner | None" = None,
+    telemetry: "Telemetry | None" = None,
+    max_workers: int = 4,
+) -> "Client":
+    """Open a serving engine and return its :class:`Client` facade.
+
+    ``device`` / ``backend`` pin the execution stack (the registry's
+    fallback chain resolves the default), ``warm_start`` preloads
+    shipped autotune artifacts into the plan cache, ``policy`` sets the
+    micro-batcher's coalescing and admission knobs, and ``telemetry``
+    injects a shared collector. ``cache`` / ``planner`` are mutually
+    exclusive escape hatches for pre-built planning state.
+    """
+    # imported lazily: the engine module imports repro.api for the
+    # typed requests, so a top-level import here would cycle
+    from repro.serve.engine import Engine
+
+    engine = Engine(
+        device=device,
+        planner=planner,
+        cache=cache,
+        policy=policy,
+        max_workers=max_workers,
+        backend=backend,
+        warm_start=warm_start,
+        telemetry=telemetry,
+    )
+    return Client(engine)
+
+
+class Client:
+    """Typed request intake over one :class:`~repro.serve.engine.Engine`.
+
+    All three verbs accept any request type: :meth:`run` blocks and
+    returns the :class:`~repro.api.requests.Response`, :meth:`submit`
+    returns a :class:`concurrent.futures.Future`, and
+    :meth:`submit_async` an awaitable ticketed
+    :class:`~repro.serve.batcher.RequestHandle` (redeemable via
+    :meth:`result`, also by integer id).
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+        # one prepared session per request class, for the client's
+        # lifetime: serving assumes a bounded set of request classes
+        # (models you deploy), so sessions — and the operands retained
+        # to keep id()-based keys valid — are never evicted. Name your
+        # classes with `session=` and reuse operands; a client is not a
+        # cache for unbounded ad-hoc operands.
+        self._sessions: dict[object, object] = {}
+        #: operands keyed by id() must stay alive for the key to hold
+        self._retained: dict[object, object] = {}
+        self._counter = 0
+
+    # -- request routing ------------------------------------------------
+    def _next_name(self, kind: str) -> str:
+        self._counter += 1
+        return f"{kind}#{self._counter}"
+
+    def _key_for(self, request: Request) -> object:
+        if request.session is not None:
+            return ("named", request.session)
+        if isinstance(request, SpmmRequest):
+            return ("spmm", id(request.lhs), request.backend)
+        if isinstance(request, SddmmRequest):
+            return ("sddmm", id(request.mask), request.backend)
+        return ("attention", request.topology)
+
+    def prepare(self, request: Request):
+        """The prepared session serving this request's class, building
+        it on first use. Advanced handle — exposes ``plan_for`` and the
+        prepared operand; :meth:`run` / :meth:`submit` call this
+        implicitly."""
+        key = self._key_for(request)
+        session = self._sessions.get(key)
+        if session is not None:
+            return session
+        name = request.session or self._next_name(request.op)
+        if isinstance(request, SpmmRequest):
+            req = normalize(request)
+            session = self._engine._make_spmm_session(
+                name, req.lhs,
+                objective=request.objective,
+                backend=request.backend,
+            )
+            self._retained[key] = request.lhs
+        elif isinstance(request, SddmmRequest):
+            mask = request.mask
+            session = self._engine._make_sddmm_session(
+                name, mask,
+                objective=request.objective,
+                backend=request.backend,
+            )
+            self._retained[key] = mask
+        elif isinstance(request, AttentionRequest):
+            session = self._engine._make_attention_session(
+                name,
+                request.seq_len,
+                num_heads=request.num_heads,
+                sparsity=request.sparsity,
+                scheme=request.scheme,
+                vector_length=request.vector_length,
+                num_layers=request.num_layers,
+                d_head=request.d_head,
+                **(
+                    {"backend": request.backend}
+                    if request.backend is not None
+                    else {}
+                ),
+            )
+        else:
+            raise ConfigError(f"unknown request type {type(request).__name__}")
+        self._sessions[key] = session
+        return session
+
+    def _check_operand(self, key, session, operand, prepared, what: str) -> None:
+        """A named session serves exactly the operand it was prepared
+        with — substituting silently would compute over the wrong
+        matrix."""
+        if operand is prepared or operand is self._retained.get(key):
+            return
+        raise ConfigError(
+            f"session {session.name!r} was prepared with a different "
+            f"{what}; pass the prepared operand (or omit `session=` to "
+            f"key by operand identity)"
+        )
+
+    def _route(self, request: Request):
+        key = self._key_for(request)
+        session = self.prepare(request)
+        if isinstance(request, SpmmRequest):
+            self._check_operand(key, session, request.lhs, session.matrix, "lhs")
+            # reuse the session's prepared operand (memoized layouts)
+            request = normalize(replace(request, lhs=session.matrix))
+        elif isinstance(request, SddmmRequest):
+            self._check_operand(
+                key, session, request.mask, session.topology, "mask"
+            )
+            request = normalize(replace(request, mask=session.topology))
+        else:
+            request = normalize(request)
+        return session, request
+
+    # -- the three verbs ------------------------------------------------
+    def submit(self, request: Request) -> Future:
+        """Enqueue one request; the future resolves to its
+        :class:`~repro.api.requests.Response`."""
+        session, req = self._route(request)
+        return session.submit_request(req)
+
+    def submit_async(self, request: Request) -> "RequestHandle":
+        """Like :meth:`submit`, returning an awaitable ticketed handle."""
+        return self._engine._track(self.submit(request))
+
+    def run(self, request: Request) -> Response:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(request).result()
+
+    def result(
+        self, request: "RequestHandle | int", timeout: float | None = None
+    ) -> Response:
+        """Redeem a ticket from :meth:`submit_async`."""
+        return self._engine.result(request, timeout=timeout)
+
+    # -- engine passthrough ---------------------------------------------
+    @property
+    def engine(self) -> "Engine":
+        return self._engine
+
+    @property
+    def telemetry(self) -> "Telemetry":
+        return self._engine.telemetry
+
+    @property
+    def planner(self) -> "ExecutionPlanner":
+        return self._engine.planner
+
+    @property
+    def device(self) -> str:
+        return self._engine.device
+
+    @property
+    def backend(self) -> str:
+        return self._engine.backend
+
+    @property
+    def closed(self) -> bool:
+        return self._engine.closed
+
+    def flush(self) -> None:
+        """Dispatch everything queued without waiting out the policy."""
+        self._engine.flush()
+
+    def close(self) -> None:
+        """Close the underlying engine (idempotent)."""
+        self._engine.close()
+
+    def summary(self) -> dict:
+        return self._engine.summary()
+
+    def report(self) -> str:
+        return self._engine.report()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return (
+            f"Client(device={self.device!r}, backend={self.backend!r}, "
+            f"sessions={len(self._sessions)}, {state})"
+        )

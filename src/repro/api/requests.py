@@ -1,0 +1,189 @@
+"""Typed request / response dataclasses — the v1 wire format.
+
+Every way of asking the library for work — a one-shot kernel call, a
+batched serving request, a modelled attention forward pass — is one of
+three request types, and every answer is one :class:`Response`. The
+request carries *what* to compute plus any pinning (precision, backend,
+injected config); the :mod:`repro.api.resolution` pipeline turns it
+into an executable :class:`~repro.api.resolution.Resolution`.
+
+This module is deliberately dependency-light (dataclasses + numpy +
+the prepared operand type) so shims and engines can import it without
+dragging in the planner or the runtime registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.matrix import SparseMatrix
+    from repro.formats.bcrs import BCRSMatrix
+    from repro.kernels.sddmm import SDDMMConfig
+    from repro.kernels.spmm import SpMMConfig
+    from repro.runtime import Device
+    from repro.serve.planner import Objective, Plan
+
+__all__ = [
+    "AttentionRequest",
+    "Request",
+    "Response",
+    "SddmmRequest",
+    "SpmmRequest",
+]
+
+
+@dataclass(eq=False)
+class SpmmRequest:
+    """One sparse x dense product: ``lhs @ rhs``.
+
+    ``lhs`` may be a prepared :class:`~repro.core.matrix.SparseMatrix`
+    (preferred — conversions are memoized on it) or a dense array that
+    is compressed with ``vector_length`` x 1 structure on first use.
+    ``precision`` pins a Table-IV pair; ``config`` injects a pre-built
+    kernel config verbatim (mutually exclusive with ``precision`` /
+    ``l_signed`` / ``knobs``). ``backend`` pins a registered runtime
+    backend by name. On a serving client, ``objective`` steers the
+    planner search and ``session`` names the request class for
+    telemetry; ``l_bits`` / ``r_bits`` override the operand-width
+    classification (otherwise measured from the data).
+    """
+
+    op: ClassVar[str] = "spmm"
+
+    lhs: "SparseMatrix | np.ndarray"
+    #: the dense activations; may be ``None`` for a prepare-only
+    #: request (``Client.prepare``), but is required to resolve or run
+    rhs: np.ndarray | None = None
+    precision: str | None = None
+    l_signed: bool | None = None
+    scale: float | None = None
+    config: "SpMMConfig | None" = None
+    backend: str | None = None
+    device: "Device | str | None" = None
+    objective: "Objective | None" = None
+    session: str | None = None
+    vector_length: int = 8
+    l_bits: int | None = None
+    r_bits: int | None = None
+    knobs: dict = field(default_factory=dict)
+
+
+@dataclass(eq=False)
+class SddmmRequest:
+    """One sampled dense x dense product: ``(a @ b)`` at ``mask``.
+
+    Mirrors :class:`SpmmRequest`: ``mask`` is the sparse topology
+    (a :class:`~repro.core.matrix.SparseMatrix` or BCRS matrix),
+    ``output_format`` picks ``"bcrs"`` (default) or ``"srbcrs"``, and
+    ``config`` injects a pre-built kernel config (mutually exclusive
+    with ``precision`` / ``output_format`` / ``knobs``).
+    """
+
+    op: ClassVar[str] = "sddmm"
+
+    mask: "SparseMatrix | BCRSMatrix"
+    #: the dense factors; may be ``None`` for a prepare-only request
+    #: (``Client.prepare``), but are required to resolve or run
+    a: np.ndarray | None = None
+    b: np.ndarray | None = None
+    precision: str | None = None
+    output_format: str | None = None
+    config: "SDDMMConfig | None" = None
+    backend: str | None = None
+    device: "Device | str | None" = None
+    objective: "Objective | None" = None
+    session: str | None = None
+    l_bits: int | None = None
+    r_bits: int | None = None
+    knobs: dict = field(default_factory=dict)
+
+
+@dataclass(eq=False)
+class AttentionRequest:
+    """One modelled sparse-Transformer forward pass (the paper's
+    Fig. 17 latency pipeline).
+
+    The topology fields (``seq_len`` ... ``d_head``) define the request
+    class — a serving client reuses one prepared session per distinct
+    topology — and ``batch`` is the per-request batch dimension
+    (same-topology requests coalesce by summing it). ``backend`` must
+    be a Magicube-family runtime backend; the response carries a
+    :class:`~repro.transformer.inference.LatencyResult` in ``stats``
+    and no ``output``.
+    """
+
+    op: ClassVar[str] = "attention"
+
+    seq_len: int
+    num_heads: int = 4
+    sparsity: float = 0.9
+    scheme: tuple[int, int] = (8, 8)
+    vector_length: int = 8
+    num_layers: int = 4
+    d_head: int = 64
+    batch: int = 1
+    backend: str | None = None
+    device: "Device | str | None" = None
+    session: str | None = None
+
+    @property
+    def topology(self) -> tuple:
+        """The request-class key: everything but ``batch``."""
+        return (
+            self.seq_len, self.num_heads, self.sparsity, tuple(self.scheme),
+            self.vector_length, self.num_layers, self.d_head, self.backend,
+        )
+
+
+#: any v1 request
+Request = SpmmRequest | SddmmRequest | AttentionRequest
+
+
+@dataclass(eq=False)
+class Response:
+    """What any v1 call resolves to — one-shot or served.
+
+    ``time_s`` is the modelled kernel time of the launch that carried
+    the request (every batch rider experiences it); ``request_time_s``
+    the request's amortized share (equal to ``time_s`` for one-shot
+    calls). ``stats`` holds the backend's detail object — per-kernel
+    :class:`~repro.gpu.timing.KernelStats` for matrix ops, a
+    :class:`~repro.transformer.inference.LatencyResult` for attention
+    (whose ``output`` is ``None``). ``plan`` is the serving plan that
+    routed the request, when one did.
+
+    This class supersedes the pre-v1 ``OpResult`` / ``ServeResult``
+    split; both old names alias it, and their attribute spellings
+    (``modelled_time_s``, ``detail``) are kept as properties.
+    """
+
+    output: object | None
+    time_s: float
+    tops: float = 0.0
+    stats: object | None = None
+    plan: "Plan | None" = None
+    backend: str = ""
+    device: str = ""
+    precision: str = ""
+    request_time_s: float | None = None
+    queue_wait_s: float = 0.0
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.request_time_s is None:
+            self.request_time_s = self.time_s
+
+    # -- pre-v1 attribute spellings ------------------------------------
+    @property
+    def modelled_time_s(self) -> float:
+        """Alias of ``time_s`` (the pre-v1 ``ServeResult`` spelling)."""
+        return self.time_s
+
+    @property
+    def detail(self) -> object | None:
+        """Alias of ``stats`` (the pre-v1 ``ServeResult`` spelling)."""
+        return self.stats

@@ -1,0 +1,444 @@
+"""The one resolution pipeline behind every API surface.
+
+Turning a typed request into something executable always walks the same
+four stages, in order:
+
+1. **precision parse / config merge** — either parse the request's
+   Table-IV ``precision`` label into a kernel config (rejecting the
+   ambiguous combination of an injected ``config`` with named
+   precision parameters — the clash check that used to live twice, in
+   ``core/api.py`` and per-session in ``serve/engine.py``), or take
+   the injected config verbatim;
+2. **device resolve** — :meth:`repro.runtime.Device.resolve` turns the
+   name into a validated Table-II handle (raising
+   :class:`~repro.errors.DeviceError`);
+3. **backend resolve** — the :mod:`repro.runtime` registry pins a named
+   backend or walks the priority-ordered fallback chain;
+4. **plan lookup / injection** — with a planner (the serving path) the
+   request class is solved once and memoized in the
+   :class:`~repro.serve.cache.PlanCache`; without one (one-shot calls)
+   the config from stage 1 is the plan.
+
+:func:`resolve` runs the pipeline and returns a :class:`Resolution`;
+:func:`execute` runs a resolution against its operands; :func:`run` is
+the one-shot composition of the two. Both :mod:`repro.core.api` (the
+legacy kwarg shims) and :mod:`repro.serve.engine` (session intake and
+batched dispatch) delegate here, so this module is the only place
+precision / device / backend / plan resolution happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.api.requests import (
+    AttentionRequest,
+    Request,
+    Response,
+    SddmmRequest,
+    SpmmRequest,
+)
+from repro.core.matrix import SparseMatrix
+from repro.core.precision import parse_precision
+from repro.errors import ConfigError, ShapeError
+from repro.formats.bcrs import BCRSMatrix
+from repro.kernels.sddmm import SDDMMConfig
+from repro.kernels.spmm import SpMMConfig
+from repro.lowp.quantize import int_range
+from repro.runtime import DEFAULT_BACKEND, Device, get_backend, resolve_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.planner import ExecutionPlanner, Plan
+
+__all__ = [
+    "Resolution",
+    "bits_required",
+    "execute",
+    "normalize",
+    "resolve",
+    "run",
+]
+
+#: operand widths a request can be classified into (Table IV sides)
+_LHS_WIDTHS = (4, 8, 12, 16)
+_RHS_WIDTHS = (4, 8, 16)
+
+
+def bits_required(values: np.ndarray, signed: bool = True) -> int:
+    """Smallest Table-IV operand width that holds every value."""
+    values = np.asarray(values)
+    lo = int(values.min()) if values.size else 0
+    hi = int(values.max()) if values.size else 0
+    for bits in _LHS_WIDTHS:
+        blo, bhi = int_range(bits, signed)
+        if blo <= lo and hi <= bhi:
+            return bits
+    raise ConfigError(f"values [{lo}, {hi}] exceed 16-bit range")
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """The executable outcome of the pipeline for one request.
+
+    ``backend`` is the resolved (for plans: winning) registry name;
+    ``config`` the concrete Magicube kernel config, or ``None`` when
+    the plan routes to a non-Magicube backend (whose execute path
+    takes no kernel knobs); ``plan`` the memoized serving plan when a
+    planner ran (``None`` for one-shot and config-injected requests).
+    """
+
+    op: str
+    device: Device
+    backend: str
+    config: "SpMMConfig | SDDMMConfig | None"
+    plan: "Plan | None"
+    precision: str
+
+    @property
+    def device_label(self) -> str:
+        """The device token results/telemetry are recorded under — the
+        plan's winning device when a plan routed the request."""
+        return self.plan.device if self.plan is not None else self.device.name
+
+
+# -- stage 0: operand normalization ------------------------------------
+
+def normalize(request: Request) -> Request:
+    """A copy of ``request`` with operands in canonical form.
+
+    Dense SpMM LHS operands become prepared
+    :class:`~repro.core.matrix.SparseMatrix` instances (conversion
+    happens once; pass the same object to reuse its memoized layouts),
+    arrays become ``np.ndarray``, and SDDMM masks are type- checked.
+    Idempotent — normalizing a normalized request is free.
+    """
+    if isinstance(request, SpmmRequest):
+        lhs = request.lhs
+        if not isinstance(lhs, SparseMatrix):
+            lhs = SparseMatrix.from_dense(
+                np.asarray(lhs), vector_length=request.vector_length
+            )
+        rhs = request.rhs
+        if rhs is not None:  # None = prepare-only (no operand yet)
+            rhs = np.asarray(rhs)
+            if rhs.ndim != 2 or rhs.shape[0] != lhs.shape[1]:
+                raise ShapeError(
+                    f"RHS must be ({lhs.shape[1]}, N), got {rhs.shape}"
+                )
+        return replace(request, lhs=lhs, rhs=rhs)
+    if isinstance(request, SddmmRequest):
+        topo = (
+            request.mask.bcrs
+            if isinstance(request.mask, SparseMatrix)
+            else request.mask
+        )
+        if not isinstance(topo, BCRSMatrix):
+            raise ShapeError("mask must be a SparseMatrix or BCRSMatrix")
+        return replace(
+            request,
+            a=np.asarray(request.a) if request.a is not None else None,
+            b=np.asarray(request.b) if request.b is not None else None,
+            mask=topo,
+        )
+    if isinstance(request, AttentionRequest):
+        if request.batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {request.batch}")
+        return request
+    raise ConfigError(f"unknown request type {type(request).__name__}")
+
+
+# -- stage 1: precision parse / config merge ---------------------------
+
+def _check_clashes(request, named: dict) -> None:
+    """Reject an injected config combined with named kernel params."""
+    clashes = sorted(request.knobs)
+    clashes += [name for name, value in named.items() if value is not None]
+    if clashes:
+        raise ConfigError(
+            f"`config` already fixes the kernel setup; also passing "
+            f"{clashes} is ambiguous"
+        )
+
+
+def _infer_rhs_bits(rhs: np.ndarray) -> int:
+    needed = bits_required(rhs, signed=True)
+    return next(w for w in _RHS_WIDTHS if w >= needed)
+
+
+# -- the pipeline ------------------------------------------------------
+
+def resolve(
+    request: Request,
+    *,
+    device: "Device | str | None" = None,
+    planner: "ExecutionPlanner | None" = None,
+    backend: str | None = None,
+) -> Resolution:
+    """Run the resolution pipeline for one (normalized) request.
+
+    ``device`` and ``backend`` are the caller's defaults (an engine's
+    pinned device and session backend, or the one-shot defaults); the
+    request's own ``device`` / ``backend`` fields win when set. With a
+    ``planner`` the request class is planned and memoized (the serving
+    path); without one the request must carry enough to build a
+    concrete config (the one-shot path).
+    """
+    request = normalize(request)
+    dev = Device.resolve(request.device or device or "A100")
+    if isinstance(request, SpmmRequest):
+        return _resolve_spmm(request, dev, planner, backend)
+    if isinstance(request, SddmmRequest):
+        return _resolve_sddmm(request, dev, planner, backend)
+    return _resolve_attention(request, dev, backend)
+
+
+def _resolve_spmm(
+    req: SpmmRequest, dev: Device, planner, default_backend
+) -> Resolution:
+    name = req.backend if req.backend is not None else default_backend
+    if req.config is not None:
+        _check_clashes(req, {"precision": req.precision, "l_signed": req.l_signed})
+        cfg = req.config
+        be = resolve_backend(
+            name, op="spmm", device=dev,
+            precision=None if planner is not None else f"L{cfg.l_bits}-R{cfg.r_bits}",
+        )
+        return Resolution(
+            "spmm", dev, be.name, cfg, None, f"L{cfg.l_bits}-R{cfg.r_bits}"
+        )
+    if planner is None:
+        p = parse_precision(req.precision or "L8-R8", op="spmm")
+        cfg = SpMMConfig(
+            l_bits=p.l_bits,
+            r_bits=p.r_bits,
+            l_signed=req.l_signed if req.l_signed is not None else True,
+            **req.knobs,
+        )
+        be = resolve_backend(
+            name, op="spmm", device=dev, precision=f"L{cfg.l_bits}-R{cfg.r_bits}"
+        )
+        return Resolution(
+            "spmm", dev, be.name, cfg, None, f"L{cfg.l_bits}-R{cfg.r_bits}"
+        )
+    # serving path: plan lookup through the planner's memoized cache
+    from repro.serve.planner import Objective
+
+    if req.rhs is None:
+        raise ConfigError("SpmmRequest.rhs is required to resolve a plan")
+    be = resolve_backend(name, op="spmm", device=dev)
+    lhs: SparseMatrix = req.lhs
+    m, k = lhs.shape
+    if req.precision is not None:
+        p = parse_precision(req.precision, op="spmm")
+        obj = Objective.fixed(p.l_bits, p.r_bits)
+    else:
+        l_bits = req.l_bits or bits_required(lhs.bcrs.values, signed=True)
+        r_bits = req.r_bits or _infer_rhs_bits(req.rhs)
+        obj = (req.objective or Objective.latency()).with_min_bits(l_bits, r_bits)
+    plan = planner.plan_spmm(
+        m, k, req.rhs.shape[1], lhs.vector_length, lhs.sparsity, obj,
+        backend=be.name,
+    )
+    cfg = None
+    if plan.is_magicube:
+        overrides = dict(req.knobs)
+        if req.l_signed is not None:
+            overrides["l_signed"] = req.l_signed
+        cfg = plan.spmm_config(**overrides)
+    return Resolution("spmm", dev, plan.backend, cfg, plan, plan.precision)
+
+
+def _resolve_sddmm(
+    req: SddmmRequest, dev: Device, planner, default_backend
+) -> Resolution:
+    name = req.backend if req.backend is not None else default_backend
+    if req.config is not None:
+        _check_clashes(
+            req, {"precision": req.precision, "output_format": req.output_format}
+        )
+        cfg = req.config
+        be = resolve_backend(
+            name, op="sddmm", device=dev,
+            precision=None if planner is not None else f"L{cfg.l_bits}-R{cfg.r_bits}",
+        )
+        return Resolution(
+            "sddmm", dev, be.name, cfg, None, f"L{cfg.l_bits}-R{cfg.r_bits}"
+        )
+    if planner is None:
+        p = parse_precision(req.precision or "L8-R8", op="sddmm")
+        cfg = SDDMMConfig(
+            l_bits=p.l_bits,
+            r_bits=p.r_bits,
+            output_format=req.output_format or "bcrs",
+            **req.knobs,
+        )
+        be = resolve_backend(
+            name, op="sddmm", device=dev, precision=f"L{cfg.l_bits}-R{cfg.r_bits}"
+        )
+        return Resolution(
+            "sddmm", dev, be.name, cfg, None, f"L{cfg.l_bits}-R{cfg.r_bits}"
+        )
+    # serving path
+    from repro.serve.planner import Objective
+
+    if req.a is None or req.b is None:
+        raise ConfigError("SddmmRequest.a and .b are required to resolve a plan")
+    be = resolve_backend(name, op="sddmm", device=dev)
+    topo: BCRSMatrix = req.mask
+    rows, cols = topo.shape
+    if req.precision is not None:
+        p = parse_precision(req.precision, op="sddmm")
+        obj = Objective.fixed(p.l_bits, p.r_bits)
+    else:
+        l_bits = req.l_bits or bits_required(req.a, signed=True)
+        r_bits = req.r_bits or bits_required(req.b, signed=True)
+        obj = (req.objective or Objective.latency()).with_min_bits(l_bits, r_bits)
+    plan = planner.plan_sddmm(
+        rows, cols, req.a.shape[1], topo.vector_length, topo.sparsity, obj,
+        backend=be.name,
+    )
+    cfg = None
+    if plan.is_magicube:
+        cfg = plan.sddmm_config(
+            output_format=req.output_format or "bcrs", **req.knobs
+        )
+    return Resolution("sddmm", dev, plan.backend, cfg, plan, plan.precision)
+
+
+def _resolve_attention(
+    req: AttentionRequest, dev: Device, default_backend
+) -> Resolution:
+    name = req.backend
+    if name is None:
+        name = (
+            default_backend
+            if default_backend is not None and default_backend.startswith("magicube")
+            else DEFAULT_BACKEND
+        )
+    if not name.startswith("magicube"):
+        raise ConfigError(
+            f"attention sessions model the Magicube pipeline; backend "
+            f"{name!r} cannot plan it"
+        )
+    precision = f"L{req.scheme[0]}-R{req.scheme[1]}"
+    return Resolution("attention", dev, name, None, None, precision)
+
+
+# -- execution ---------------------------------------------------------
+
+def execute(
+    res: Resolution,
+    request: Request,
+    *,
+    rhs: np.ndarray | None = None,
+    batch: int | None = None,
+    planner: "ExecutionPlanner | None" = None,
+) -> Response:
+    """Run a resolution against its request's operands.
+
+    ``rhs`` / ``batch`` override the request's own operand — the
+    micro-batcher's coalesced launches execute one resolution against
+    the concatenated batch. ``planner`` routes the attention latency
+    model through cached serving plans (the engine path).
+    """
+    if res.op == "spmm":
+        the_rhs = rhs if rhs is not None else request.rhs
+        if the_rhs is None:
+            raise ConfigError("SpmmRequest.rhs is required to execute")
+        if res.config is not None:
+            r = get_backend(res.backend).execute(
+                "spmm", res.device, config=res.config,
+                lhs=request.lhs, rhs=the_rhs, scale=request.scale,
+            )
+        else:
+            # non-Magicube plans (vector-sparse on V100, a pinned
+            # baseline...) take no Magicube kernel knobs
+            r = get_backend(res.backend).execute(
+                "spmm", res.device, lhs=request.lhs, rhs=the_rhs
+            )
+    elif res.op == "sddmm":
+        if request.a is None or request.b is None:
+            raise ConfigError("SddmmRequest.a and .b are required to execute")
+        if res.config is not None:
+            r = get_backend(res.backend).execute(
+                "sddmm", res.device, config=res.config,
+                a=request.a, b=request.b, mask=request.mask,
+            )
+        else:
+            r = get_backend(res.backend).execute(
+                "sddmm", res.device, a=request.a, b=request.b, mask=request.mask
+            )
+    else:
+        return _execute_attention(res, request, batch=batch, planner=planner)
+    return Response(
+        output=r.output,
+        time_s=r.time_s,
+        tops=r.tops,
+        stats=r.stats,
+        plan=res.plan,
+        backend=res.backend,
+        device=res.device_label,
+        precision=res.precision,
+    )
+
+
+def _execute_attention(
+    res: Resolution, req: AttentionRequest, *, batch, planner
+) -> Response:
+    # imported lazily: repro.transformer.inference imports
+    # repro.serve.topology, so a top-level import here would cycle
+    from repro.transformer.inference import (
+        Backend as InferenceBackend,
+        InferenceConfig,
+        estimate_latency,
+    )
+
+    cfg = InferenceConfig(
+        seq_len=req.seq_len,
+        num_heads=req.num_heads,
+        batch=batch if batch is not None else req.batch,
+        sparsity=req.sparsity,
+        num_layers=req.num_layers,
+        d_head=req.d_head,
+        vector_length=req.vector_length,
+        device=res.device.name,
+    )
+    lat = estimate_latency(
+        cfg,
+        InferenceBackend("magicube", *req.scheme),
+        planner=planner,
+        plan_backend=res.backend,
+    )
+    return Response(
+        output=None,
+        time_s=lat.total_s,
+        stats=lat,
+        backend=res.backend,
+        device=res.device_label,
+        precision=res.precision,
+    )
+
+
+def run(
+    request: Request,
+    *,
+    device: "Device | str | None" = None,
+    planner: "ExecutionPlanner | None" = None,
+    backend: str | None = None,
+) -> Response:
+    """One-shot: resolve a request and execute it immediately.
+
+    The direct replacement for the legacy ``repro.core.api.spmm`` /
+    ``sddmm`` kwarg calls — no engine, no batching, same pipeline::
+
+        from repro import api
+
+        r = api.run(api.SpmmRequest(lhs=A, rhs=B, precision="L8-R8"))
+        r.output, r.time_s, r.tops
+    """
+    request = normalize(request)
+    res = resolve(request, device=device, planner=planner, backend=backend)
+    return execute(res, request, planner=planner)

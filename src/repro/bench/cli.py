@@ -200,20 +200,20 @@ def _print_autotune(count: int) -> None:
 
     import numpy as np
 
+    from repro import api
     from repro.autotune import ArtifactManifest, SweepConfig, run_sweep, write_artifact
     from repro.bench.report import render_table
     from repro.dlmc.generator import MatrixSpec, generate_matrix
-    from repro.serve.engine import Engine
 
     widths = (64, 128, 256)
     spec = MatrixSpec("transformer", 512, 512, sparsity=0.9, seed=1)
     weights = generate_matrix(spec, vector_length=8, bits=8)
     rng = np.random.default_rng(0)
 
-    def first_contact(engine: Engine) -> dict:
+    def first_contact(client: api.Client) -> dict:
         """Plan every request class once; returns hit/miss/latency stats."""
-        session = engine.spmm_session("ffn", weights, vector_length=8)
-        cache = engine.planner.cache
+        session = client.prepare(api.SpmmRequest(lhs=weights, session="ffn"))
+        cache = client.planner.cache
         cache.reset_counters()
         t0 = _time.perf_counter()
         for n in widths:
@@ -226,8 +226,8 @@ def _print_autotune(count: int) -> None:
         return {"planner_ms": planner_s * 1e3, **stats}
 
     # offline: sweep exactly the request classes the engine will see
-    with Engine(device="A100") as probe:
-        probe_session = probe.spmm_session("probe", weights, vector_length=8)
+    with api.open_engine(device="A100") as probe:
+        probe_session = probe.prepare(api.SpmmRequest(lhs=weights, session="probe"))
         weight_bits = probe_session.weight_bits
         weights = probe_session.matrix  # converted once, reused below
     config = SweepConfig(
@@ -251,9 +251,9 @@ def _print_autotune(count: int) -> None:
         )
         results = {}
         for mode, kwargs in (("cold", {}), ("warm", {"warm_start": artifact})):
-            with Engine(device="A100", **kwargs) as engine:
-                preloaded = len(engine.planner.cache)
-                results[mode] = {"preloaded": preloaded, **first_contact(engine)}
+            with api.open_engine(device="A100", **kwargs) as client:
+                preloaded = len(client.planner.cache)
+                results[mode] = {"preloaded": preloaded, **first_contact(client)}
     print(render_table(
         ["mode", "preloaded", "hits", "misses", "hit rate", "planner ms"],
         [
@@ -310,7 +310,7 @@ EXPERIMENTS = {
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.bench", description=__doc__
+        prog="repro bench", description=__doc__
     )
     parser.add_argument("experiments", nargs="*", help="subset to run")
     parser.add_argument("--count", type=int, default=3, help="DLMC matrices per sparsity")

@@ -1,0 +1,119 @@
+"""``repro`` — the single console entry point.
+
+Usage::
+
+    repro serve --demo                  # batched serving demo
+    repro serve --plan spmm:512x512x256:v=8:s=0.9
+    repro autotune sweep --out plans.json
+    repro autotune verify plans.json
+    repro bench backends                # registered-backend sweep
+    repro bench fig14 table2
+
+Each subcommand delegates to the matching subsystem CLI
+(:mod:`repro.serve.cli`, :mod:`repro.autotune.cli`,
+:mod:`repro.bench.cli`) with the remaining arguments untouched, so
+``repro serve --demo`` and the old ``repro-serve --demo`` accept the
+same flags. The pre-v1 per-subsystem entry points (``repro-serve``,
+``repro-autotune``, ``repro-bench``) are deprecation shims over these
+subcommands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import warnings
+
+from repro.version import __version__
+
+#: subcommand -> (module with a ``main(argv) -> int``, help line)
+_COMMANDS: dict[str, tuple[str, str]] = {
+    "serve": (
+        "repro.serve.cli",
+        "batched serving demo and planner inspection",
+    ),
+    "autotune": (
+        "repro.autotune.cli",
+        "offline sweeps that ship warm plan caches (sweep/export/verify/diff)",
+    ),
+    "bench": (
+        "repro.bench.cli",
+        "regenerate the paper's tables and figures, plus serving benchmarks",
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Magicube (SC'22) reproduction — one typed API, one CLI. "
+            "Run a subcommand with -h for its own flags."
+        ),
+    )
+    # --version is dispatched manually in main() (the parser only
+    # renders help); declare it here so it shows up in --help
+    parser.add_argument(
+        "--version", action="store_true", help="print the version and exit"
+    )
+    sub = parser.add_subparsers(dest="command", metavar="{serve,autotune,bench}")
+    for name, (_module, help_line) in _COMMANDS.items():
+        sub.add_parser(name, help=help_line, add_help=False)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = _build_parser()
+    if not argv:
+        parser.print_help()
+        return 2
+    if argv[0] in ("-h", "--help"):
+        parser.print_help()
+        return 0
+    if argv[0] == "--version":
+        print(f"repro {__version__}")
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command not in _COMMANDS:
+        parser.print_usage(sys.stderr)
+        print(
+            f"repro: unknown command {command!r}; "
+            f"expected one of {sorted(_COMMANDS)}",
+            file=sys.stderr,
+        )
+        return 2
+    module = importlib.import_module(_COMMANDS[command][0])
+    return module.main(rest)
+
+
+def _legacy_main(old: str, command: str, argv: list[str] | None) -> int:
+    """Run a pre-v1 console script, warning about the replacement."""
+    warnings.warn(
+        f"the `{old}` entry point is deprecated; use `repro {command}` "
+        f"instead (see docs/api.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return main([command, *argv])
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """The deprecated ``repro-serve`` entry point."""
+    return _legacy_main("repro-serve", "serve", argv)
+
+
+def autotune_main(argv: list[str] | None = None) -> int:
+    """The deprecated ``repro-autotune`` entry point."""
+    return _legacy_main("repro-autotune", "autotune", argv)
+
+
+def bench_main(argv: list[str] | None = None) -> int:
+    """The deprecated ``repro-bench`` entry point."""
+    return _legacy_main("repro-bench", "bench", argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

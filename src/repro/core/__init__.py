@@ -1,15 +1,16 @@
-"""Public API of the Magicube reproduction.
+"""Core operand and precision layer of the Magicube reproduction.
 
-The facade a downstream user programs against:
-
-- :class:`repro.core.api.SparseMatrix` — construct once from dense /
-  BCRS data, reuse across kernels (it owns the SR-BCRS layout).
-- :func:`repro.core.api.spmm` / :func:`repro.core.api.sddmm` — one-call
-  sparse kernels with precision strings ("L8-R4") and variant knobs.
+- :class:`repro.core.matrix.SparseMatrix` — construct once from dense /
+  BCRS data, reuse across kernels (it owns the SR-BCRS layouts).
 - :mod:`repro.core.precision` — the Table IV precision registry.
+- :mod:`repro.core.api` — the pre-v1 ``spmm`` / ``sddmm`` kwarg calls,
+  now deprecation shims over :mod:`repro.api` (the typed v1 surface).
 """
 
-from repro.core.api import SparseMatrix, spmm, sddmm
+# matrix must load before the api shims: the shims pull in the
+# repro.api pipeline, which itself needs the prepared-operand type
+from repro.core.matrix import SparseMatrix
+from repro.core.api import spmm, sddmm
 from repro.core.precision import Precision, parse_precision, supported_precisions
 
 __all__ = [

@@ -1,119 +1,55 @@
-"""High-level API: SparseMatrix + one-call spmm / sddmm.
+"""Legacy high-level API — deprecation shims over :mod:`repro.api`.
 
-Typical use::
+This module used to own the one-call ``spmm`` / ``sddmm`` kwarg
+surface. Since v1 the typed request pipeline in :mod:`repro.api` is
+the public entry point; the functions here build the equivalent typed
+request, run it through the same resolution pipeline, and emit a
+:class:`DeprecationWarning` with the exact replacement. Results are
+bit-identical to the v1 path (they *are* the v1 path).
 
-    import numpy as np
+Migrate::
+
+    # before
     from repro import SparseMatrix, spmm
+    r = spmm(A, activations, precision="L8-R8")
 
-    A = SparseMatrix.from_dense(weights, vector_length=8, precision="L8-R4")
-    result = spmm(A, activations, precision="L8-R4")
-    C = result.output           # exact int64 product
-    t = result.time_s           # modelled A100 execution time
+    # after
+    from repro import SparseMatrix, api
+    r = api.run(api.SpmmRequest(lhs=A, rhs=activations, precision="L8-R8"))
+
+``SparseMatrix`` now lives in :mod:`repro.core.matrix` (re-exported
+here and from :mod:`repro`, unchanged and not deprecated), and the old
+``OpResult`` is an alias of the unified
+:class:`~repro.api.requests.Response`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
 import numpy as np
 
-from repro.core.precision import Precision, parse_precision
-from repro.errors import ConfigError, ShapeError
+from repro.api.requests import Response, SddmmRequest, SpmmRequest
+from repro.core.matrix import SparseMatrix
 from repro.formats.bcrs import BCRSMatrix
-from repro.formats.convert import bcrs_to_srbcrs, dense_to_bcrs
-from repro.formats.srbcrs import SRBCRSMatrix
 from repro.gpu.device import DeviceSpec
-from repro.gpu.mma import mma_shape_for
-from repro.gpu.timing import KernelStats
 from repro.kernels.sddmm import SDDMMConfig
 from repro.kernels.spmm import SpMMConfig
-from repro.runtime import Device, resolve_backend
+from repro.runtime import Device
+
+__all__ = ["OpResult", "SparseMatrix", "sddmm", "spmm"]
+
+#: pre-v1 name of the unified response type
+OpResult = Response
 
 
-class SparseMatrix:
-    """A 1-D-block sparse matrix prepared for Magicube kernels.
-
-    Owns both the BCRS view (for SDDMM masks / interchange) and the
-    SR-BCRS layout at the stride the requested precision needs. Build it
-    once per operand, reuse across calls.
-    """
-
-    def __init__(self, bcrs: BCRSMatrix, stride: int) -> None:
-        self.bcrs = bcrs
-        self.srbcrs: SRBCRSMatrix = bcrs_to_srbcrs(bcrs, stride=stride)
-        #: stride -> SR-BCRS layout; conversions happen once per stride
-        #: (a serving engine reuses the operand across precisions)
-        self._srbcrs_by_stride: dict[int, SRBCRSMatrix] = {stride: self.srbcrs}
-
-    def srbcrs_for(self, stride: int) -> SRBCRSMatrix:
-        """The SR-BCRS layout at ``stride``, converting (and caching) on
-        first use."""
-        layout = self._srbcrs_by_stride.get(stride)
-        if layout is None:
-            layout = bcrs_to_srbcrs(self.bcrs, stride=stride)
-            self._srbcrs_by_stride[stride] = layout
-        return layout
-
-    # -- constructors ---------------------------------------------------
-    @classmethod
-    def from_dense(
-        cls,
-        dense: np.ndarray,
-        vector_length: int,
-        precision: str = "L8-R8",
-    ) -> "SparseMatrix":
-        """Compress a dense matrix with V x 1 structured sparsity.
-
-        ``precision`` fixes the SR-BCRS stride (the native MMA k dim of
-        that pair).
-        """
-        p = parse_precision(precision, op="spmm")
-        stride = mma_shape_for(p.native_bits).k
-        bcrs = dense_to_bcrs(np.asarray(dense), vector_length)
-        return cls(bcrs, stride)
-
-    @classmethod
-    def from_bcrs(cls, bcrs: BCRSMatrix, precision: str = "L8-R8") -> "SparseMatrix":
-        """Wrap an existing BCRS matrix (e.g. an SDDMM output)."""
-        p = parse_precision(precision, op="spmm")
-        return cls(bcrs, mma_shape_for(p.native_bits).k)
-
-    # -- views ----------------------------------------------------------
-    @property
-    def shape(self) -> tuple[int, int]:
-        return self.bcrs.shape
-
-    @property
-    def vector_length(self) -> int:
-        return self.bcrs.vector_length
-
-    @property
-    def nnz(self) -> int:
-        return self.bcrs.nnz
-
-    @property
-    def sparsity(self) -> float:
-        return self.bcrs.sparsity
-
-    def to_dense(self) -> np.ndarray:
-        return self.bcrs.to_dense()
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        m, k = self.shape
-        return (
-            f"SparseMatrix({m}x{k}, V={self.vector_length}, "
-            f"sparsity={self.sparsity:.3f})"
-        )
-
-
-@dataclass
-class OpResult:
-    """Result of a high-level spmm / sddmm call."""
-
-    output: np.ndarray | BCRSMatrix | SRBCRSMatrix
-    stats: KernelStats
-    time_s: float
-    tops: float
+def _warn_legacy(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see docs/api.md for "
+        f"the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def spmm(
@@ -126,49 +62,33 @@ def spmm(
     config: SpMMConfig | None = None,
     backend: str | None = None,
     **config_kwargs,
-) -> OpResult:
+) -> Response:
     """Sparse x dense -> dense with Magicube's SpMM.
 
-    ``precision`` is a Table IV pair (``"L16-R8"``..., default
-    ``"L8-R8"``); extra keyword arguments reach
-    :class:`~repro.kernels.spmm.SpMMConfig` (ablation knobs, BSn...).
-    A pre-built ``config`` (e.g. from a serving plan) bypasses
-    precision parsing and takes the kernel knobs verbatim — the
-    plan-injection hook the :mod:`repro.serve` engine uses; combining
-    it with ``precision``/``l_signed``/knob kwargs is an error.
-
-    This function is a thin shim over the :mod:`repro.runtime` backend
-    registry: ``backend`` pins one registered backend by name
-    (``"magicube-strict"`` for the bit-level verification path), the
-    default resolves the priority-ordered fallback chain for
-    (precision, device). ``time_s``/``tops`` come from the resolved
-    backend's calibrated cost model on the resolved device.
+    .. deprecated:: v1
+        Use ``repro.api.run(repro.api.SpmmRequest(...))`` — same
+        fields, same results, one typed surface.
     """
-    if config is not None:
-        clashes = sorted(config_kwargs)
-        clashes += ["precision"] if precision is not None else []
-        clashes += ["l_signed"] if l_signed is not None else []
-        if clashes:
-            raise ConfigError(
-                f"`config` already fixes the kernel setup; also passing "
-                f"{clashes} is ambiguous"
-            )
-        cfg = config
-    else:
-        p: Precision = parse_precision(precision or "L8-R8", op="spmm")
-        cfg = SpMMConfig(
-            l_bits=p.l_bits,
-            r_bits=p.r_bits,
-            l_signed=l_signed if l_signed is not None else True,
-            **config_kwargs,
-        )
-    dev = Device.resolve(device)
-    be = resolve_backend(
-        backend, op="spmm", device=dev, precision=f"L{cfg.l_bits}-R{cfg.r_bits}"
+    # imported lazily: the resolution pipeline sits above this module
+    # in the import graph (it needs repro.core.matrix)
+    from repro.api.resolution import run as _run
+
+    _warn_legacy(
+        "repro.core.api.spmm(...)",
+        "repro.api.run(repro.api.SpmmRequest(lhs=..., rhs=..., ...))",
     )
-    res = be.execute("spmm", dev, config=cfg, lhs=lhs, rhs=rhs, scale=scale)
-    return OpResult(
-        output=res.output, stats=res.stats, time_s=res.time_s, tops=res.tops
+    return _run(
+        SpmmRequest(
+            lhs=lhs,
+            rhs=rhs,
+            precision=precision,
+            l_signed=l_signed,
+            scale=scale,
+            config=config,
+            backend=backend,
+            knobs=config_kwargs,
+        ),
+        device=device,
     )
 
 
@@ -182,40 +102,29 @@ def sddmm(
     config: SDDMMConfig | None = None,
     backend: str | None = None,
     **config_kwargs,
-) -> OpResult:
+) -> Response:
     """(dense x dense) sampled at a sparse mask with Magicube's SDDMM.
 
-    As with :func:`spmm`, a pre-built ``config`` injects a serving plan
-    directly, bypassing precision parsing (and rejecting the named
-    ``precision``/``output_format`` parameters alongside it), and
-    ``backend`` pins one registered runtime backend by name.
+    .. deprecated:: v1
+        Use ``repro.api.run(repro.api.SddmmRequest(...))`` — same
+        fields, same results, one typed surface.
     """
-    if config is not None:
-        clashes = sorted(config_kwargs)
-        clashes += ["precision"] if precision is not None else []
-        clashes += ["output_format"] if output_format is not None else []
-        if clashes:
-            raise ConfigError(
-                f"`config` already fixes the kernel setup; also passing "
-                f"{clashes} is ambiguous"
-            )
-        cfg = config
-    else:
-        p: Precision = parse_precision(precision or "L8-R8", op="sddmm")
-        cfg = SDDMMConfig(
-            l_bits=p.l_bits,
-            r_bits=p.r_bits,
-            output_format=output_format or "bcrs",
-            **config_kwargs,
-        )
-    topo = mask.bcrs if isinstance(mask, SparseMatrix) else mask
-    if not isinstance(topo, BCRSMatrix):
-        raise ShapeError("mask must be a SparseMatrix or BCRSMatrix")
-    dev = Device.resolve(device)
-    be = resolve_backend(
-        backend, op="sddmm", device=dev, precision=f"L{cfg.l_bits}-R{cfg.r_bits}"
+    from repro.api.resolution import run as _run
+
+    _warn_legacy(
+        "repro.core.api.sddmm(...)",
+        "repro.api.run(repro.api.SddmmRequest(a=..., b=..., mask=..., ...))",
     )
-    res = be.execute("sddmm", dev, config=cfg, a=a, b=b, mask=topo)
-    return OpResult(
-        output=res.output, stats=res.stats, time_s=res.time_s, tops=res.tops
+    return _run(
+        SddmmRequest(
+            a=a,
+            b=b,
+            mask=mask,
+            precision=precision,
+            output_format=output_format,
+            config=config,
+            backend=backend,
+            knobs=config_kwargs,
+        ),
+        device=device,
     )

@@ -1,14 +1,29 @@
 """Exception hierarchy for the repro (Magicube reproduction) library.
 
-All library-raised exceptions derive from :class:`MagicubeError` so that
-callers can catch a single type at API boundaries.
+All library-raised exceptions derive from :class:`ReproError` so that
+clients can catch one exception family at the :mod:`repro.api`
+boundary::
+
+    try:
+        client.run(request)
+    except repro.ReproError as exc:
+        ...  # every typed library error lands here
+
+:data:`MagicubeError` is the pre-v1 name of the same base class, kept
+as an alias so existing ``except MagicubeError`` handlers keep
+catching everything.
 """
 
 from __future__ import annotations
 
 
-class MagicubeError(Exception):
+class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
+
+
+#: pre-v1 alias of :class:`ReproError`; ``except MagicubeError`` still
+#: catches the whole family
+MagicubeError = ReproError
 
 
 class PrecisionError(MagicubeError):
@@ -76,3 +91,15 @@ class PlanCacheError(MagicubeError, ValueError):
 
 class SweepError(MagicubeError):
     """An autotuning sweep was misconfigured or produced no points."""
+
+
+class EngineClosedError(MagicubeError, RuntimeError):
+    """A request was submitted to (or redeemed from) a closed engine.
+
+    Raised by :meth:`repro.serve.engine.Engine.submit` /
+    :meth:`~repro.serve.engine.Engine.result` and by the micro-batcher
+    once :meth:`~repro.serve.engine.Engine.close` has run, instead of
+    leaking work into a shut-down executor. Also a ``RuntimeError`` so
+    pre-existing callers that caught the old untyped rejection keep
+    working.
+    """

@@ -24,27 +24,35 @@ engine:
 :mod:`repro.autotune` artifact so swept request classes hit the plan
 cache on first contact.
 
-Quick start::
+Quick start (the typed v1 surface — see :mod:`repro.api`)::
 
-    from repro.serve import Engine, Objective
+    import repro
+    from repro.api import SpmmRequest
 
-    with Engine() as engine:
-        session = engine.spmm_session("ffn", weights, vector_length=8,
-                                      objective=Objective.latency())
-        future = session.submit(activations)
+    with repro.open_engine() as client:
+        future = client.submit(SpmmRequest(lhs=weights, rhs=activations,
+                                           session="ffn"))
         result = future.result()
-        result.output, result.plan.precision, result.modelled_time_s
+        result.output, result.plan.precision, result.time_s
 
-``python -m repro.serve --demo`` runs a self-contained serving demo.
+``repro serve --demo`` (or ``python -m repro.serve --demo``) runs a
+self-contained serving demo.
 """
 
 from repro.serve.batcher import BatchPolicy, MicroBatcher, RequestHandle
 from repro.serve.cache import PlanCache
-from repro.serve.engine import Engine, ServeResult
+from repro.serve.engine import (
+    AttentionSession,
+    Engine,
+    SddmmSession,
+    ServeResult,
+    SpmmSession,
+)
 from repro.serve.planner import ExecutionPlanner, Objective, Plan, PlanKey
 from repro.serve.telemetry import Telemetry
 
 __all__ = [
+    "AttentionSession",
     "BatchPolicy",
     "Engine",
     "ExecutionPlanner",
@@ -54,6 +62,8 @@ __all__ = [
     "PlanCache",
     "PlanKey",
     "RequestHandle",
+    "SddmmSession",
     "ServeResult",
+    "SpmmSession",
     "Telemetry",
 ]

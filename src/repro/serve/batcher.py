@@ -30,7 +30,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, EngineClosedError
 
 
 @dataclass(frozen=True)
@@ -171,12 +171,14 @@ class MicroBatcher:
         """Queue one request; the future resolves to its own result.
 
         Raises :class:`~repro.errors.AdmissionError` when the policy's
-        admission gates refuse the request (see :class:`BatchPolicy`).
+        admission gates refuse the request (see :class:`BatchPolicy`)
+        and :class:`~repro.errors.EngineClosedError` (a
+        ``RuntimeError`` subclass) once :meth:`close` has run.
         """
         future: Future = Future()
         with self._wakeup:
             if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
+                raise EngineClosedError("MicroBatcher is closed")
             self._admit(key)
             self._groups.setdefault(key, _Group()).pending.append(
                 _Pending(payload, future, time.monotonic())

@@ -1,20 +1,21 @@
-"""``python -m repro.serve`` — serving demo and planner inspection.
+"""``repro serve`` — serving demo and planner inspection.
 
 Usage::
 
-    python -m repro.serve --demo                  # mixed-workload demo
-    python -m repro.serve --demo --requests 200   # heavier run
-    python -m repro.serve --demo --json           # machine-readable
-    python -m repro.serve --plan spmm:512x512x256:v=8:s=0.9
-    python -m repro.serve --demo --cache plans.json   # persist PlanCache
+    repro serve --demo                  # mixed-workload demo
+    repro serve --demo --requests 200   # heavier run
+    repro serve --demo --json           # machine-readable
+    repro serve --plan spmm:512x512x256:v=8:s=0.9
+    repro serve --demo --cache plans.json   # persist PlanCache
 
-The demo stands up an :class:`~repro.serve.engine.Engine` with two
-prepared SpMM sessions (a pruned Transformer FFN and a pruned ResNet
-layer) and one sparse-attention session, then fires a shuffled stream of
-mixed requests through the micro-batcher. It verifies one served SpMM
-against the direct :func:`repro.core.api.spmm` path bit-for-bit and
-prints per-session latency percentiles, throughput and the plan-cache
-hit rate.
+(``python -m repro.serve`` accepts the same flags.) The demo opens a
+:func:`repro.open_engine` client with two prepared SpMM request
+classes (a pruned Transformer FFN and a pruned ResNet layer) and one
+sparse-attention class, then fires a shuffled stream of typed mixed
+requests through the micro-batcher. It verifies one served SpMM
+against the direct :func:`repro.api.run` path bit-for-bit and prints
+per-session latency percentiles, throughput and the plan-cache hit
+rate.
 """
 
 from __future__ import annotations
@@ -36,11 +37,11 @@ def demo(
     backend: str | None = None,
 ) -> dict:
     """Run the mixed serving demo; returns the engine summary dict."""
-    from repro.core.api import spmm as direct_spmm
+    from repro import api
+    from repro.core.matrix import SparseMatrix
     from repro.dlmc.generator import MatrixSpec, generate_matrix
     from repro.serve.batcher import BatchPolicy
     from repro.serve.cache import PlanCache
-    from repro.serve.engine import Engine
     from repro.serve.planner import Objective
 
     def say(msg: str) -> None:
@@ -49,30 +50,45 @@ def demo(
 
     rng = np.random.default_rng(seed)
     cache = PlanCache(cache_path) if cache_path else None
-    engine = Engine(
+    client = api.open_engine(
         device=device,
         cache=cache,
         policy=BatchPolicy(max_batch_size=8, max_wait_s=0.005),
         backend=backend,
     )
-    say(f"engine: device={engine.device} backend={engine.backend}")
-    with engine:
-        # -- prepared sessions -----------------------------------------
+    say(f"engine: device={client.device} backend={client.backend}")
+    with client:
+        # -- prepared request classes ----------------------------------
+        # operands are converted once (the client memoizes the session
+        # per `session=` name); the typed requests below just reuse them
         ffn_spec = MatrixSpec("transformer", 512, 512, sparsity=0.9, seed=seed + 1)
-        ffn_weights = generate_matrix(ffn_spec, vector_length=8, bits=8)
-        ffn = engine.spmm_session(
-            "ffn-int8", ffn_weights, vector_length=8, objective=Objective.latency()
+        ffn_matrix = SparseMatrix.from_dense(
+            generate_matrix(ffn_spec, vector_length=8, bits=8), vector_length=8
         )
         conv_spec = MatrixSpec("rn50", 256, 1024, sparsity=0.95, seed=seed + 2)
-        conv_weights = generate_matrix(conv_spec, vector_length=8, bits=4)
-        conv = engine.spmm_session(
-            "conv-int4", conv_weights, vector_length=8, objective=Objective.latency()
+        conv_matrix = SparseMatrix.from_dense(
+            generate_matrix(conv_spec, vector_length=8, bits=4), vector_length=8
         )
-        attn = engine.attention_session(
-            "attention-8b8b", seq_len=1024, num_heads=4, sparsity=0.9, scheme=(8, 8)
+        attn_req = api.AttentionRequest(
+            seq_len=1024, num_heads=4, sparsity=0.9, scheme=(8, 8),
+            session="attention-8b8b",
         )
-        say(f"sessions: {ffn.name} {ffn.matrix!r}")
-        say(f"          {conv.name} {conv.matrix!r}")
+
+        def ffn_req(rhs):
+            return api.SpmmRequest(
+                lhs=ffn_matrix, rhs=rhs, session="ffn-int8",
+                objective=Objective.latency(),
+            )
+
+        def conv_req(rhs):
+            return api.SpmmRequest(
+                lhs=conv_matrix, rhs=rhs, session="conv-int4",
+                objective=Objective.latency(),
+            )
+
+        attn = client.prepare(attn_req)
+        say(f"sessions: ffn-int8 {ffn_matrix!r}")
+        say(f"          conv-int4 {conv_matrix!r}")
         say(f"          {attn.name} seq={attn.seq_len} heads={attn.num_heads}")
 
         # -- a shuffled stream of mixed requests over a few shapes -----
@@ -85,44 +101,53 @@ def demo(
         for kind in kinds:
             if kind == 0:
                 n = int(rng.choice(ffn_widths))
-                stream.append((ffn, rng.integers(-128, 128, size=(512, n))))
+                stream.append(ffn_req(rng.integers(-128, 128, size=(512, n))))
             elif kind == 1:
                 n = int(rng.choice(conv_widths))
-                stream.append((conv, rng.integers(-8, 8, size=(1024, n))))
+                stream.append(conv_req(rng.integers(-8, 8, size=(1024, n))))
             else:
-                stream.append((attn, int(rng.integers(1, 4))))
-        futures = [
-            (s, s.submit(payload), payload if s is not attn else None)
-            for s, payload in stream
-        ]
-        engine.flush()
-        results = [f.result() for _, f, _ in futures]
+                stream.append(
+                    api.AttentionRequest(
+                        seq_len=1024, num_heads=4, sparsity=0.9, scheme=(8, 8),
+                        session="attention-8b8b", batch=int(rng.integers(1, 4)),
+                    )
+                )
+        futures = [(req, client.submit(req)) for req in stream]
+        client.flush()
+        results = [f.result() for _, f in futures]
         say(f"served {len(results)} requests "
             f"({int((kinds != 2).sum())} spmm, {int((kinds == 2).sum())} attention)")
 
-        # -- bit-identical check vs the direct kernel path -------------
+        # -- bit-identical check vs the direct one-shot path -----------
         first_ffn = next(
-            ((r, rhs) for (s, _, rhs), r in zip(futures, results) if s is ffn),
+            (
+                (r, req.rhs)
+                for (req, _), r in zip(futures, results)
+                if isinstance(req, api.SpmmRequest) and req.session == "ffn-int8"
+            ),
             None,
         )
         if first_ffn is None:
             say("no ffn requests in this stream; bit-identical check skipped")
         else:
             served, rhs = first_ffn
-            direct = direct_spmm(
-                ffn.matrix, rhs, precision=served.plan.precision, device=device
+            direct = api.run(
+                api.SpmmRequest(
+                    lhs=ffn_matrix, rhs=rhs, precision=served.plan.precision
+                ),
+                device=device,
             )
             if not np.array_equal(served.output, direct.output):
                 raise AssertionError(
                     "served SpMM output differs from the direct path"
                 )
             say(f"bit-identical: served {served.plan.precision} output == direct "
-                f"repro.core.api.spmm "
+                f"repro.api.run "
                 f"({served.output.shape[0]}x{served.output.shape[1]})")
 
         say("")
-        say(engine.report())
-        plans = engine.planner.cache
+        say(client.report())
+        plans = client.planner.cache
         if not quiet:
             from repro.bench.report import render_table
 
@@ -143,7 +168,7 @@ def demo(
         if cache_path:
             plans.save()
             say(f"plan cache persisted to {cache_path}")
-        summary = engine.summary()
+        summary = client.summary()
     hit_rate = summary["plan_cache"]["hit_rate"]
     # the acceptance gate only makes sense once the stream is long
     # enough to amortize the first-time planning misses
@@ -184,7 +209,7 @@ def _run_plan(spec: str, device: str, objective: str) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(prog="python -m repro.serve", description=__doc__)
+    parser = argparse.ArgumentParser(prog="repro serve", description=__doc__)
     parser.add_argument("--demo", action="store_true", help="run the serving demo")
     parser.add_argument("--requests", type=int, default=128,
                         help="demo request count (default 128)")

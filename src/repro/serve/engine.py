@@ -5,85 +5,74 @@ An :class:`Engine` owns
 - an :class:`~repro.serve.planner.ExecutionPlanner` (with its
   :class:`~repro.serve.cache.PlanCache`),
 - a :class:`~repro.serve.batcher.MicroBatcher` + thread pool, and
-- :class:`~repro.serve.telemetry.Telemetry`.
+- :class:`~repro.serve.telemetry.Telemetry` (injectable via the
+  constructor's ``telemetry=`` for shared collectors).
 
 The engine is **device- and backend-aware**: its ``device`` argument is
 validated into a :class:`~repro.runtime.Device` handle, and each
-session pins one resolved :mod:`repro.runtime` backend (the registry's
-priority-ordered fallback for the device unless named explicitly), so
-every plan and every launch of that session stays on one execution
-stack — ``backend="magicube-strict"`` serves bit-level verified
-outputs, for example.
+session pins one resolved :mod:`repro.runtime` backend. All request
+intake runs the :mod:`repro.api.resolution` pipeline — the same
+precision → device → backend → plan stages a one-shot
+:func:`repro.api.run` call walks — so served outputs are bit-identical
+to the direct path; batching concatenates RHS columns, which the
+integer kernels process independently.
 
-Sessions are the prepared-model handles: an :class:`SpmmSession` wraps a
-:class:`~repro.core.api.SparseMatrix` built **once** (the SR-BCRS
-conversions are memoized per stride on the matrix itself), an
-:class:`AttentionSession` a sparse-Transformer attention block routed
-through the planner. ``session.submit(...)`` enqueues a request and
-returns a future; ``session.submit_async(...)`` (or the engine-level
-``engine.submit(name, ...)`` / ``engine.result(ticket)`` client API)
-returns an awaitable ticketed :class:`~repro.serve.batcher
-.RequestHandle`. Same-shape requests coalesce into one batched kernel
-launch. Outputs are bit-identical to the direct
-:func:`repro.core.api.spmm` path — batching concatenates RHS columns,
-which the integer kernels process independently.
+The typed front door is :func:`repro.open_engine` /
+:class:`repro.api.Client`: submit :class:`~repro.api.SpmmRequest` /
+:class:`~repro.api.SddmmRequest` / :class:`~repro.api.AttentionRequest`
+and get uniform :class:`~repro.api.Response` objects back. Sessions
+remain the prepared-request-class handles underneath (an
+:class:`SpmmSession` wraps a SparseMatrix converted **once**), and the
+pre-v1 factories :meth:`Engine.spmm_session` /
+:meth:`Engine.attention_session` are deprecation shims over them.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.api import SparseMatrix, spmm as api_spmm
-from repro.errors import AdmissionError, ConfigError, ShapeError
-from repro.lowp.quantize import int_range
-from repro.runtime import DEFAULT_BACKEND, Device, get_backend, resolve_backend
+from repro.api.requests import (
+    AttentionRequest,
+    Response,
+    SddmmRequest,
+    SpmmRequest,
+)
+from repro.api.resolution import (
+    Resolution,
+    bits_required,
+    execute as execute_resolution,
+    normalize,
+    resolve as resolve_request,
+)
+from repro.core.matrix import SparseMatrix
+from repro.errors import AdmissionError, ConfigError, EngineClosedError
+from repro.formats.bcrs import BCRSMatrix
+from repro.runtime import Device, resolve_backend
 from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher, RequestHandle
 from repro.serve.cache import PlanCache
 from repro.serve.planner import ExecutionPlanner, Objective, Plan
 from repro.serve.telemetry import Telemetry
 
-#: operand widths a request can be classified into (Table IV sides)
-_LHS_WIDTHS = (4, 8, 12, 16)
-_RHS_WIDTHS = (4, 8, 16)
+__all__ = [
+    "AttentionSession",
+    "Engine",
+    "SddmmSession",
+    "ServeResult",
+    "SpmmSession",
+    "bits_required",
+]
 
-
-def bits_required(values: np.ndarray, signed: bool = True) -> int:
-    """Smallest Table-IV operand width that holds every value."""
-    values = np.asarray(values)
-    lo = int(values.min()) if values.size else 0
-    hi = int(values.max()) if values.size else 0
-    for bits in _LHS_WIDTHS:
-        blo, bhi = int_range(bits, signed)
-        if blo <= lo and hi <= bhi:
-            return bits
-    raise ConfigError(f"values [{lo}, {hi}] exceed 16-bit range")
-
-
-@dataclass
-class ServeResult:
-    """What one served request resolves to.
-
-    ``modelled_time_s`` is the batched launch's modelled kernel time
-    (every rider experiences it); ``request_time_s`` the request's
-    amortized share. ``output`` is None for attention requests (the
-    attention path is the paper's latency model — its deliverable is
-    ``detail``, a :class:`~repro.transformer.inference.LatencyResult`).
-    """
-
-    output: np.ndarray | None
-    plan: Plan | None
-    modelled_time_s: float
-    request_time_s: float
-    queue_wait_s: float
-    batch_size: int
-    detail: object = None
+#: pre-v1 name of the unified response type (superseded by
+#: :class:`repro.api.Response`)
+ServeResult = Response
 
 
 class SpmmSession:
@@ -106,26 +95,51 @@ class SpmmSession:
 
     def plan_for(self, n: int, r_bits: int) -> Plan:
         """The (cached) plan serving requests with an (K, n) RHS."""
-        m, k = self.matrix.shape
-        obj = self.objective.with_min_bits(self.weight_bits, r_bits)
-        return self.engine.planner.plan_spmm(
-            m, k, n, self.matrix.vector_length, self.matrix.sparsity, obj,
+        probe = SpmmRequest(
+            lhs=self.matrix,
+            rhs=np.empty((self.matrix.shape[1], n), dtype=np.int8),
+            l_bits=self.weight_bits,
+            r_bits=r_bits,
+            objective=self.objective,
+        )
+        return self._resolve(probe).plan
+
+    def _resolve(self, req: SpmmRequest) -> Resolution:
+        return resolve_request(
+            req,
+            device=self.engine._device,
+            planner=self.engine.planner,
             backend=self.backend,
         )
 
-    def submit(self, rhs: np.ndarray, r_bits: int | None = None) -> Future:
-        """Enqueue one SpMM request; resolves to a :class:`ServeResult`."""
-        rhs = np.asarray(rhs)
-        if rhs.ndim != 2 or rhs.shape[0] != self.matrix.shape[1]:
-            raise ShapeError(
-                f"RHS must be ({self.matrix.shape[1]}, N), got {rhs.shape}"
+    def submit_request(self, req: SpmmRequest) -> Future:
+        """Enqueue one typed request; resolves to a :class:`Response`."""
+        req = normalize(
+            replace(
+                req,
+                objective=req.objective if req.objective is not None else self.objective,
+                l_bits=req.l_bits if req.l_bits is not None else self.weight_bits,
             )
-        if r_bits is None:
-            needed = bits_required(rhs, signed=True)
-            r_bits = next(w for w in _RHS_WIDTHS if w >= needed)
-        plan = self.plan_for(rhs.shape[1], r_bits)
-        key = ("spmm", self.name, rhs.shape[1], plan.precision)
-        return self.engine._enqueue(self.name, key, {"rhs": rhs, "plan": plan})
+        )
+        res = self._resolve(req)
+        # the group key carries everything that must match for requests
+        # to share one kernel launch — a batch executes under a single
+        # resolution, so riders with a different backend/device/config
+        # must never coalesce
+        key = (
+            "spmm", self.name, req.rhs.shape[1], res.precision,
+            res.backend, res.device_label, req.scale, req.l_signed,
+            tuple(sorted(req.knobs.items())), repr(res.config),
+        )
+        return self.engine._enqueue(
+            self.name, key, {"request": req, "resolution": res}
+        )
+
+    def submit(self, rhs: np.ndarray, r_bits: int | None = None) -> Future:
+        """Enqueue one SpMM request; resolves to a :class:`Response`."""
+        return self.submit_request(
+            SpmmRequest(lhs=self.matrix, rhs=rhs, r_bits=r_bits)
+        )
 
     def submit_async(
         self, rhs: np.ndarray, r_bits: int | None = None
@@ -133,9 +147,77 @@ class SpmmSession:
         """Like :meth:`submit`, returning an awaitable ticketed handle."""
         return self.engine._track(self.submit(rhs, r_bits=r_bits))
 
-    def run(self, rhs: np.ndarray, r_bits: int | None = None) -> ServeResult:
+    def run(self, rhs: np.ndarray, r_bits: int | None = None) -> Response:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(rhs, r_bits=r_bits).result()
+
+
+class SddmmSession:
+    """A prepared sparse topology serving SDDMM requests.
+
+    Same-class requests share the batcher's dispatch (and telemetry
+    group) but execute item-by-item — sampled products carry their own
+    dense operands, so there is no column concatenation to exploit.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        name: str,
+        mask: "SparseMatrix | BCRSMatrix",
+        objective: Objective,
+        backend: str,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.topology = mask
+        self.objective = objective
+        self.backend = backend
+
+    def _resolve(self, req: SddmmRequest) -> Resolution:
+        return resolve_request(
+            req,
+            device=self.engine._device,
+            planner=self.engine.planner,
+            backend=self.backend,
+        )
+
+    def submit_request(self, req: SddmmRequest) -> Future:
+        """Enqueue one typed request; resolves to a :class:`Response`."""
+        req = normalize(
+            replace(
+                req,
+                objective=req.objective if req.objective is not None else self.objective,
+            )
+        )
+        res = self._resolve(req)
+        key = (
+            "sddmm", self.name, req.a.shape[1], res.precision,
+            res.backend, res.device_label, req.output_format or "bcrs",
+            tuple(sorted(req.knobs.items())), repr(res.config),
+        )
+        return self.engine._enqueue(
+            self.name, key, {"request": req, "resolution": res}
+        )
+
+    def submit(
+        self, a: np.ndarray, b: np.ndarray, precision: str | None = None
+    ) -> Future:
+        """Enqueue one SDDMM request; resolves to a :class:`Response`."""
+        return self.submit_request(
+            SddmmRequest(a=a, b=b, mask=self.topology, precision=precision)
+        )
+
+    def submit_async(
+        self, a: np.ndarray, b: np.ndarray, precision: str | None = None
+    ) -> RequestHandle:
+        """Like :meth:`submit`, returning an awaitable ticketed handle."""
+        return self.engine._track(self.submit(a, b, precision=precision))
+
+    def run(
+        self, a: np.ndarray, b: np.ndarray, precision: str | None = None
+    ) -> Response:
+        return self.submit(a, b, precision=precision).result()
 
 
 class AttentionSession:
@@ -170,18 +252,50 @@ class AttentionSession:
         self.d_head = d_head
         self.backend = backend
 
+    def request(self, batch: int = 1) -> AttentionRequest:
+        """This session's topology as a typed request."""
+        return AttentionRequest(
+            seq_len=self.seq_len,
+            num_heads=self.num_heads,
+            sparsity=self.sparsity,
+            scheme=self.scheme,
+            vector_length=self.vector_length,
+            num_layers=self.num_layers,
+            d_head=self.d_head,
+            batch=batch,
+            backend=self.backend,
+        )
+
+    def submit_request(self, req: AttentionRequest) -> Future:
+        """Enqueue one typed request; resolves to a :class:`Response`.
+
+        The request's topology must match this prepared session — the
+        coalesced launch executes one topology, so serving a mismatch
+        would price the wrong forward pass.
+        """
+        req = normalize(req)
+        mine = self.request().topology
+        theirs = replace(
+            req, backend=req.backend if req.backend is not None else self.backend
+        ).topology
+        if theirs != mine:
+            raise ConfigError(
+                f"session {self.name!r} serves topology {mine}, not "
+                f"{theirs}; use a different session name (or let the "
+                f"client key by topology)"
+            )
+        key = ("attention", self.name)
+        return self.engine._enqueue(self.name, key, {"batch": req.batch})
+
     def submit(self, batch: int = 1) -> Future:
         """Enqueue one forward-pass request of ``batch`` sequences."""
-        if batch < 1:
-            raise ConfigError(f"batch must be >= 1, got {batch}")
-        key = ("attention", self.name)
-        return self.engine._enqueue(self.name, key, {"batch": batch})
+        return self.submit_request(self.request(batch))
 
     def submit_async(self, batch: int = 1) -> RequestHandle:
         """Like :meth:`submit`, returning an awaitable ticketed handle."""
         return self.engine._track(self.submit(batch=batch))
 
-    def run(self, batch: int = 1) -> ServeResult:
+    def run(self, batch: int = 1) -> Response:
         return self.submit(batch=batch).result()
 
 
@@ -197,12 +311,14 @@ class Engine:
         max_workers: int = 4,
         backend: str | None = None,
         warm_start: "str | Path | Sequence[str | Path] | None" = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """``warm_start`` preloads one or more shipped autotune
         artifacts (see :mod:`repro.autotune`) into the planner's plan
         cache, so swept request classes skip the cold planner search on
         first contact. Manifest drift against the live backend registry
-        is reported as warnings, never an error."""
+        is reported as warnings, never an error. ``telemetry`` injects
+        a shared collector (the default builds a fresh one)."""
         if planner is not None and cache is not None:
             raise ConfigError("pass either a planner or a cache, not both")
         self._device = Device.resolve(device)
@@ -216,11 +332,12 @@ class Engine:
         )
         if warm_start is not None:
             self.planner.warm_start(warm_start)
-        self.telemetry = Telemetry()
-        self._sessions: dict[str, SpmmSession | AttentionSession] = {}
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._sessions: dict[str, SpmmSession | SddmmSession | AttentionSession] = {}
         self._batcher = MicroBatcher(
             self._execute_batch, policy=policy, max_workers=max_workers
         )
+        self._closed = False
         self._inflight: dict[int, RequestHandle] = {}
         self._completed_ids: deque[int] = deque()
         self._inflight_lock = threading.Lock()
@@ -236,21 +353,21 @@ class Engine:
         """Name of the engine's (validated) device profile."""
         return self._device.name
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (closing is irreversible)."""
+        return self._closed
+
     # -- session management --------------------------------------------
-    def spmm_session(
+    def _make_spmm_session(
         self,
         name: str,
-        weights: np.ndarray | SparseMatrix,
+        weights: "np.ndarray | SparseMatrix",
         vector_length: int = 8,
         objective: Objective | None = None,
         backend: str | None = None,
     ) -> SpmmSession:
-        """Prepare a sparse operand once and serve SpMM against it.
-
-        ``backend`` pins a registered runtime backend for every plan and
-        launch of this session; the default inherits the engine's
-        resolved backend.
-        """
+        """Prepare a sparse operand once and serve SpMM against it."""
         self._check_name(name)
         resolved = resolve_backend(
             backend if backend is not None else self.backend,
@@ -269,29 +386,100 @@ class Engine:
         self._sessions[name] = session
         return session
 
-    def attention_session(self, name: str, seq_len: int, **kwargs) -> AttentionSession:
+    def _make_sddmm_session(
+        self,
+        name: str,
+        mask: "np.ndarray | SparseMatrix | BCRSMatrix",
+        vector_length: int = 8,
+        objective: Objective | None = None,
+        backend: str | None = None,
+    ) -> SddmmSession:
+        """Prepare a sparse topology once and serve SDDMM against it."""
+        self._check_name(name)
+        resolved = resolve_backend(
+            backend if backend is not None else self.backend,
+            op="sddmm",
+            device=self._device,
+        ).name
+        if isinstance(mask, np.ndarray):
+            mask = SparseMatrix.from_dense(mask, vector_length=vector_length)
+        session = SddmmSession(
+            self, name, mask,
+            objective if objective is not None else Objective.latency(),
+            backend=resolved,
+        )
+        self._sessions[name] = session
+        return session
+
+    def _make_attention_session(
+        self, name: str, seq_len: int, **kwargs
+    ) -> AttentionSession:
         """Prepare an attention-block latency session.
 
         The attention path models the paper's quantized Magicube
         pipeline, so its plans must come from a Magicube-family
         backend; the default inherits the engine's backend when that is
-        one, else ``magicube-emulation``.
+        one, else ``magicube-emulation``. Validation runs through the
+        shared resolution pipeline.
         """
         self._check_name(name)
-        kwargs.setdefault(
-            "backend",
-            self.backend if self.backend.startswith("magicube") else DEFAULT_BACKEND,
+        probe = resolve_request(
+            AttentionRequest(seq_len=seq_len, backend=kwargs.get("backend")),
+            device=self._device,
+            backend=self.backend,
         )
-        if not kwargs["backend"].startswith("magicube"):
-            raise ConfigError(
-                f"attention sessions model the Magicube pipeline; backend "
-                f"{kwargs['backend']!r} cannot plan it"
-            )
+        kwargs["backend"] = probe.backend
         session = AttentionSession(self, name, seq_len, **kwargs)
         self._sessions[name] = session
         return session
 
-    def session(self, name: str) -> SpmmSession | AttentionSession:
+    def spmm_session(
+        self,
+        name: str,
+        weights: "np.ndarray | SparseMatrix",
+        vector_length: int = 8,
+        objective: Objective | None = None,
+        backend: str | None = None,
+    ) -> SpmmSession:
+        """Prepare a sparse operand once and serve SpMM against it.
+
+        .. deprecated:: v1
+            Open a client with ``repro.open_engine(...)`` and submit
+            ``repro.api.SpmmRequest(lhs=..., rhs=..., session=name)``;
+            the client prepares and reuses the session for you.
+        """
+        warnings.warn(
+            "Engine.spmm_session(...) is deprecated; use "
+            "repro.open_engine(...) and submit "
+            "repro.api.SpmmRequest(lhs=..., rhs=..., session=...) instead "
+            "(see docs/api.md for the migration table)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._make_spmm_session(
+            name, weights, vector_length=vector_length,
+            objective=objective, backend=backend,
+        )
+
+    def attention_session(self, name: str, seq_len: int, **kwargs) -> AttentionSession:
+        """Prepare an attention-block latency session.
+
+        .. deprecated:: v1
+            Open a client with ``repro.open_engine(...)`` and submit
+            ``repro.api.AttentionRequest(seq_len=..., session=name)``;
+            the client prepares and reuses the session for you.
+        """
+        warnings.warn(
+            "Engine.attention_session(...) is deprecated; use "
+            "repro.open_engine(...) and submit "
+            "repro.api.AttentionRequest(seq_len=..., session=...) instead "
+            "(see docs/api.md for the migration table)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._make_attention_session(name, seq_len, **kwargs)
+
+    def session(self, name: str) -> "SpmmSession | SddmmSession | AttentionSession":
         return self._sessions[name]
 
     def _check_name(self, name: str) -> None:
@@ -301,6 +489,10 @@ class Engine:
     # -- request intake -------------------------------------------------
     def _enqueue(self, session: str, key: tuple, payload: dict) -> Future:
         """Submit to the micro-batcher, accounting admission rejections."""
+        if self._closed:
+            raise EngineClosedError(
+                f"engine is closed; request for session {session!r} refused"
+            )
         try:
             return self._batcher.submit(key, payload)
         except AdmissionError:
@@ -332,20 +524,36 @@ class Engine:
 
         The ticket is an awaitable :class:`RequestHandle`; redeem it
         with :meth:`result` (also accepted by integer id), ``await`` it
-        from asyncio code, or poll ``handle.done()``.
+        from asyncio code, or poll ``handle.done()``. Raises
+        :class:`~repro.errors.EngineClosedError` once :meth:`close`
+        has run.
         """
+        if self._closed:
+            raise EngineClosedError(
+                f"engine is closed; submit({session!r}, ...) refused"
+            )
         return self._sessions[session].submit_async(*args, **kwargs)
 
     def result(
         self, request: "RequestHandle | int", timeout: float | None = None
-    ) -> ServeResult:
-        """Redeem a ticket from :meth:`submit`; blocks until resolved."""
+    ) -> Response:
+        """Redeem a ticket from :meth:`submit`; blocks until resolved.
+
+        Tickets that resolved before :meth:`close` stay redeemable;
+        unknown tickets raise
+        :class:`~repro.errors.EngineClosedError` after close (they can
+        never resolve) and :class:`~repro.errors.ConfigError` before.
+        """
         if isinstance(request, RequestHandle):
             handle = request
         else:
             with self._inflight_lock:
                 handle = self._inflight.get(request)
             if handle is None:
+                if self._closed:
+                    raise EngineClosedError(
+                        f"engine is closed; ticket {request!r} cannot resolve"
+                    )
                 raise ConfigError(f"unknown request ticket {request!r}")
         try:
             return handle.result(timeout)
@@ -365,6 +573,10 @@ class Engine:
         self._batcher.flush()
 
     def close(self) -> None:
+        """Drain queued work and shut down; safe to call repeatedly."""
+        if self._closed:
+            return
+        self._closed = True
         self._batcher.close()
 
     def __enter__(self) -> "Engine":
@@ -376,104 +588,120 @@ class Engine:
     # -- batched execution ---------------------------------------------
     def _execute_batch(
         self, key: tuple, items: Sequence[BatchItem]
-    ) -> list[ServeResult]:
+    ) -> list[Response]:
         kind, name = key[0], key[1]
         session = self._sessions[name]
         if kind == "spmm":
             return self._execute_spmm(session, items)
+        if kind == "sddmm":
+            return self._execute_sddmm(session, items)
         if kind == "attention":
             return self._execute_attention(session, items)
         raise ConfigError(f"unknown request kind {kind!r}")
 
     def _execute_spmm(
         self, session: SpmmSession, items: Sequence[BatchItem]
-    ) -> list[ServeResult]:
-        plan: Plan = items[0].payload["plan"]
-        widths = [item.payload["rhs"].shape[1] for item in items]
-        rhs = np.concatenate([item.payload["rhs"] for item in items], axis=1)
-        if len(items) > 1:
+    ) -> list[Response]:
+        req: SpmmRequest = items[0].payload["request"]
+        res: Resolution = items[0].payload["resolution"]
+        widths = [item.payload["request"].rhs.shape[1] for item in items]
+        rhs = np.concatenate(
+            [item.payload["request"].rhs for item in items], axis=1
+        )
+        if len(items) > 1 and res.plan is not None:
             # the request-level plan fixed the precision; re-tune the
             # tile knobs for the width the coalesced launch actually has
             # (also memoized, keyed by the realized batch width)
-            m, k = session.matrix.shape
-            plan = self.planner.plan_spmm(
-                m, k, rhs.shape[1], session.matrix.vector_length,
-                session.matrix.sparsity,
-                Objective.fixed(plan.l_bits, plan.r_bits),
-                backend=session.backend,
+            res = session._resolve(
+                replace(
+                    req,
+                    rhs=rhs,
+                    precision=None,
+                    objective=Objective.fixed(res.plan.l_bits, res.plan.r_bits),
+                    l_bits=res.plan.l_bits,
+                    r_bits=res.plan.r_bits,
+                )
             )
-        if plan.is_magicube:
-            res = api_spmm(
-                session.matrix, rhs, device=self._device,
-                config=plan.spmm_config(), backend=plan.backend,
-            )
-        else:
-            # non-magicube plans (vector-sparse on V100, a pinned
-            # baseline...) dispatch through the Backend protocol; their
-            # configs carry no Magicube kernel knobs
-            res = get_backend(plan.backend).execute(
-                "spmm", self._device, lhs=session.matrix, rhs=rhs
-            )
+        r = execute_resolution(res, req, rhs=rhs)
         self.telemetry.record_batch(
-            session.name, "spmm", res.time_s, [i.queue_wait_s for i in items],
-            backend=plan.backend, device=plan.device,
+            session.name, "spmm", r.time_s, [i.queue_wait_s for i in items],
+            backend=res.backend, device=res.device_label,
         )
         offsets = np.concatenate([[0], np.cumsum(widths)])
-        share = res.time_s / len(items)
+        share = r.time_s / len(items)
         return [
-            ServeResult(
-                output=res.output[:, offsets[i]: offsets[i + 1]],
-                plan=plan,
-                modelled_time_s=res.time_s,
+            Response(
+                output=r.output[:, offsets[i]: offsets[i + 1]],
+                time_s=r.time_s,
+                tops=r.tops,
+                stats=r.stats,
+                plan=res.plan,
+                backend=res.backend,
+                device=res.device_label,
+                precision=res.precision,
                 request_time_s=share,
                 queue_wait_s=item.queue_wait_s,
                 batch_size=len(items),
-                detail=res.stats,
             )
             for i, item in enumerate(items)
         ]
 
+    def _execute_sddmm(
+        self, session: SddmmSession, items: Sequence[BatchItem]
+    ) -> list[Response]:
+        # sampled products carry their own dense operands; execute
+        # item-by-item under one dispatch (shared telemetry group)
+        results = []
+        for item in items:
+            req: SddmmRequest = item.payload["request"]
+            res: Resolution = item.payload["resolution"]
+            r = execute_resolution(res, req)
+            results.append(
+                Response(
+                    output=r.output,
+                    time_s=r.time_s,
+                    tops=r.tops,
+                    stats=r.stats,
+                    plan=res.plan,
+                    backend=res.backend,
+                    device=res.device_label,
+                    precision=res.precision,
+                    queue_wait_s=item.queue_wait_s,
+                    batch_size=len(items),
+                )
+            )
+        res0: Resolution = items[0].payload["resolution"]
+        self.telemetry.record_batch(
+            session.name, "sddmm", sum(r.time_s for r in results),
+            [i.queue_wait_s for i in items],
+            backend=res0.backend, device=res0.device_label,
+        )
+        return results
+
     def _execute_attention(
         self, session: AttentionSession, items: Sequence[BatchItem]
-    ) -> list[ServeResult]:
-        # imported lazily: repro.transformer.inference imports
-        # repro.serve.topology, so a top-level import here would cycle
-        from repro.transformer.inference import (
-            Backend,
-            InferenceConfig,
-            estimate_latency,
-        )
-
+    ) -> list[Response]:
         batches = [item.payload["batch"] for item in items]
         total = sum(batches)
-        cfg = InferenceConfig(
-            seq_len=session.seq_len,
-            num_heads=session.num_heads,
-            batch=total,
-            sparsity=session.sparsity,
-            num_layers=session.num_layers,
-            d_head=session.d_head,
-            vector_length=session.vector_length,
-            device=self.device,
-        )
-        backend = Backend("magicube", *session.scheme)
-        res = estimate_latency(
-            cfg, backend, planner=self.planner, plan_backend=session.backend
-        )
+        req = session.request(batch=total)
+        res = resolve_request(req, device=self._device, backend=session.backend)
+        r = execute_resolution(res, req, batch=total, planner=self.planner)
         self.telemetry.record_batch(
-            session.name, "attention", res.total_s,
+            session.name, "attention", r.time_s,
             [i.queue_wait_s for i in items],
             backend=session.backend, device=self.device,
         )
         return [
-            ServeResult(
+            Response(
                 output=None,
-                plan=None,
-                modelled_time_s=res.total_s,
-                request_time_s=res.total_s * b / total,
+                time_s=r.time_s,
+                stats=r.stats,
+                backend=res.backend,
+                device=res.device_label,
+                precision=res.precision,
+                request_time_s=r.time_s * b / total,
                 queue_wait_s=item.queue_wait_s,
                 batch_size=len(items),
-                detail=res,
             )
             for b, item in zip(batches, items)
         ]

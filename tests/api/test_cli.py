@@ -1,0 +1,65 @@
+"""The unified ``repro`` console entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDispatch:
+    def test_help_lists_subcommands(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for command in ("serve", "autotune", "bench"):
+            assert command in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "serve" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_version(self, capsys):
+        from repro import __version__
+
+        assert main(["--version"]) == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_serve_delegates(self, capsys):
+        assert main(["serve", "--plan", "spmm:512x512x64:v=8:s=0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "precision:" in out
+
+    def test_bench_delegates(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_autotune_delegates(self, tmp_path, capsys):
+        rc = main([
+            "autotune", "sweep", "--device", "A100",
+            "--shape", "256x256x64", "--min-bits", "8x8",
+            "--repeats", "1", "--trials", "4", "--quiet",
+            "--out", str(tmp_path / "plans.json"),
+        ])
+        assert rc == 0
+        assert (tmp_path / "plans.json").exists()
+        assert (tmp_path / "plans.manifest.json").exists()
+
+    def test_subcommand_help_passthrough(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        assert "--demo" in capsys.readouterr().out
+
+
+class TestModuleEntrypoint:
+    def test_python_m_repro(self):
+        import runpy
+        import sys
+        from unittest import mock
+
+        with mock.patch.object(sys, "argv", ["repro", "bench", "--list"]):
+            with pytest.raises(SystemExit) as exc:
+                runpy.run_module("repro", run_name="__main__")
+        assert exc.value.code == 0

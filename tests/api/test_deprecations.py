@@ -1,0 +1,122 @@
+"""Every legacy call path warns and returns results identical to v1."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.serve.engine import Engine
+from tests.conftest import make_structured_sparse
+
+pytestmark = pytest.mark.legacy
+
+
+@pytest.fixture
+def matrix(rng):
+    return repro.SparseMatrix.from_dense(
+        make_structured_sparse(rng, 32, 64, 8, 0.7), vector_length=8
+    )
+
+
+@pytest.fixture
+def rhs(rng):
+    return rng.integers(-128, 128, size=(64, 16))
+
+
+class TestKwargShims:
+    def test_spmm_warns_and_matches_v1(self, matrix, rhs):
+        with pytest.warns(DeprecationWarning, match="repro.core.api.spmm"):
+            legacy = repro.spmm(matrix, rhs, precision="L8-R8")
+        v1 = api.run(api.SpmmRequest(lhs=matrix, rhs=rhs, precision="L8-R8"))
+        np.testing.assert_array_equal(legacy.output, v1.output)
+        assert legacy.time_s == v1.time_s
+        assert legacy.tops == v1.tops
+
+    def test_spmm_knobs_and_scale(self, matrix, rhs):
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.spmm(matrix, rhs, scale=0.5, conflict_free=False)
+        v1 = api.run(
+            api.SpmmRequest(lhs=matrix, rhs=rhs, scale=0.5,
+                            knobs={"conflict_free": False})
+        )
+        np.testing.assert_array_equal(legacy.output, v1.output)
+        assert legacy.stats.notes == v1.stats.notes
+
+    def test_spmm_clash_still_raises(self, matrix, rhs):
+        from repro.errors import ConfigError
+        from repro.kernels.spmm import SpMMConfig
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="ambiguous"):
+                repro.spmm(matrix, rhs, precision="L8-R8", config=SpMMConfig())
+
+    def test_sddmm_warns_and_matches_v1(self, rng, matrix):
+        a = rng.integers(-128, 128, size=(32, 48))
+        b = rng.integers(-128, 128, size=(48, 64))
+        with pytest.warns(DeprecationWarning, match="repro.core.api.sddmm"):
+            legacy = repro.sddmm(a, b, matrix, precision="L8-R8")
+        v1 = api.run(api.SddmmRequest(a=a, b=b, mask=matrix, precision="L8-R8"))
+        np.testing.assert_array_equal(
+            legacy.output.to_dense(), v1.output.to_dense()
+        )
+        assert legacy.time_s == v1.time_s
+
+    def test_warns_once_per_call_site(self, matrix, rhs):
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.resetwarnings()
+            warnings.simplefilter("default")
+            for _ in range(3):
+                repro.spmm(matrix, rhs)  # one call site, three calls
+        deprecations = [w for w in seen if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+
+
+class TestSessionShims:
+    def test_spmm_session_warns_and_matches_v1(self, matrix, rhs):
+        with Engine() as engine:
+            with pytest.warns(DeprecationWarning, match="spmm_session"):
+                session = engine.spmm_session("w", matrix)
+            legacy = session.run(rhs)
+        with repro.open_engine() as client:
+            v1 = client.run(api.SpmmRequest(lhs=matrix, rhs=rhs, session="w"))
+        np.testing.assert_array_equal(legacy.output, v1.output)
+        assert legacy.plan.precision == v1.plan.precision
+        assert legacy.modelled_time_s == v1.modelled_time_s
+
+    def test_attention_session_warns_and_matches_v1(self):
+        with Engine() as engine:
+            with pytest.warns(DeprecationWarning, match="attention_session"):
+                session = engine.attention_session("attn", seq_len=256)
+            legacy = session.run(batch=2)
+        with repro.open_engine() as client:
+            v1 = client.run(api.AttentionRequest(seq_len=256, batch=2))
+        assert legacy.time_s == v1.time_s
+        assert legacy.detail.total_s == v1.stats.total_s
+
+
+class TestCliShims:
+    def test_repro_serve_warns_and_delegates(self, capsys):
+        from repro.cli import serve_main
+
+        with pytest.warns(DeprecationWarning, match="repro-serve"):
+            rc = serve_main(["--plan", "spmm:512x512x64:v=8:s=0.9"])
+        assert rc == 0
+        assert "precision:" in capsys.readouterr().out
+
+    def test_repro_bench_warns_and_delegates(self, capsys):
+        from repro.cli import bench_main
+
+        with pytest.warns(DeprecationWarning, match="repro-bench"):
+            rc = bench_main(["--list"])
+        assert rc == 0
+        assert "serve" in capsys.readouterr().out
+
+    def test_repro_autotune_warns_and_delegates(self):
+        from repro.cli import autotune_main
+
+        with pytest.warns(DeprecationWarning, match="repro-autotune"):
+            with pytest.raises(SystemExit) as exc:
+                autotune_main(["--help"])
+        assert exc.value.code == 0

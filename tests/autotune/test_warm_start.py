@@ -8,6 +8,11 @@ from repro.core.api import SparseMatrix
 from repro.serve.engine import Engine
 from repro.serve.planner import ExecutionPlanner, Objective
 
+pytestmark = [
+    pytest.mark.legacy,
+    pytest.mark.filterwarnings("ignore::DeprecationWarning"),
+]
+
 WIDTHS = (16, 32)
 
 

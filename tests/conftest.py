@@ -6,6 +6,15 @@ import numpy as np
 import pytest
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "legacy: exercises deprecated pre-v1 API surfaces (kwarg spmm/sddmm, "
+        "Engine.*_session, old CLI entry points); excluded from the "
+        "-W error::DeprecationWarning CI run",
+    )
+
+
 def make_structured_sparse(
     rng: np.random.Generator,
     m: int,

@@ -1,4 +1,4 @@
-"""Tests for the public API facade."""
+"""Tests for the pre-v1 kwarg API facade (now deprecation shims)."""
 
 import numpy as np
 import pytest
@@ -15,6 +15,12 @@ from repro import (
 )
 from repro.formats import dense_to_bcrs
 from tests.conftest import make_structured_sparse
+
+
+pytestmark = [
+    pytest.mark.legacy,
+    pytest.mark.filterwarnings("ignore::DeprecationWarning"),
+]
 
 
 class TestPrecisionParsing:

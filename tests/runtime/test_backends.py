@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.api import SparseMatrix, spmm as api_spmm
+from repro import api
+from repro.core.matrix import SparseMatrix
 from repro.errors import ConfigError
 from repro.gpu.timing import CostModel
 from repro.kernels.spmm import SpMMConfig
@@ -75,7 +76,10 @@ class TestMagicubeExecution:
 
     def test_api_backend_kwarg_routes_strict(self, weights, matrix, rng):
         rhs = rng.integers(-8, 8, size=(128, 8))
-        via_api = api_spmm(matrix, rhs, precision="L8-R8", backend="magicube-strict")
+        via_api = api.run(
+            api.SpmmRequest(lhs=matrix, rhs=rhs, precision="L8-R8",
+                            backend="magicube-strict")
+        )
         np.testing.assert_array_equal(
             via_api.output, weights.astype(np.int64) @ rhs
         )

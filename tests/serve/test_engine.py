@@ -1,4 +1,7 @@
-"""Engine: prepared sessions, batched serving, exactness, telemetry."""
+"""Engine: prepared sessions, batched serving, exactness, telemetry.
+
+Exercises the pre-v1 session factories (deprecation shims).
+"""
 
 import time
 
@@ -12,6 +15,12 @@ from repro.serve.cache import PlanCache
 from repro.serve.engine import Engine, bits_required
 from repro.serve.planner import ExecutionPlanner
 from tests.conftest import make_structured_sparse
+
+
+pytestmark = [
+    pytest.mark.legacy,
+    pytest.mark.filterwarnings("ignore::DeprecationWarning"),
+]
 
 
 @pytest.fixture

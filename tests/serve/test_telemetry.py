@@ -1,10 +1,17 @@
 """Telemetry: per-(backend, device) columns and rejection counters."""
 
 import numpy as np
+import pytest
 
 from repro.serve.batcher import BatchPolicy
 from repro.serve.engine import Engine
 from repro.serve.telemetry import Telemetry
+
+
+pytestmark = [
+    pytest.mark.legacy,
+    pytest.mark.filterwarnings("ignore::DeprecationWarning"),
+]
 
 
 class TestPerBackendColumns:
