@@ -57,6 +57,7 @@ from repro.errors import (
     PrecisionError,
     QuantizationError,
     ReproError,
+    RetuneError,
     ShapeError,
 )
 from repro.version import __version__
@@ -78,6 +79,7 @@ __all__ = [
     "QuantizationError",
     "ReproError",
     "Response",
+    "RetuneError",
     "SddmmRequest",
     "ShapeError",
     "SparseMatrix",

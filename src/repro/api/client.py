@@ -40,6 +40,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from pathlib import Path
     from typing import Sequence
 
+    from repro.autotune.policy import RetunePolicy
+    from repro.autotune.scheduler import RetuneScheduler, RetuneStatus
     from repro.serve.batcher import BatchPolicy, RequestHandle
     from repro.serve.cache import PlanCache
     from repro.serve.engine import Engine
@@ -59,6 +61,7 @@ def open_engine(
     planner: "ExecutionPlanner | None" = None,
     telemetry: "Telemetry | None" = None,
     max_workers: int = 4,
+    retune: "RetunePolicy | None" = None,
 ) -> "Client":
     """Open a serving engine and return its :class:`Client` facade.
 
@@ -67,7 +70,24 @@ def open_engine(
     shipped autotune artifacts into the plan cache, ``policy`` sets the
     micro-batcher's coalescing and admission knobs, and ``telemetry``
     injects a shared collector. ``cache`` / ``planner`` are mutually
-    exclusive escape hatches for pre-built planning state.
+    exclusive escape hatches for pre-built planning state. ``retune``
+    attaches a background re-tuning scheduler
+    (:class:`repro.autotune.RetunePolicy`) that watches the engine's
+    telemetry and re-sweeps hot / cold-missed / regressed plan keys —
+    see :mod:`repro.autotune.scheduler`.
+
+    Example::
+
+        import numpy as np
+        import repro
+        from repro import api
+
+        A = repro.SparseMatrix.from_dense(
+            np.eye(64, dtype=np.int8), vector_length=8
+        )
+        with repro.open_engine(device="A100") as client:
+            r = client.run(api.SpmmRequest(lhs=A, rhs=np.ones((64, 8))))
+            assert r.output.shape == (64, 8)
     """
     # imported lazily: the engine module imports repro.api for the
     # typed requests, so a top-level import here would cycle
@@ -82,6 +102,7 @@ def open_engine(
         backend=backend,
         warm_start=warm_start,
         telemetry=telemetry,
+        retune=retune,
     )
     return Client(engine)
 
@@ -243,7 +264,30 @@ class Client:
 
     @property
     def closed(self) -> bool:
+        """Whether the underlying engine has been closed."""
         return self._engine.closed
+
+    @property
+    def retune(self) -> "RetuneScheduler | None":
+        """The attached re-tuning scheduler, or ``None`` without one."""
+        return self._engine.retune
+
+    def retune_status(self) -> "RetuneStatus":
+        """Status of the engine's re-tuning scheduler.
+
+        Raises the typed :class:`~repro.errors.RetuneError` when the
+        engine was opened without ``retune=``.
+
+        Example::
+
+            import repro
+            from repro.autotune import RetunePolicy
+
+            with repro.open_engine(retune=RetunePolicy()) as client:
+                status = client.retune_status()
+                assert status.running and status.cycles == 0
+        """
+        return self._engine.retune_status()
 
     def flush(self) -> None:
         """Dispatch everything queued without waiting out the policy."""

@@ -50,6 +50,16 @@ class SpmmRequest:
     planner search and ``session`` names the request class for
     telemetry; ``l_bits`` / ``r_bits`` override the operand-width
     classification (otherwise measured from the data).
+
+    Example::
+
+        import numpy as np
+        from repro import api
+
+        A = np.eye(64, dtype=np.int8)        # dense operands compress
+        x = np.ones((64, 8), dtype=np.int8)  # on first use
+        r = api.run(api.SpmmRequest(lhs=A, rhs=x, precision="L8-R8"))
+        assert (r.output == A.astype(np.int64) @ x).all()
     """
 
     op: ClassVar[str] = "spmm"
@@ -81,6 +91,17 @@ class SddmmRequest:
     ``output_format`` picks ``"bcrs"`` (default) or ``"srbcrs"``, and
     ``config`` injects a pre-built kernel config (mutually exclusive
     with ``precision`` / ``output_format`` / ``knobs``).
+
+    Example::
+
+        import numpy as np
+        from repro import SparseMatrix, api
+
+        mask = SparseMatrix.from_dense(np.eye(64, dtype=np.int8),
+                                       vector_length=8)
+        a = b = np.ones((64, 32), dtype=np.int8)
+        r = api.run(api.SddmmRequest(a=a, b=b.T, mask=mask))
+        assert r.output.shape == (64, 64)
     """
 
     op: ClassVar[str] = "sddmm"
@@ -114,6 +135,13 @@ class AttentionRequest:
     be a Magicube-family runtime backend; the response carries a
     :class:`~repro.transformer.inference.LatencyResult` in ``stats``
     and no ``output``.
+
+    Example::
+
+        from repro import api
+
+        r = api.run(api.AttentionRequest(seq_len=256, batch=2))
+        assert r.output is None and r.stats.total_s == r.time_s
     """
 
     op: ClassVar[str] = "attention"
@@ -159,6 +187,16 @@ class Response:
     This class supersedes the pre-v1 ``OpResult`` / ``ServeResult``
     split; both old names alias it, and their attribute spellings
     (``modelled_time_s``, ``detail``) are kept as properties.
+
+    Example::
+
+        import numpy as np
+        from repro import api
+
+        r = api.run(api.SpmmRequest(lhs=np.eye(8, dtype=np.int8),
+                                    rhs=np.ones((8, 4)), vector_length=8))
+        assert r.request_time_s == r.time_s      # one-shot: no batch
+        assert r.modelled_time_s == r.time_s     # pre-v1 spelling
     """
 
     output: object | None

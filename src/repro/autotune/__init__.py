@@ -23,6 +23,21 @@ Serving picks the artifact up through ``Engine(warm_start=...)`` /
 ``python -m repro.autotune``) drives sweeps from the command line, and
 ``python -m repro.bench autotune`` reports the cold-vs-warm win.
 
+The loop also runs the *other* way — serve feeding autotune:
+
+- :mod:`~repro.autotune.policy` decides, from a live engine's
+  :class:`~repro.serve.telemetry.TelemetrySnapshot`, which plan keys
+  are worth re-sweeping (hot traffic, cold-search misses, latency
+  regressions, fingerprint drift) and synthesizes *targeted* sweep
+  configs covering exactly those keys.
+- :mod:`~repro.autotune.scheduler` runs that loop in the background of
+  a serving engine (``repro.open_engine(retune=RetunePolicy(...))``),
+  promotes the re-tuned plans into the live plan cache atomically, and
+  ships each promotion as an artifact whose manifest names the
+  triggering snapshot. ``repro autotune watch`` drives the same cycle
+  from a snapshot file exported by another process, and ``repro bench
+  retune`` demonstrates the loop closing on a shifting workload.
+
 Quick start::
 
     from repro.autotune import SweepConfig, run_sweep, write_artifact
@@ -45,23 +60,45 @@ from repro.autotune.artifact import (
     warm_start_cache,
     write_artifact,
 )
+from repro.autotune.policy import (
+    RetunePolicy,
+    RetuneTrigger,
+    TargetedSweep,
+    evaluate_snapshot,
+    synthesize,
+)
 from repro.autotune.runner import Measurement, SweepBudget, SweepReport, run_sweep
+from repro.autotune.scheduler import (
+    RetuneCycle,
+    RetuneScheduler,
+    RetuneStatus,
+    retune_from_snapshot,
+)
 from repro.autotune.space import SweepConfig, SweepPoint, enumerate_space
 
 __all__ = [
     "ArtifactManifest",
     "Measurement",
+    "RetuneCycle",
+    "RetunePolicy",
+    "RetuneScheduler",
+    "RetuneStatus",
+    "RetuneTrigger",
     "SweepBudget",
     "SweepConfig",
     "SweepPoint",
     "SweepReport",
+    "TargetedSweep",
     "backend_fingerprint",
     "check_drift",
     "device_fingerprint",
     "enumerate_space",
+    "evaluate_snapshot",
     "load_artifact",
     "manifest_path",
+    "retune_from_snapshot",
     "run_sweep",
+    "synthesize",
     "warm_start_cache",
     "write_artifact",
 ]

@@ -32,6 +32,7 @@ from typing import Sequence
 
 from repro.errors import PlanCacheError
 from repro.gpu.device import list_devices
+from repro.ioutil import atomic_write_text
 from repro.runtime import REGISTRY, BackendRegistry, Device
 from repro.serve.cache import PlanCache
 from repro.version import __version__
@@ -187,10 +188,9 @@ class ArtifactManifest:
         )
 
     def save(self, path: "str | Path") -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
-        return path
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        )
 
     @classmethod
     def load(cls, path: "str | Path") -> "ArtifactManifest":

@@ -1,13 +1,15 @@
-"""``repro-autotune`` — offline sweeps that ship warm plan caches.
+"""``repro autotune`` — offline sweeps that ship warm plan caches.
 
 Usage::
 
-    repro-autotune sweep --out plans.json                # default grid
-    repro-autotune sweep --device A100 --shape 512x512x64 \\
+    repro autotune sweep --out plans.json                # default grid
+    repro autotune sweep --device A100 --shape 512x512x64 \\
         --sparsity 0.9 --min-bits 8x8 --out plans.json
-    repro-autotune export serving-cache.json --out plans.json
-    repro-autotune verify plans.json
-    repro-autotune diff old-plans.json new-plans.json
+    repro autotune export serving-cache.json --out plans.json
+    repro autotune verify plans.json
+    repro autotune diff old-plans.json new-plans.json
+    repro autotune watch telemetry.json --plans plans.json \\
+        --out retuned/plans.json
 
 ``sweep`` enumerates (plannable backends x devices x topology grid)
 from the live backend registry, measures every surviving point, and
@@ -15,7 +17,11 @@ writes the artifact pair — ``plans.json`` (a schema-v2 plan cache any
 engine can ``warm_start=``) plus ``plans.manifest.json`` (provenance +
 fingerprints). ``verify`` re-checks an artifact's manifest against the
 current registry and exits non-zero on drift; ``diff`` compares two
-artifacts plan by plan.
+artifacts plan by plan. ``watch`` closes the serve → autotune loop
+across processes: it reads a telemetry snapshot a serving process
+exported (``client.telemetry.snapshot().save(path)``), decides which
+plan keys are worth re-sweeping, runs the targeted sweep, and ships a
+re-tuned artifact whose manifest names the triggering snapshot.
 """
 
 from __future__ import annotations
@@ -180,6 +186,83 @@ def _cmd_diff(args) -> int:
     return 1
 
 
+def _cmd_watch(args) -> int:
+    import time as _time
+
+    from repro.autotune.policy import RetunePolicy
+    from repro.autotune.runner import SweepBudget
+    from repro.autotune.scheduler import retune_from_snapshot
+    from repro.serve.cache import PlanCache
+    from repro.serve.telemetry import TelemetrySnapshot
+
+    baseline: frozenset[str] = frozenset()
+    if args.plans:
+        cache = PlanCache()
+        cache.load(args.plans)
+        baseline = frozenset(cache.keys())
+    policy = RetunePolicy(
+        min_requests=args.min_requests,
+        hot_share=args.hot_share,
+        regression_ratio=args.regression_ratio,
+        max_keys=args.max_keys,
+        cooldown_s=args.cooldown,
+        budget=SweepBudget(max_trials=args.trials, max_seconds=args.seconds),
+        warmup=args.warmup,
+        repeats=args.repeats,
+    )
+    cycles = []
+    tuned_at: dict[str, float] = {}
+    for i in range(args.cycles):
+        if i:
+            _time.sleep(args.interval)
+        try:
+            snapshot = TelemetrySnapshot.load(args.snapshot)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read snapshot {args.snapshot}: {exc}",
+                  file=sys.stderr)
+            return 2
+        now = _time.monotonic()
+        exclude = {
+            key for key, tuned in tuned_at.items()
+            if now - tuned < policy.cooldown_s
+        }
+        cycle = retune_from_snapshot(
+            snapshot, policy, baseline_keys=baseline, exclude=exclude,
+            out=args.out,
+        )
+        cycles.append(cycle)
+        # only keys the sweep actually measured and shipped are warm
+        # from now on; everything else triggered (skipped keys, or a
+        # tail the budget cut off) merely cools down, so it resurfaces
+        # on a later cycle instead of being silently forgotten
+        baseline = baseline | set(cycle.promoted_keys)
+        for t in cycle.triggers:
+            tuned_at[t.plan_key] = now
+        if args.json:
+            print(json.dumps(cycle.to_dict(), indent=2, sort_keys=True))
+            continue
+        if not cycle.triggers:
+            print(
+                f"cycle {i + 1}: snapshot {cycle.snapshot_fingerprint} — "
+                f"nothing to re-tune"
+            )
+            continue
+        print(
+            f"cycle {i + 1}: snapshot {cycle.snapshot_fingerprint} — "
+            f"{len(cycle.triggers)} trigger(s), {cycle.measured} measured, "
+            f"{cycle.promoted} plan(s) shipped in {cycle.elapsed_s:.2f}s"
+        )
+        for t in cycle.triggers:
+            print(f"  {t.reason:<10} {t.plan_key}")
+        for key, why in cycle.skipped:
+            print(f"  skipped    {key}: {why}")
+        if cycle.artifact is not None:
+            print(f"  -> {cycle.artifact}")
+    return 0 if any(c.promoted for c in cycles) or not any(
+        c.triggers for c in cycles
+    ) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro autotune", description=__doc__,
@@ -242,6 +325,46 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument("a")
     diff.add_argument("b")
     diff.set_defaults(fn=_cmd_diff)
+
+    watch = sub.add_parser(
+        "watch",
+        help="re-tune targeted plan keys from an exported telemetry snapshot",
+    )
+    watch.add_argument(
+        "snapshot",
+        help="TelemetrySnapshot JSON (client.telemetry.snapshot().save(path))",
+    )
+    watch.add_argument("--plans", default=None, metavar="PATH",
+                       help="baseline artifact: its keys count as warm, "
+                            "everything else a serving process planned live "
+                            "is a cold miss")
+    watch.add_argument("--out", required=True, metavar="PATH",
+                       help="artifact path for the re-tuned plans")
+    watch.add_argument("--min-requests", type=int, default=1, metavar="N",
+                       help="ignore snapshots with fewer requests (default 1)")
+    watch.add_argument("--hot-share", type=float, default=0.10, metavar="F",
+                       help="traffic share that makes a key hot (default 0.10)")
+    watch.add_argument("--regression-ratio", type=float, default=1.5,
+                       metavar="R", help="observed/predicted latency ratio "
+                       "that triggers a re-tune (default 1.5)")
+    watch.add_argument("--max-keys", type=int, default=8, metavar="N",
+                       help="re-tune at most N keys per cycle (default 8)")
+    watch.add_argument("--cooldown", type=float, default=300.0, metavar="S",
+                       help="per-key floor between re-tunes across cycles "
+                            "(default 300)")
+    watch.add_argument("--trials", type=int, default=64, metavar="N",
+                       help="sweep budget: measure at most N points")
+    watch.add_argument("--seconds", type=float, default=60.0, metavar="S",
+                       help="sweep budget: wall-clock cap per cycle")
+    watch.add_argument("--warmup", type=int, default=0)
+    watch.add_argument("--repeats", type=int, default=1)
+    watch.add_argument("--cycles", type=int, default=1, metavar="N",
+                       help="poll the snapshot file N times (default 1)")
+    watch.add_argument("--interval", type=float, default=5.0, metavar="S",
+                       help="seconds between polls (default 5)")
+    watch.add_argument("--json", action="store_true",
+                       help="print machine-readable cycle records")
+    watch.set_defaults(fn=_cmd_watch)
 
     args = parser.parse_args(argv)
     if getattr(args, "prune_ratio", None) == 0:

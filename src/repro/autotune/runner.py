@@ -177,6 +177,7 @@ def run_sweep(
     prune_after: int = 2,
     cache: PlanCache | None = None,
     progress=None,
+    keys: "frozenset[str] | set[str] | None" = None,
 ) -> SweepReport:
     """Run one offline sweep and return its report (plans + stats).
 
@@ -184,6 +185,10 @@ def run_sweep(
     run plans into a fresh throwaway cache, so every repeat pays the
     full search). ``prune_ratio=None`` disables pruning; ``progress``
     is an optional callable fed one human-readable line per point.
+    ``keys`` restricts the walk to the grid cells whose
+    :attr:`~repro.autotune.space.SweepPoint.plan_key` is in the set —
+    the *targeted* mode the re-tuning scheduler uses to re-sweep only
+    the plan keys its triggers named, not the whole cross-product.
 
     Sweeps enumerate *and measure* against the process-wide backend
     registry — the one the serving planner resolves names through —
@@ -197,6 +202,13 @@ def run_sweep(
     if prune_ratio is not None and prune_ratio <= 1.0:
         raise SweepError("prune_ratio must be > 1 (or None to disable)")
     points = enumerate_space(config)
+    if keys is not None:
+        points = [p for p in points if p.plan_key in keys]
+        if not points:
+            raise SweepError(
+                f"none of the {len(keys)} targeted plan keys fall inside "
+                f"the sweep config's grid"
+            )
     report = SweepReport(
         config=config, cache=cache if cache is not None else PlanCache()
     )

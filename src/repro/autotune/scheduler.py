@@ -1,0 +1,449 @@
+"""The telemetry-driven re-tuning scheduler — serve → autotune, closed.
+
+A :class:`RetuneScheduler` watches one live
+:class:`~repro.serve.engine.Engine` and, off the hot path (a background
+thread woken every ``policy.interval_s``), runs the loop one cycle at a
+time:
+
+1. **observe** — export the engine's telemetry as a deterministic
+   :class:`~repro.serve.telemetry.TelemetrySnapshot` and drift-check
+   the engine's warm-start manifests against the live registry;
+2. **decide** — :func:`~repro.autotune.policy.evaluate_snapshot` names
+   the plan keys worth re-sweeping (hot, cold-missed, regressed,
+   drifted), under the policy's cooldown and ``max_keys`` cap;
+3. **re-sweep** — :func:`~repro.autotune.policy.synthesize` builds
+   targeted :class:`~repro.autotune.space.SweepConfig`\\ s and
+   :func:`~repro.autotune.runner.run_sweep` measures exactly the
+   triggered keys, budget-capped by the policy's
+   :class:`~repro.autotune.runner.SweepBudget`;
+4. **promote** — the fresh plans land in the engine's live
+   :class:`~repro.serve.cache.PlanCache` through the lock-atomic
+   :meth:`~repro.serve.cache.PlanCache.promote` (an in-process
+   hot-swap: concurrent ``run()`` calls see the old or the new plan
+   set, never a torn mix), and — when ``policy.artifact_dir`` is set —
+   ship as a ``retune-NNNN`` artifact whose manifest names the
+   triggering telemetry snapshot.
+
+Attach one with ``repro.open_engine(retune=RetunePolicy(...))`` and
+poll it with ``client.retune_status()``; ``repro autotune watch``
+drives the same decide/re-sweep/ship stages from a snapshot file
+exported by another process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.autotune.artifact import (
+    ArtifactManifest,
+    check_drift,
+    device_fingerprints,
+    git_describe,
+    manifest_path,
+    registry_fingerprints,
+    write_artifact,
+)
+from repro.autotune.policy import (
+    RetunePolicy,
+    RetuneTrigger,
+    evaluate_snapshot,
+    synthesize,
+)
+from repro.autotune.runner import run_sweep
+from repro.errors import PlanCacheError, RetuneError
+from repro.serve.cache import PlanCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.engine import Engine
+    from repro.serve.telemetry import TelemetrySnapshot
+
+__all__ = ["RetuneCycle", "RetuneScheduler", "RetuneStatus", "retune_from_snapshot"]
+
+
+@dataclass
+class RetuneCycle:
+    """What one scheduler wake-up observed, measured and promoted."""
+
+    snapshot_fingerprint: str
+    triggers: list[RetuneTrigger] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+    drift: list[str] = field(default_factory=list)
+    measured: int = 0
+    promoted: int = 0  # plans installed into the live cache
+    changed: int = 0  # of those, how many differed from the cached plan
+    promoted_keys: list[str] = field(default_factory=list)
+    artifact: Path | None = None
+    error: str | None = None  # a cycle that raised still gets recorded
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "snapshot": self.snapshot_fingerprint,
+            "triggers": [t.to_dict() for t in self.triggers],
+            "skipped": [list(pair) for pair in self.skipped],
+            "drift": list(self.drift),
+            "measured": self.measured,
+            "promoted": self.promoted,
+            "changed": self.changed,
+            "promoted_keys": list(self.promoted_keys),
+            "artifact": str(self.artifact) if self.artifact is not None else None,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass(frozen=True)
+class RetuneStatus:
+    """A point-in-time view of one scheduler (``client.retune_status()``)."""
+
+    running: bool
+    cycles: int
+    triggers_total: int
+    promoted_total: int
+    baseline_keys: int
+    artifacts: tuple[str, ...] = ()
+    last_cycle: dict | None = None
+    last_error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "running": self.running,
+            "cycles": self.cycles,
+            "triggers_total": self.triggers_total,
+            "promoted_total": self.promoted_total,
+            "baseline_keys": self.baseline_keys,
+            "artifacts": list(self.artifacts),
+            "last_cycle": self.last_cycle,
+            "last_error": self.last_error,
+        }
+
+
+@dataclass
+class _SweepOutcome:
+    """What measuring a batch of targeted sweeps produced."""
+
+    cache: PlanCache
+    configs: list = field(default_factory=list)
+    measurements: list = field(default_factory=list)
+    backends: set = field(default_factory=set)
+    devices: set = field(default_factory=set)
+    measured: int = 0
+
+
+def _measure_targets(targets, policy: RetunePolicy) -> _SweepOutcome:
+    """Run every targeted sweep under the policy's budget/timing knobs."""
+    outcome = _SweepOutcome(cache=PlanCache())
+    for target in targets:
+        report = run_sweep(
+            target.config,
+            budget=policy.budget,
+            warmup=policy.warmup,
+            repeats=policy.repeats,
+            prune_ratio=None,  # targeted points are already chosen
+            cache=outcome.cache,
+            keys=target.keys,
+        )
+        outcome.configs.append(target.config.to_dict())
+        outcome.measurements += [m.to_dict() for m in report.measurements]
+        outcome.backends |= {m.point.backend for m in report.measurements}
+        outcome.devices |= {m.point.device for m in report.measurements}
+        outcome.measured += len(report.measurements)
+    return outcome
+
+
+def _manifest_for(
+    outcome: _SweepOutcome, snapshot, cycle: RetuneCycle,
+    source: str, registry, extra: dict | None = None,
+) -> ArtifactManifest:
+    """Provenance naming the triggering snapshot and its triggers."""
+    return ArtifactManifest(
+        sweep={
+            "source": source,
+            "configs": outcome.configs,
+            "measured": outcome.measured,
+            "retune": {
+                **(extra or {}),
+                "snapshot": snapshot.fingerprint,
+                "triggers": [t.to_dict() for t in cycle.triggers],
+                "drift": list(cycle.drift),
+            },
+        },
+        git=git_describe(),
+        backends=registry_fingerprints(registry, sorted(outcome.backends)),
+        devices=device_fingerprints(sorted(outcome.devices)),
+        plans=len(outcome.cache),
+        measurements=outcome.measurements,
+    )
+
+
+class RetuneScheduler:
+    """Watches one engine's telemetry and re-tunes its plan cache.
+
+    Construction is passive; :meth:`start` spawns the daemon thread
+    (``Engine(retune=...)`` does both). :meth:`run_once` is the whole
+    loop body and is safe to call directly — tests and ``bench
+    retune`` drive deterministic cycles that way, without waking the
+    thread.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        policy: RetunePolicy | None = None,
+        registry=None,
+    ) -> None:
+        self._engine = engine
+        self.policy = policy if policy is not None else RetunePolicy()
+        self._registry = registry
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: serializes cycles (timer thread vs. a direct run_once call)
+        self._cycle_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        #: keys that did NOT pay a live cold search: the warm-started /
+        #: pre-existing cache contents plus everything already promoted
+        self._baseline_keys = frozenset(engine.planner.cache.keys())
+        self._tuned_at: dict[str, float] = {}
+        #: consecutive re-tunes of a key that left its plan unchanged —
+        #: each doubles that key's effective cooldown (capped), so a
+        #: permanently-regressed key whose re-sweep cannot change
+        #: anything backs off instead of burning the budget forever
+        self._unchanged_streak: dict[str, int] = {}
+        self._cycles = 0
+        self._triggers_total = 0
+        self._promoted_total = 0
+        self._artifacts: list[Path] = []
+        self._last_cycle: RetuneCycle | None = None
+        self._last_error: str | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background cycle thread (idempotent)."""
+        if self.running:
+            return
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-retune", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the background thread; safe to call repeatedly."""
+        self._stop_event.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self.policy.interval_s):
+            try:
+                self.run_once()
+            except Exception as exc:  # the loop must survive a bad cycle
+                with self._state_lock:
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+
+    # -- reporting -------------------------------------------------------
+    def status(self) -> RetuneStatus:
+        """A consistent point-in-time view of the scheduler's state."""
+        with self._state_lock:
+            return RetuneStatus(
+                running=self.running,
+                cycles=self._cycles,
+                triggers_total=self._triggers_total,
+                promoted_total=self._promoted_total,
+                baseline_keys=len(self._baseline_keys),
+                artifacts=tuple(str(p) for p in self._artifacts),
+                last_cycle=(
+                    self._last_cycle.to_dict()
+                    if self._last_cycle is not None else None
+                ),
+                last_error=self._last_error,
+            )
+
+    # -- the loop body ---------------------------------------------------
+    def run_once(self) -> RetuneCycle:
+        """Run one observe → decide → re-sweep → promote cycle.
+
+        Returns the :class:`RetuneCycle` record (also visible via
+        :meth:`status` as ``last_cycle``). Cycles are serialized: a
+        direct call while the timer thread is mid-cycle blocks until
+        that cycle finishes.
+        """
+        with self._cycle_lock:
+            started = time.perf_counter()
+            snapshot = self._engine.telemetry.snapshot()
+            drift = self._drift_lines()
+            now = time.monotonic()
+            exclude = set()
+            for key, tuned in self._tuned_at.items():
+                backoff = 1 << min(self._unchanged_streak.get(key, 0), 6)
+                if now - tuned < self.policy.cooldown_s * backoff:
+                    exclude.add(key)
+            triggers = evaluate_snapshot(
+                snapshot,
+                self.policy,
+                baseline_keys=self._baseline_keys,
+                drift=drift,
+                exclude=exclude,
+            )
+            cycle = RetuneCycle(
+                snapshot_fingerprint=snapshot.fingerprint,
+                triggers=list(triggers),
+                drift=list(drift),
+            )
+            try:
+                if triggers:
+                    self._retune(cycle, snapshot, triggers)
+            except Exception as exc:
+                # a failing sweep must not hot-retry every interval:
+                # its triggers cool down exactly like handled ones, and
+                # the cycle is still recorded (re-raised for the caller
+                # / the loop's last_error)
+                cycle.error = f"{type(exc).__name__}: {exc}"
+                failed = time.monotonic()
+                for trigger in triggers:
+                    self._tuned_at[trigger.plan_key] = failed
+                raise
+            finally:
+                cycle.elapsed_s = time.perf_counter() - started
+                with self._state_lock:
+                    self._cycles += 1
+                    self._triggers_total += len(cycle.triggers)
+                    self._promoted_total += cycle.promoted
+                    if cycle.artifact is not None:
+                        self._artifacts.append(cycle.artifact)
+                    self._last_cycle = cycle
+            return cycle
+
+    def _retune(
+        self,
+        cycle: RetuneCycle,
+        snapshot: "TelemetrySnapshot",
+        triggers: Sequence[RetuneTrigger],
+    ) -> None:
+        """Measure the triggered keys and promote the fresh plans."""
+        targets, skipped = synthesize(triggers)
+        cycle.skipped = [(t.plan_key, why) for t, why in skipped]
+        tuned = time.monotonic()
+        # unsweepable keys get the cooldown too — they must not occupy
+        # trigger slots (max_keys) on every single cycle
+        for trigger, _why in skipped:
+            self._tuned_at[trigger.plan_key] = tuned
+        if not targets:
+            return
+        outcome = _measure_targets(targets, self.policy)
+        cycle.measured = outcome.measured
+        plans = {key: outcome.cache.peek(key) for key in outcome.cache.keys()}
+        if not plans:
+            raise RetuneError(
+                f"targeted sweep measured no plans for "
+                f"{sorted(k for t in targets for k in t.keys)}"
+            )
+        live = self._engine.planner.cache
+        before = {key: live.peek(key) for key in plans}
+        cycle.changed = live.promote(plans)
+        cycle.promoted = len(plans)
+        cycle.promoted_keys = sorted(plans)
+        changed_keys = []
+        for key, plan in plans.items():
+            self._tuned_at[key] = tuned
+            prev = before[key]
+            if prev is not None and prev.to_dict() == plan.to_dict():
+                # a sterile re-tune: same plan came back — back off
+                self._unchanged_streak[key] = (
+                    self._unchanged_streak.get(key, 0) + 1
+                )
+            else:
+                self._unchanged_streak.pop(key, None)
+                changed_keys.append(key)
+        # observations recorded under a *replaced* plan describe the old
+        # decision; regression checks restart from post-promotion traffic
+        self._engine.telemetry.reset_plans(changed_keys)
+        with self._state_lock:
+            # promoted keys join the baseline: their future traffic is
+            # warm, not a cold miss
+            self._baseline_keys = self._baseline_keys | frozenset(plans)
+        if self.policy.artifact_dir is not None:
+            cycle.artifact = self._ship(outcome, snapshot, cycle)
+
+    def _ship(self, outcome: _SweepOutcome, snapshot, cycle: RetuneCycle) -> Path:
+        """Write the promotion as a provenance-carrying artifact pair."""
+        with self._state_lock:
+            seq = len(self._artifacts) + 1
+        out = Path(self.policy.artifact_dir) / f"retune-{seq:04d}" / "plans.json"
+        manifest = _manifest_for(
+            outcome, snapshot, cycle, "retune", self._registry,
+            extra={"cycle": seq},
+        )
+        plans_path, _ = write_artifact(out, outcome.cache, manifest)
+        return plans_path
+
+    def _drift_lines(self) -> list[str]:
+        """Drift of the engine's warm-start manifests vs. the registry."""
+        lines: list[str] = []
+        for path in getattr(self._engine, "warm_start_paths", ()):
+            mpath = manifest_path(path)
+            if not mpath.exists():
+                continue
+            try:
+                manifest = ArtifactManifest.load(mpath)
+            except PlanCacheError:
+                continue  # unreadable manifest already warned at load
+            lines += check_drift(manifest, self._registry)
+        return lines
+
+
+def retune_from_snapshot(
+    snapshot: "TelemetrySnapshot",
+    policy: RetunePolicy,
+    *,
+    baseline_keys: frozenset[str] = frozenset(),
+    drift: Sequence[str] = (),
+    exclude: "frozenset[str] | set[str]" = frozenset(),
+    out: "str | Path | None" = None,
+    registry=None,
+) -> RetuneCycle:
+    """One offline decide → re-sweep → ship cycle from a snapshot.
+
+    The cross-process form of :meth:`RetuneScheduler.run_once` —
+    ``repro autotune watch`` feeds it snapshots another serving
+    process exported with ``client.telemetry.snapshot().save(path)``.
+    There is no live cache to hot-swap, so promotion means shipping
+    the re-tuned artifact to ``out`` (when given); warm-start the next
+    engine from it to close the loop across processes. ``exclude``
+    carries the caller's cooldown state (keys re-tuned recently) —
+    the stateless equivalent of the scheduler's per-key rate limit.
+    """
+    cycle = RetuneCycle(snapshot_fingerprint=snapshot.fingerprint)
+    started = time.perf_counter()
+    triggers = evaluate_snapshot(
+        snapshot, policy, baseline_keys=baseline_keys, drift=drift,
+        exclude=exclude,
+    )
+    cycle.triggers = list(triggers)
+    cycle.drift = list(drift)
+    if triggers:
+        targets, skipped = synthesize(triggers)
+        cycle.skipped = [(t.plan_key, why) for t, why in skipped]
+        outcome = _measure_targets(targets, policy)
+        cycle.measured = outcome.measured
+        cycle.promoted = len(outcome.cache)
+        cycle.promoted_keys = outcome.cache.keys()
+        if out is not None and len(outcome.cache):
+            manifest = _manifest_for(
+                outcome, snapshot, cycle, "retune-watch", registry
+            )
+            plans_path, _ = write_artifact(Path(out), outcome.cache, manifest)
+            cycle.artifact = plans_path
+    cycle.elapsed_s = time.perf_counter() - started
+    return cycle

@@ -103,6 +103,9 @@ class SweepConfig:
     tighten their objective to the operands' actual bit widths
     (:meth:`Objective.with_min_bits`): sweep the pairs your sessions
     will classify requests into, and the shipped keys line up.
+    ``max_bits`` (paired entry-for-entry with ``min_bits`` when given)
+    caps the objectives the same way — the re-tuning scheduler uses it
+    to reproduce precision-pinned serving objectives exactly.
     """
 
     ops: tuple[str, ...] = ("spmm",)
@@ -112,6 +115,7 @@ class SweepConfig:
     backends: tuple[str, ...] | None = None
     devices: tuple[str, ...] | None = None
     min_bits: tuple[tuple[int, int], ...] = ((4, 4), (8, 8))
+    max_bits: tuple[tuple[int, int], ...] | None = None
     objective: str = "latency"
     latency_budget_s: float | None = None
 
@@ -124,18 +128,31 @@ class SweepConfig:
         if not (self.ops and self.shapes and self.vector_lengths
                 and self.sparsities and self.min_bits):
             raise SweepError("sweep config has an empty axis")
+        if self.max_bits is not None and len(self.max_bits) != len(self.min_bits):
+            raise SweepError(
+                f"max_bits must pair with min_bits entry for entry "
+                f"({len(self.max_bits)} != {len(self.min_bits)})"
+            )
 
     def objectives(self) -> tuple[Objective, ...]:
         """The objective grid, one per ``min_bits`` pair."""
+        maxima = (
+            self.max_bits
+            if self.max_bits is not None
+            else ((16, 16),) * len(self.min_bits)
+        )
         out = []
-        for l_bits, r_bits in self.min_bits:
-            if self.objective == "latency":
-                out.append(Objective.latency(min_l_bits=l_bits, min_r_bits=r_bits))
-            else:
-                out.append(Objective.accuracy(
-                    latency_budget_s=self.latency_budget_s,
-                    min_l_bits=l_bits, min_r_bits=r_bits,
-                ))
+        for (l_bits, r_bits), (max_l, max_r) in zip(self.min_bits, maxima):
+            out.append(Objective(
+                kind=self.objective,
+                min_l_bits=l_bits,
+                min_r_bits=r_bits,
+                max_l_bits=max_l,
+                max_r_bits=max_r,
+                latency_budget_s=(
+                    self.latency_budget_s if self.objective == "accuracy" else None
+                ),
+            ))
         return tuple(out)
 
     # -- provenance ------------------------------------------------------
@@ -148,6 +165,10 @@ class SweepConfig:
             "backends": list(self.backends) if self.backends is not None else None,
             "devices": list(self.devices) if self.devices is not None else None,
             "min_bits": [list(p) for p in self.min_bits],
+            "max_bits": (
+                [list(p) for p in self.max_bits]
+                if self.max_bits is not None else None
+            ),
             "objective": self.objective,
             "latency_budget_s": self.latency_budget_s,
         }
@@ -162,6 +183,7 @@ class SweepConfig:
 
         backends = d.get("backends")
         devices = d.get("devices")
+        max_bits = d.get("max_bits")
         return cls(
             ops=tuple(d.get("ops", ("spmm",))),
             shapes=_tuples("shapes", DEFAULT_SHAPES),
@@ -170,6 +192,7 @@ class SweepConfig:
             backends=tuple(backends) if backends is not None else None,
             devices=tuple(devices) if devices is not None else None,
             min_bits=_tuples("min_bits", ((4, 4), (8, 8))),
+            max_bits=_tuples("max_bits", None) if max_bits is not None else None,
             objective=d.get("objective", "latency"),
             latency_budget_s=d.get("latency_budget_s"),
         )

@@ -281,6 +281,150 @@ def _print_autotune(count: int) -> None:
     )
 
 
+def _print_retune(count: int) -> None:
+    """Cold vs manually-warmed vs scheduler-converged on a workload shift."""
+    import tempfile
+    import time as _time
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro import api
+    from repro.autotune import (
+        ArtifactManifest,
+        RetunePolicy,
+        SweepBudget,
+        SweepConfig,
+        manifest_path,
+        run_sweep,
+        write_artifact,
+    )
+    from repro.bench.report import render_table
+    from repro.dlmc.generator import MatrixSpec, generate_matrix
+
+    phase_a, phase_b = (64, 128), (256, 320)
+    all_widths = phase_a + phase_b
+    spec = MatrixSpec("transformer", 512, 512, sparsity=0.9, seed=1)
+    weights = generate_matrix(spec, vector_length=8, bits=8)
+    rng = np.random.default_rng(0)
+
+    # prepare once: share the converted operand, read the weight width
+    with api.open_engine(device="A100") as probe:
+        ps = probe.prepare(api.SpmmRequest(lhs=weights, session="probe"))
+        weight_bits, weights = ps.weight_bits, ps.matrix
+
+    def serve(client: api.Client, widths, requests_per: int = 3) -> None:
+        session = client.prepare(api.SpmmRequest(lhs=weights, session="ffn"))
+        for n in widths:
+            for _ in range(requests_per):
+                session.run(rng.integers(-128, 128, size=(512, n)))
+
+    def first_contact(client: api.Client) -> dict:
+        """Plan every request class of both phases once, cold counters."""
+        session = client.prepare(api.SpmmRequest(lhs=weights, session="ffn"))
+        cache = client.planner.cache
+        cache.reset_counters()
+        t0 = _time.perf_counter()
+        for n in all_widths:
+            session.plan_for(n, 8)
+        planner_s = _time.perf_counter() - t0
+        return {"planner_ms": planner_s * 1e3, **cache.stats()}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = Path(tmp)
+        # the manually-warmed operator swept *yesterday's* mix (phase A)
+        manual_cfg = SweepConfig(
+            ops=("spmm",),
+            shapes=tuple((512, 512, n) for n in phase_a),
+            vector_lengths=(8,),
+            sparsities=(weights.sparsity,),
+            devices=("A100",),
+            backends=("magicube-emulation",),
+            min_bits=((weight_bits, 8),),
+        )
+        manual_report = run_sweep(manual_cfg, repeats=max(1, count))
+        manual_art = tmpdir / "manual" / "plans.json"
+        write_artifact(
+            manual_art, manual_report.cache,
+            ArtifactManifest.for_report(manual_report),
+        )
+
+        # the scheduler-enabled engine sees the shift live; cycles are
+        # driven explicitly (run_once) so the report is deterministic
+        policy = RetunePolicy(
+            interval_s=3600.0,
+            min_requests=1,
+            hot_share=0.05,
+            cooldown_s=0.0,
+            budget=SweepBudget(max_trials=32, max_seconds=120.0),
+            repeats=max(1, count),
+            artifact_dir=tmpdir / "retuned",
+        )
+        with api.open_engine(device="A100", retune=policy) as live:
+            serve(live, phase_a)
+            c1 = live.retune.run_once()
+            serve(live, phase_b)  # the workload mix shifts
+            c2 = live.retune.run_once()
+            status = live.retune_status()
+        shipped = [Path(p) for p in status.artifacts]
+        for i, cycle in enumerate((c1, c2), 1):
+            reasons = ", ".join(sorted({t.reason for t in cycle.triggers}))
+            print(
+                f"cycle {i}: snapshot {cycle.snapshot_fingerprint}, "
+                f"{len(cycle.triggers)} trigger(s) ({reasons or 'none'}), "
+                f"{cycle.promoted} plan(s) promoted -> "
+                f"{cycle.artifact.parent.name if cycle.artifact else 'live cache only'}"
+            )
+
+        modes = (
+            ("cold", {}),
+            ("manual-warm", {"warm_start": manual_art}),
+            ("scheduler", {"warm_start": shipped}),
+        )
+        results = {}
+        for mode, kwargs in modes:
+            with api.open_engine(device="A100", **kwargs) as client:
+                results[mode] = {
+                    "preloaded": len(client.planner.cache),
+                    **first_contact(client),
+                }
+        print(render_table(
+            ["mode", "preloaded", "hits", "misses", "hit rate", "planner ms"],
+            [
+                [
+                    mode, r["preloaded"], r["hits"], r["misses"],
+                    f"{r['hit_rate']:.1%}", f"{r['planner_ms']:.2f}",
+                ]
+                for mode, r in results.items()
+            ],
+            title="-- first contact with the full (shifted) workload --",
+        ))
+        manifest = ArtifactManifest.load(manifest_path(shipped[-1]))
+        retune_info = manifest.sweep["retune"]
+        print(
+            f"provenance: {shipped[-1].parent.name} was triggered by "
+            f"telemetry snapshot {retune_info['snapshot']} "
+            f"({len(retune_info['triggers'])} trigger(s))"
+        )
+    sched = results["scheduler"]
+    if sched["misses"] or sched["hits"] != len(all_widths):
+        raise AssertionError(
+            f"scheduler-converged engine should hit all {len(all_widths)} "
+            f"request classes on first contact, got {sched['hits']} hits / "
+            f"{sched['misses']} misses"
+        )
+    if results["manual-warm"]["misses"] != len(phase_b):
+        raise AssertionError(
+            "manually-warmed engine should still cold-miss the shifted "
+            "phase-B classes"
+        )
+    print(
+        f"loop closed: no manual sweep, {sched['hit_rate']:.0%} first-contact "
+        f"hit rate (cold planner {results['cold']['planner_ms']:.2f}ms -> "
+        f"{sched['planner_ms']:.2f}ms)"
+    )
+
+
 def _print_table5(count: int) -> None:
     from repro.bench.figures import table5_accuracy
     from repro.bench.report import render_table
@@ -305,6 +449,7 @@ EXPERIMENTS = {
     "serve": ("Serving: batched engine throughput demo", _print_serve),
     "backends": ("Runtime: registered-backend sweep on a fixed topology", _print_backends),
     "autotune": ("Autotune: offline sweep -> warm-start cold/warm comparison", _print_autotune),
+    "retune": ("Retune: telemetry-driven scheduler closing serve -> autotune on a workload shift", _print_retune),
 }
 
 

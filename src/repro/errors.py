@@ -93,6 +93,16 @@ class SweepError(MagicubeError):
     """An autotuning sweep was misconfigured or produced no points."""
 
 
+class RetuneError(MagicubeError):
+    """The telemetry-driven re-tuning scheduler failed or is absent.
+
+    Raised by :meth:`repro.serve.engine.Engine.retune_status` /
+    :meth:`repro.api.Client.retune_status` when the engine was opened
+    without ``retune=``, and by the scheduler when a re-tune cycle
+    cannot synthesize or promote plans.
+    """
+
+
 class EngineClosedError(MagicubeError, RuntimeError):
     """A request was submitted to (or redeemed from) a closed engine.
 

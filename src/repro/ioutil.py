@@ -1,0 +1,32 @@
+"""Small filesystem helpers shared across the library."""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: "str | Path", text: str) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the path written.
+
+    The payload lands in a temporary sibling first and is moved into
+    place with ``os.replace``, so a concurrent reader (another process
+    polling the file) sees the old or the new content, never a torn
+    write. The pid + thread-id temp name keeps concurrent writers
+    (processes *or* threads) from unlinking each other's half-written
+    payloads. Parent directories are created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path

@@ -18,7 +18,10 @@ engine:
   executing concurrently on a thread pool.
 - :class:`~repro.serve.telemetry.Telemetry` aggregates p50/p95/p99
   modelled latency, throughput, batch occupancy and admission
-  rejections, per session *and* per ``(backend, device)``.
+  rejections, per session, per ``(backend, device)`` *and* per plan
+  key; :meth:`~repro.serve.telemetry.Telemetry.snapshot` exports the
+  deterministic :class:`~repro.serve.telemetry.TelemetrySnapshot` the
+  :mod:`repro.autotune` re-tuning scheduler consumes.
 
 ``Engine(warm_start="plans.json")`` preloads a shipped
 :mod:`repro.autotune` artifact so swept request classes hit the plan
@@ -49,7 +52,7 @@ from repro.serve.engine import (
     SpmmSession,
 )
 from repro.serve.planner import ExecutionPlanner, Objective, Plan, PlanKey
-from repro.serve.telemetry import Telemetry
+from repro.serve.telemetry import Telemetry, TelemetrySnapshot
 
 __all__ = [
     "AttentionSession",
@@ -66,4 +69,5 @@ __all__ = [
     "ServeResult",
     "SpmmSession",
     "Telemetry",
+    "TelemetrySnapshot",
 ]

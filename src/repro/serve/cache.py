@@ -19,13 +19,13 @@ served under a stale key.
 from __future__ import annotations
 
 import json
-import os
 import threading
 import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import PlanCacheError
+from repro.ioutil import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner uses us)
     from repro.serve.planner import Plan
@@ -79,6 +79,25 @@ class PlanCache:
     def put(self, key: str, plan: "Plan") -> None:
         with self._lock:
             self._plans[key] = plan
+
+    def promote(self, plans: "dict[str, Plan]") -> int:
+        """Atomically install a batch of (re-tuned) plans into the live
+        cache.
+
+        All entries land under **one** lock acquisition, so a
+        concurrent reader (an engine resolving requests mid-promote)
+        sees either the old set or the new set of a promotion — never
+        a half-applied mix. Returns how many entries actually changed
+        (new keys, or keys whose plan differs from the cached one).
+        """
+        with self._lock:
+            changed = 0
+            for key, plan in plans.items():
+                old = self._plans.get(key)
+                if old is None or old.to_dict() != plan.to_dict():
+                    changed += 1
+                self._plans[key] = plan
+            return changed
 
     def get_or_build(self, key: str, builder: Callable[[], "Plan"]) -> "Plan":
         """Return the cached plan or build, store and return a new one.
@@ -134,19 +153,7 @@ class PlanCache:
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no path given and the cache has no default path")
-        target.parent.mkdir(parents=True, exist_ok=True)
-        # pid + thread id: concurrent savers (processes *or* threads)
-        # never share a temp path, so a finished save can't unlink a
-        # neighbour's half-written payload
-        tmp = target.with_name(
-            f".{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
-        )
-        try:
-            tmp.write_text(self.to_json())
-            os.replace(tmp, target)
-        finally:
-            tmp.unlink(missing_ok=True)
-        return target
+        return atomic_write_text(target, self.to_json())
 
     def load(self, path: str | Path, strict: bool = True) -> int:
         """Merge plans from a JSON file; returns how many were loaded.

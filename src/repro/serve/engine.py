@@ -35,7 +35,7 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import replace
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -53,13 +53,17 @@ from repro.api.resolution import (
     resolve as resolve_request,
 )
 from repro.core.matrix import SparseMatrix
-from repro.errors import AdmissionError, ConfigError, EngineClosedError
+from repro.errors import AdmissionError, ConfigError, EngineClosedError, RetuneError
 from repro.formats.bcrs import BCRSMatrix
 from repro.runtime import Device, resolve_backend
 from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher, RequestHandle
 from repro.serve.cache import PlanCache
 from repro.serve.planner import ExecutionPlanner, Objective, Plan
 from repro.serve.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.autotune.policy import RetunePolicy
+    from repro.autotune.scheduler import RetuneStatus
 
 __all__ = [
     "AttentionSession",
@@ -312,13 +316,18 @@ class Engine:
         backend: str | None = None,
         warm_start: "str | Path | Sequence[str | Path] | None" = None,
         telemetry: Telemetry | None = None,
+        retune: "RetunePolicy | None" = None,
     ) -> None:
         """``warm_start`` preloads one or more shipped autotune
         artifacts (see :mod:`repro.autotune`) into the planner's plan
         cache, so swept request classes skip the cold planner search on
         first contact. Manifest drift against the live backend registry
         is reported as warnings, never an error. ``telemetry`` injects
-        a shared collector (the default builds a fresh one)."""
+        a shared collector (the default builds a fresh one). ``retune``
+        attaches (and starts) a background
+        :class:`~repro.autotune.scheduler.RetuneScheduler` driven by
+        the given :class:`~repro.autotune.policy.RetunePolicy`, closing
+        the serve → autotune loop in-process."""
         if planner is not None and cache is not None:
             raise ConfigError("pass either a planner or a cache, not both")
         self._device = Device.resolve(device)
@@ -330,8 +339,14 @@ class Engine:
             if planner is not None
             else ExecutionPlanner(device=self._device, cache=cache)
         )
+        #: the warm-start artifact paths (the re-tuning scheduler
+        #: drift-checks their manifests against the live registry)
+        self.warm_start_paths: tuple[Path, ...] = ()
         if warm_start is not None:
-            self.planner.warm_start(warm_start)
+            if isinstance(warm_start, (str, Path)):
+                warm_start = [warm_start]
+            self.warm_start_paths = tuple(Path(p) for p in warm_start)
+            self.planner.warm_start(self.warm_start_paths)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._sessions: dict[str, SpmmSession | SddmmSession | AttentionSession] = {}
         self._batcher = MicroBatcher(
@@ -341,6 +356,13 @@ class Engine:
         self._inflight: dict[int, RequestHandle] = {}
         self._completed_ids: deque[int] = deque()
         self._inflight_lock = threading.Lock()
+        self.retune = None
+        if retune is not None:
+            # imported lazily: repro.autotune imports the serve modules
+            from repro.autotune.scheduler import RetuneScheduler
+
+            self.retune = RetuneScheduler(self, retune)
+            self.retune.start()
 
     #: completed-but-unredeemed tickets kept redeemable by integer id;
     #: beyond this, the oldest are forgotten (callers holding the
@@ -572,11 +594,27 @@ class Engine:
         """Dispatch everything queued without waiting out the policy."""
         self._batcher.flush()
 
+    def retune_status(self) -> "RetuneStatus":
+        """The attached re-tuning scheduler's point-in-time status.
+
+        Raises the typed :class:`~repro.errors.RetuneError` when the
+        engine was opened without ``retune=`` — polling a scheduler
+        that does not exist is a deployment bug, not an empty status.
+        """
+        if self.retune is None:
+            raise RetuneError(
+                "engine has no re-tuning scheduler; open it with "
+                "repro.open_engine(retune=RetunePolicy(...))"
+            )
+        return self.retune.status()
+
     def close(self) -> None:
         """Drain queued work and shut down; safe to call repeatedly."""
         if self._closed:
             return
         self._closed = True
+        if self.retune is not None:
+            self.retune.stop()
         self._batcher.close()
 
     def __enter__(self) -> "Engine":
@@ -626,6 +664,10 @@ class Engine:
         self.telemetry.record_batch(
             session.name, "spmm", r.time_s, [i.queue_wait_s for i in items],
             backend=res.backend, device=res.device_label,
+            plan_key=res.plan.key if res.plan is not None else None,
+            predicted_time_s=(
+                res.plan.predicted_time_s if res.plan is not None else None
+            ),
         )
         offsets = np.concatenate([[0], np.cumsum(widths)])
         share = r.time_s / len(items)
@@ -675,6 +717,11 @@ class Engine:
             session.name, "sddmm", sum(r.time_s for r in results),
             [i.queue_wait_s for i in items],
             backend=res0.backend, device=res0.device_label,
+            plan_key=res0.plan.key if res0.plan is not None else None,
+            predicted_time_s=(
+                res0.plan.predicted_time_s if res0.plan is not None else None
+            ),
+            launches=len(items),  # sampled products execute item-by-item
         )
         return results
 

@@ -26,6 +26,7 @@ single-backend planning behaves exactly as before; pass ``backends=``
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -50,6 +51,14 @@ __all__ = [
     "Plan",
     "PlanKey",
 ]
+
+
+#: the shape of :attr:`Objective.token`, e.g.
+#: ``latency[L8-16,R8-16]`` or ``accuracy@1.000e-03[L4-16,R4-16]``
+_OBJECTIVE_TOKEN = re.compile(
+    r"^(latency|accuracy)(?:@([0-9.eE+-]+))?"
+    r"\[L(\d+)-(\d+),R(\d+)-(\d+)\]$"
+)
 
 
 @dataclass(frozen=True)
@@ -133,6 +142,29 @@ class Objective:
             f"{self.kind}{budget}"
             f"[L{self.min_l_bits}-{self.max_l_bits},"
             f"R{self.min_r_bits}-{self.max_r_bits}]"
+        )
+
+    @classmethod
+    def parse(cls, token: str) -> "Objective":
+        """Rebuild an :class:`Objective` from its cache-key token.
+
+        The inverse of :attr:`token` — ``Objective.parse(obj.token) ==
+        obj`` (budgets round-trip at the token's 3 significant digits).
+        Raises ``ValueError`` on malformed tokens; the re-tuning
+        scheduler uses this to turn observed plan keys back into
+        sweepable objectives.
+        """
+        m = _OBJECTIVE_TOKEN.match(token)
+        if not m:
+            raise ValueError(f"malformed objective token {token!r}")
+        kind, budget, min_l, max_l, min_r, max_r = m.groups()
+        return cls(
+            kind=kind,
+            min_l_bits=int(min_l),
+            max_l_bits=int(max_l),
+            min_r_bits=int(min_r),
+            max_r_bits=int(max_r),
+            latency_budget_s=float(budget) if budget is not None else None,
         )
 
 

@@ -7,20 +7,32 @@ second of modelled GPU busy time, the number a real deployment would
 see from the device) and wall (requests per second of host wall time in
 this process, dominated by the Python execution of the kernels).
 
-Batches are aggregated along two axes: per *session* (the serving
-view) and per ``(backend, device)`` (the runtime view) — the same axes
+Batches are aggregated along three axes: per *session* (the serving
+view), per ``(backend, device)`` (the runtime view) — the same axes
 the autotuner sweeps on, so an offline sweep report and a live serving
-report line up column for column. Admission-control rejections are
-counted per session alongside the served requests.
+report line up column for column — and per *plan key* (the tuning
+view the re-tuning scheduler consumes). Admission-control rejections
+are counted per session alongside the served requests.
+
+:meth:`Telemetry.snapshot` exports the deterministic part of all three
+views as a :class:`TelemetrySnapshot` — the stable contract the
+:mod:`repro.autotune.scheduler` (and the offline ``repro autotune
+watch`` command) make re-tuning decisions from.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
 
 import numpy as np
+
+from repro.ioutil import atomic_write_text
 
 
 @dataclass
@@ -30,6 +42,30 @@ class _SessionStats:
     batch_sizes: list = field(default_factory=list)  # per batch
     batch_times_s: list = field(default_factory=list)  # per batch (modelled)
     ops: set = field(default_factory=set)
+
+
+@dataclass
+class _PlanStats:
+    """Traffic served under one plan key (the scheduler's unit)."""
+
+    requests: int = 0
+    batches: int = 0
+    launches: int = 0  # kernel launches (SDDMM batches run item-by-item)
+    modelled_busy_s: float = 0.0
+    predicted_time_s: float = 0.0  # the plan's recorded cost estimate
+    backend: str = ""
+    device: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "launches": self.launches,
+            "modelled_busy_s": self.modelled_busy_s,
+            "predicted_time_s": self.predicted_time_s,
+            "backend": self.backend,
+            "device": self.device,
+        }
 
 
 @dataclass(frozen=True)
@@ -64,6 +100,113 @@ class LatencySummary:
         }
 
 
+#: LatencySummary fields that depend only on what was *recorded* (the
+#: wall-clock fields change between two snapshot() calls and are
+#: therefore excluded from the deterministic export)
+_STABLE_FIELDS = (
+    "requests", "batches", "p50_ms", "p95_ms", "p99_ms",
+    "mean_batch_size", "mean_queue_wait_ms", "modelled_busy_s",
+    "modelled_throughput_rps",
+)
+
+
+def _stable(summary: LatencySummary) -> dict:
+    """The deterministic subset of one summary (no wall-clock fields)."""
+    d = summary.to_dict()
+    return {k: d[k] for k in _STABLE_FIELDS}
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """A deterministic, JSON-round-trippable export of one telemetry
+    state — the re-tuning scheduler's input contract.
+
+    ``sessions`` / ``backends`` hold the same aggregates the rendered
+    summary tables show (``backends`` keyed ``backend@device``),
+    *minus* the wall-clock fields, so the same recorded batches always
+    produce an identical snapshot. ``plans`` breaks traffic out per
+    plan key — requests, batches, modelled busy time, and the plan's
+    recorded cost estimate (``predicted_time_s``), which is what lets
+    a scheduler spot latency regressions. :attr:`fingerprint` is a
+    short content hash; promotion manifests use it to name the
+    snapshot that triggered a re-tune.
+
+    Example::
+
+        telemetry = Telemetry()
+        telemetry.record_batch("ffn", "spmm", 1e-3, [0.0, 0.0])
+        snap = telemetry.snapshot()
+        assert TelemetrySnapshot.from_json(snap.to_json()) == snap
+    """
+
+    requests: int
+    sessions: dict
+    backends: dict
+    plans: dict
+    rejections: dict
+    total: dict
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "sessions": dict(self.sessions),
+            "backends": dict(self.backends),
+            "plans": dict(self.plans),
+            "rejections": dict(self.rejections),
+            "total": dict(self.total),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TelemetrySnapshot":
+        return cls(
+            requests=int(d.get("requests", 0)),
+            sessions=dict(d.get("sessions", {})),
+            backends=dict(d.get("backends", {})),
+            plans=dict(d.get("plans", {})),
+            rejections=dict(d.get("rejections", {})),
+            total=dict(d.get("total", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TelemetrySnapshot":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the snapshot as JSON (the ``repro autotune watch``
+        input file); returns the path written.
+
+        The write is atomic (:func:`repro.ioutil.atomic_write_text`):
+        a watcher polling the file from another process sees the old
+        or the new snapshot, never a torn one — the same contract as
+        :meth:`~repro.serve.cache.PlanCache.save`.
+        """
+        return atomic_write_text(path, self.to_json())
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "TelemetrySnapshot":
+        return cls.from_json(Path(path).read_text())
+
+    # -- identity --------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Short content hash naming this snapshot in provenance
+        manifests (identical recorded state ⇒ identical fingerprint)."""
+        canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode()).hexdigest()[:12]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TelemetrySnapshot):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:  # frozen dataclass with dict fields
+        return hash(self.fingerprint)
+
+
 class Telemetry:
     """Thread-safe per-session aggregation of serving metrics."""
 
@@ -71,6 +214,7 @@ class Telemetry:
         self._lock = threading.Lock()
         self._sessions: dict[str, _SessionStats] = {}
         self._backends: dict[tuple[str, str], _SessionStats] = {}
+        self._plans: dict[str, _PlanStats] = {}
         self._rejections: dict[str, int] = {}
         self._started_at = time.monotonic()
 
@@ -83,12 +227,20 @@ class Telemetry:
         queue_waits_s: list[float],
         backend: str | None = None,
         device: str | None = None,
+        plan_key: str | None = None,
+        predicted_time_s: float | None = None,
+        launches: int = 1,
     ) -> None:
         """Record one batched launch serving ``len(queue_waits_s)`` requests.
 
         ``backend``/``device`` attribute the launch to one runtime
         execution stack; batches recorded without them only show up in
-        the per-session view.
+        the per-session view. ``plan_key`` attributes it to the serving
+        plan that routed it (with ``predicted_time_s``, the plan's cost
+        estimate) — the per-plan view the re-tuning scheduler consumes.
+        ``launches`` is how many kernel launches ``modelled_time_s``
+        spans (SDDMM dispatches execute item-by-item), so observed
+        per-launch time stays comparable to the plan's estimate.
         """
         n = len(queue_waits_s)
         with self._lock:
@@ -103,6 +255,18 @@ class Telemetry:
                 s.batch_times_s.append(modelled_time_s)
                 s.latencies_s.extend([modelled_time_s] * n)
                 s.queue_waits_s.extend(queue_waits_s)
+            if plan_key is not None:
+                p = self._plans.setdefault(plan_key, _PlanStats())
+                p.requests += n
+                p.batches += 1
+                p.launches += max(1, launches)
+                p.modelled_busy_s += modelled_time_s
+                if predicted_time_s is not None:
+                    p.predicted_time_s = predicted_time_s
+                if backend is not None:
+                    p.backend = backend
+                if device is not None:
+                    p.device = device
 
     def record_rejection(self, session: str, count: int = 1) -> None:
         """Count ``count`` admission-control rejections against a session."""
@@ -129,6 +293,51 @@ class Telemetry:
         """Every ``(backend, device)`` pair that served at least one batch."""
         with self._lock:
             return sorted(self._backends)
+
+    def plans(self) -> list[str]:
+        """Every plan key that routed at least one batch."""
+        with self._lock:
+            return sorted(self._plans)
+
+    def reset_plans(self, keys: Iterable[str]) -> None:
+        """Drop the per-plan stats for ``keys`` (session/backend views
+        are untouched). The re-tuning scheduler calls this when a
+        promotion *changes* a key's plan: the old observations describe
+        the replaced plan, so regression decisions must restart from
+        post-promotion traffic."""
+        with self._lock:
+            for key in keys:
+                self._plans.pop(key, None)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Export the deterministic state as a :class:`TelemetrySnapshot`.
+
+        The snapshot carries exactly the values the rendered summary
+        tables show (minus the wall-clock columns) plus the per-plan
+        traffic breakdown — identical recorded batches always produce
+        an identical snapshot, so schedulers can compare fingerprints
+        across polls.
+        """
+        with self._lock:
+            sessions = {
+                name: _stable(self._summarize([stats]))
+                for name, stats in self._sessions.items()
+            }
+            backends = {
+                f"{backend}@{device}": _stable(self._summarize([stats]))
+                for (backend, device), stats in self._backends.items()
+            }
+            plans = {key: p.to_dict() for key, p in self._plans.items()}
+            rejections = dict(self._rejections)
+            total = _stable(self._summarize(list(self._sessions.values())))
+        return TelemetrySnapshot(
+            requests=total["requests"],
+            sessions=sessions,
+            backends=backends,
+            plans=plans,
+            rejections=rejections,
+            total=total,
+        )
 
     def summary(self, session: str | None = None) -> LatencySummary:
         """Aggregate one session, or everything when ``session`` is None."""

@@ -99,3 +99,83 @@ class TestExportAndDiff:
         assert main(["diff", str(small), str(big_dir / "plans.json")]) == 1
         out = capsys.readouterr().out
         assert "added" in out and "1 added" in out
+
+
+class TestWatch:
+    def export_snapshot(self, tmp_path, widths=(64,)):
+        import numpy as np
+
+        from repro import api
+        from tests.conftest import make_structured_sparse
+
+        rng = np.random.default_rng(0)
+        weights = make_structured_sparse(rng, 512, 512, 8, 0.9, bits=8)
+        path = tmp_path / "telemetry.json"
+        with api.open_engine(device="A100") as client:
+            session = client.prepare(api.SpmmRequest(lhs=weights, session="ffn"))
+            for n in widths:
+                session.run(rng.integers(-128, 128, size=(512, n)))
+            client.telemetry.snapshot().save(path)
+        return path
+
+    def test_watch_ships_a_retuned_artifact(self, tmp_path, capsys):
+        snapshot = self.export_snapshot(tmp_path)
+        out = tmp_path / "retuned" / "plans.json"
+        rc = main(["watch", str(snapshot), "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "cold-miss" in text
+        assert out.exists()
+        manifest = json.loads(
+            (tmp_path / "retuned" / "plans.manifest.json").read_text()
+        )
+        assert manifest["sweep"]["source"] == "retune-watch"
+        assert manifest["sweep"]["retune"]["snapshot"]
+        assert manifest["plans"] >= 1
+        # the shipped artifact passes its own drift check
+        assert main(["verify", str(out)]) == 0
+
+    def test_watch_with_warm_baseline_is_quiet(self, tmp_path, capsys):
+        # two request classes: neither reaches a 100% hot share, so
+        # only the cold-miss trigger is in play
+        snapshot = self.export_snapshot(tmp_path, widths=(64, 128))
+        out1 = tmp_path / "first" / "plans.json"
+        assert main(["watch", str(snapshot), "--out", str(out1),
+                     "--hot-share", "1.0"]) == 0
+        capsys.readouterr()
+        # second run: the first artifact is the baseline, nothing is cold
+        out2 = tmp_path / "second" / "plans.json"
+        rc = main(["watch", str(snapshot), "--plans", str(out1),
+                   "--out", str(out2), "--hot-share", "1.0"])
+        assert rc == 0
+        assert "nothing to re-tune" in capsys.readouterr().out
+        assert not out2.exists()
+
+    def test_watch_json_cycle_record(self, tmp_path, capsys):
+        snapshot = self.export_snapshot(tmp_path)
+        out = tmp_path / "retuned" / "plans.json"
+        rc = main(["watch", str(snapshot), "--out", str(out), "--json"])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["promoted"] >= 1
+        assert record["snapshot"]
+        assert record["artifact"] == str(out)
+
+    def test_missing_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["watch", str(tmp_path / "nope.json"),
+                   "--out", str(tmp_path / "out.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_multi_cycle_watch_cools_down_hot_keys(self, tmp_path, capsys):
+        """Polling an unchanged snapshot must not re-sweep the same hot
+        key on every cycle — the cooldown carries across cycles."""
+        snapshot = self.export_snapshot(tmp_path)  # one key, 100% share
+        out = tmp_path / "retuned" / "plans.json"
+        rc = main(["watch", str(snapshot), "--out", str(out),
+                   "--cycles", "2", "--interval", "0"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "cycle 1" in text and "cycle 2" in text
+        assert text.count("plan(s) shipped") == 1
+        assert "cycle 2: snapshot" in text and "nothing to re-tune" in text

@@ -42,6 +42,17 @@ class TestCli:
         assert "100.0%" in out  # warm first-contact hit rate
         assert "plans shipped" in out
 
+    def test_retune_closes_the_loop(self, capsys):
+        """The scheduler-converged engine hits every class of a shifted
+        workload on first contact, with snapshot provenance, without a
+        manual sweep (the experiment asserts its own convergence)."""
+        assert main(["retune", "--count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler" in out and "manual-warm" in out
+        assert "100.0%" in out  # scheduler-converged hit rate
+        assert "provenance" in out and "snapshot" in out
+        assert "loop closed" in out
+
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "table1",
@@ -58,4 +69,5 @@ class TestCli:
             "serve",
             "backends",
             "autotune",
+            "retune",
         }

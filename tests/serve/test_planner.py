@@ -268,3 +268,35 @@ class TestCrossDeviceSearch:
         assert plan.precision == "fp16"
         with pytest.raises(ConfigError):
             plan.spmm_config()
+
+
+class TestObjectiveParse:
+    @pytest.mark.parametrize("obj", [
+        Objective.latency(),
+        Objective.latency(min_l_bits=8, min_r_bits=8),
+        Objective.fixed(8, 4),
+        Objective.accuracy(),
+        Objective.accuracy(latency_budget_s=1e-3),
+        Objective.accuracy(latency_budget_s=2.5e-6, min_l_bits=8),
+    ])
+    def test_round_trips_through_token(self, obj):
+        assert Objective.parse(obj.token) == obj
+
+    def test_round_trips_through_plan_key(self):
+        """The scheduler's path: key string -> PlanKey -> Objective."""
+        obj = Objective.latency(min_l_bits=8, min_r_bits=8)
+        key = PlanKey(
+            op="spmm", rows=512, cols=512, inner=64, vector_length=8,
+            sparsity=0.9, backend="magicube-emulation", device="A100",
+            objective=obj.token,
+        )
+        parsed = PlanKey.parse(str(key))
+        assert Objective.parse(parsed.objective) == obj
+
+    @pytest.mark.parametrize("bad", [
+        "", "latency", "latency[L8-16]", "speed[L8-16,R8-16]",
+        "latency[Lx-16,R8-16]", "latency[L8-16,R8-16",
+    ])
+    def test_malformed_tokens_raise(self, bad):
+        with pytest.raises(ValueError):
+            Objective.parse(bad)

@@ -110,3 +110,133 @@ class TestEngineIntegration:
             first.result(timeout=5)
             assert engine.telemetry.rejections("ffn") == 1
             assert engine.summary()["rejected"] == 1
+
+
+class TestSnapshot:
+    """TelemetrySnapshot: the re-tuning scheduler's input contract."""
+
+    KEY = "spmm|512x512|n=64|v=8|s=0.900|magicube-emulation@A100|latency[L8-16,R8-16]"
+
+    def record(self, t: Telemetry) -> None:
+        t.record_batch("ffn", "spmm", 1e-3, [0.0, 0.0],
+                       backend="magicube-emulation", device="A100",
+                       plan_key=self.KEY, predicted_time_s=9e-4)
+        t.record_batch("ffn", "spmm", 2e-3, [0.0],
+                       backend="magicube-emulation", device="A100",
+                       plan_key=self.KEY, predicted_time_s=9e-4)
+        t.record_rejection("ffn", 2)
+
+    def test_identical_recordings_produce_identical_snapshots(self):
+        a, b = Telemetry(), Telemetry()
+        self.record(a)
+        self.record(b)
+        assert a.snapshot() == b.snapshot()
+        assert a.snapshot().fingerprint == b.snapshot().fingerprint
+
+    def test_snapshot_is_stable_across_time(self):
+        """Wall-clock fields are excluded: snapshotting the same state
+        twice (later) yields the same snapshot."""
+        import time
+
+        t = Telemetry()
+        self.record(t)
+        first = t.snapshot()
+        time.sleep(0.01)
+        assert t.snapshot() == first
+
+    def test_json_round_trip(self):
+        from repro.serve.telemetry import TelemetrySnapshot
+
+        t = Telemetry()
+        self.record(t)
+        snap = t.snapshot()
+        again = TelemetrySnapshot.from_json(snap.to_json())
+        assert again == snap
+        assert again.fingerprint == snap.fingerprint
+        assert again.plans[self.KEY]["requests"] == 3
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.serve.telemetry import TelemetrySnapshot
+
+        t = Telemetry()
+        self.record(t)
+        path = t.snapshot().save(tmp_path / "telemetry.json")
+        assert TelemetrySnapshot.load(path) == t.snapshot()
+
+    def test_plan_stats_feed_the_scheduler(self):
+        t = Telemetry()
+        self.record(t)
+        snap = t.snapshot()
+        stats = snap.plans[self.KEY]
+        assert stats["requests"] == 3
+        assert stats["batches"] == 2
+        assert stats["launches"] == 2
+        assert stats["modelled_busy_s"] == pytest.approx(3e-3)
+        assert stats["predicted_time_s"] == pytest.approx(9e-4)
+        assert stats["backend"] == "magicube-emulation"
+        assert stats["device"] == "A100"
+        assert t.plans() == [self.KEY]
+
+    def test_sddmm_launch_accounting(self):
+        """Item-by-item dispatches record their launch count so observed
+        per-launch time stays comparable to the plan's estimate."""
+        t = Telemetry()
+        t.record_batch("att", "sddmm", 4e-3, [0.0] * 4,
+                       backend="magicube-emulation", device="A100",
+                       plan_key="k", predicted_time_s=1e-3, launches=4)
+        stats = t.snapshot().plans["k"]
+        assert stats["launches"] == 4
+        assert stats["modelled_busy_s"] / stats["launches"] == pytest.approx(1e-3)
+
+    def test_snapshot_matches_rendered_summary_tables(self):
+        """The snapshot's numbers are exactly the render()/summary()
+        numbers (minus the wall-clock columns)."""
+        t = Telemetry()
+        self.record(t)
+        snap = t.snapshot()
+        summary = t.summary("ffn")
+        assert snap.sessions["ffn"]["requests"] == summary.requests
+        assert snap.sessions["ffn"]["batches"] == summary.batches
+        assert snap.sessions["ffn"]["p50_ms"] == summary.p50_ms
+        assert snap.sessions["ffn"]["p95_ms"] == summary.p95_ms
+        assert snap.sessions["ffn"]["p99_ms"] == summary.p99_ms
+        assert snap.sessions["ffn"]["modelled_throughput_rps"] == (
+            summary.modelled_throughput_rps
+        )
+        backend = t.backend_summary("magicube-emulation", "A100")
+        key = "magicube-emulation@A100"
+        assert snap.backends[key]["requests"] == backend.requests
+        assert snap.backends[key]["p99_ms"] == backend.p99_ms
+        assert snap.rejections == {"ffn": 2}
+        assert snap.total["requests"] == t.summary().requests
+        assert "wall_s" not in snap.total
+        # and the rendered table carries the same cells
+        text = t.render()
+        assert f"{summary.p50_ms:.4f}" in text
+        assert f"{backend.p99_ms:.4f}" in text
+
+    def test_engine_attributes_plans_in_snapshot(self, rng):
+        """Served traffic shows up per plan key with the plan's cost
+        estimate attached (the scheduler's regression input)."""
+        from tests.conftest import make_structured_sparse
+
+        engine = Engine(device="A100")
+        weights = make_structured_sparse(rng, 64, 64, 8, 0.7)
+        session = engine._make_spmm_session("ffn", weights)
+        with engine:
+            session.run(rng.integers(-8, 8, size=(64, 16)))
+        snap = engine.telemetry.snapshot()
+        assert len(snap.plans) == 1
+        (key,), (stats,) = snap.plans.keys(), snap.plans.values()
+        assert key.startswith("spmm|64x64|n=16")
+        assert stats["predicted_time_s"] > 0
+        assert stats["requests"] == 1
+
+    def test_reset_plans_drops_only_the_named_keys(self):
+        t = Telemetry()
+        self.record(t)
+        t.record_batch("att", "spmm", 1e-3, [0.0], plan_key="other")
+        t.reset_plans([self.KEY, "never-seen"])
+        assert t.plans() == ["other"]
+        # session/backend views are untouched
+        assert t.summary("ffn").requests == 3
