@@ -42,6 +42,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from repro.autotune.policy import RetunePolicy
     from repro.autotune.scheduler import RetuneScheduler, RetuneStatus
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
     from repro.serve.batcher import BatchPolicy, RequestHandle
     from repro.serve.cache import PlanCache
     from repro.serve.engine import Engine
@@ -62,6 +64,9 @@ def open_engine(
     telemetry: "Telemetry | None" = None,
     max_workers: int = 4,
     retune: "RetunePolicy | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    tracer: "Tracer | None" = None,
+    trace: bool = False,
 ) -> "Client":
     """Open a serving engine and return its :class:`Client` facade.
 
@@ -75,6 +80,14 @@ def open_engine(
     (:class:`repro.autotune.RetunePolicy`) that watches the engine's
     telemetry and re-sweeps hot / cold-missed / regressed plan keys —
     see :mod:`repro.autotune.scheduler`.
+
+    ``metrics`` injects a :class:`repro.obs.MetricsRegistry` for the
+    engine to publish into (default: the process-wide registry).
+    ``trace=True`` enables request tracing — every
+    :class:`~repro.api.requests.Response` then carries its span tree
+    (``r.trace``) and ``r.request_id`` — and ``tracer`` passes a
+    pre-built :class:`repro.obs.Tracer` instead (for custom retention
+    or shared collectors); see ``docs/observability.md``.
 
     Example::
 
@@ -93,6 +106,10 @@ def open_engine(
     # typed requests, so a top-level import here would cycle
     from repro.serve.engine import Engine
 
+    if tracer is None and trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(enabled=True)
     engine = Engine(
         device=device,
         planner=planner,
@@ -103,6 +120,8 @@ def open_engine(
         warm_start=warm_start,
         telemetry=telemetry,
         retune=retune,
+        metrics=metrics,
+        tracer=tracer,
     )
     return Client(engine)
 
@@ -253,6 +272,17 @@ class Client:
     @property
     def planner(self) -> "ExecutionPlanner":
         return self._engine.planner
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """The metrics registry the engine publishes into."""
+        return self._engine.metrics
+
+    @property
+    def tracer(self) -> "Tracer":
+        """The engine's request tracer (disabled unless opened with
+        ``trace=True`` / ``tracer=``)."""
+        return self._engine.tracer
 
     @property
     def device(self) -> str:

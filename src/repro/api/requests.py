@@ -210,6 +210,11 @@ class Response:
     request_time_s: float | None = None
     queue_wait_s: float = 0.0
     batch_size: int = 1
+    #: the engine's monotonic request id (None for one-shot calls)
+    request_id: int | None = None
+    #: the request's span tree (:meth:`repro.obs.RequestTrace.to_dict`
+    #: form) when the engine was opened with tracing enabled
+    trace: dict | None = None
 
     def __post_init__(self) -> None:
         if self.request_time_s is None:

@@ -199,6 +199,9 @@ class RetuneScheduler:
         self._engine = engine
         self.policy = policy if policy is not None else RetunePolicy()
         self._registry = registry
+        #: the engine's obs metrics registry (distinct from `registry`,
+        #: the runtime *backend* registry used for drift fingerprints)
+        self._obs_metrics = getattr(engine, "metrics", None)
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
         #: serializes cycles (timer thread vs. a direct run_once call)
@@ -323,7 +326,21 @@ class RetuneScheduler:
                     if cycle.artifact is not None:
                         self._artifacts.append(cycle.artifact)
                     self._last_cycle = cycle
+                if self._obs_metrics is not None:
+                    self._publish_cycle(cycle, cooldown_keys=len(exclude))
             return cycle
+
+    def _publish_cycle(self, cycle: RetuneCycle, cooldown_keys: int) -> None:
+        """Mirror one cycle's outcome into the obs metrics registry."""
+        from repro.obs import names
+
+        m = self._obs_metrics
+        m.counter(names.RETUNE_CYCLES).inc()
+        if cycle.triggers:
+            m.counter(names.RETUNE_TRIGGERS).inc(len(cycle.triggers))
+        if cycle.promoted:
+            m.counter(names.RETUNE_PROMOTIONS).inc(cycle.promoted)
+        m.gauge(names.RETUNE_COOLDOWN).set(cooldown_keys)
 
     def _retune(
         self,

@@ -6,8 +6,14 @@ Usage::
     python -m repro.bench fig14 table2    # a subset
     python -m repro.bench --count 16      # denser DLMC subsample
     python -m repro.bench --list
+    python -m repro.bench serve --replay  # traffic replay -> BENCH_serve.json
+    python -m repro.bench compare BENCH_serve.json baseline.json
 
 Prints the same rows the paper reports; heavy sweeps honour ``--count``.
+The traffic replay (``serve --replay``, :mod:`repro.bench.loadgen`)
+additionally writes schema-versioned ``BENCH_serve.json`` /
+``.metrics.json`` / ``.trace.jsonl`` artifacts, and ``compare`` is the
+(warn-only) regression gate over two such artifacts.
 """
 
 from __future__ import annotations
@@ -453,19 +459,71 @@ EXPERIMENTS = {
 }
 
 
+def _run_replay(args) -> int:
+    from repro.bench.loadgen import ReplayConfig, render_replay_report, run_replay
+
+    config = ReplayConfig(
+        requests=args.requests,
+        arrival=args.arrival,
+        rate_rps=args.rate,
+        seed=args.seed,
+        trace_path=args.arrival_trace,
+    )
+    report = run_replay(config, out=args.out)
+    print(render_replay_report(report))
+    print(f"wrote {args.out} (+ .metrics.json, .trace.jsonl)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["compare"]:
+        # the regression gate takes positional file paths, which the
+        # experiment parser would reject — route it before argparse
+        from repro.bench.loadgen import compare_main
+
+        return compare_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro bench", description=__doc__
     )
     parser.add_argument("experiments", nargs="*", help="subset to run")
     parser.add_argument("--count", type=int, default=3, help="DLMC matrices per sparsity")
     parser.add_argument("--list", action="store_true", help="list experiments")
+    replay = parser.add_argument_group("traffic replay (serve --replay)")
+    replay.add_argument(
+        "--replay", action="store_true",
+        help="run the serve traffic replay and write BENCH_serve.json",
+    )
+    replay.add_argument("--requests", type=int, default=120, help="replay size")
+    replay.add_argument(
+        "--arrival", choices=("poisson", "bursty", "uniform", "trace"),
+        default="poisson", help="arrival process",
+    )
+    replay.add_argument("--rate", type=float, default=400.0, help="offered rps")
+    replay.add_argument("--seed", type=int, default=0, help="schedule seed")
+    replay.add_argument(
+        "--arrival-trace", default=None, metavar="PATH",
+        help="JSON list of arrival offsets (with --arrival trace)",
+    )
+    replay.add_argument(
+        "--out", default="BENCH_serve.json", help="report artifact path"
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for key, (desc, _) in EXPERIMENTS.items():
             print(f"{key:<8} {desc}")
         return 0
+
+    if args.replay:
+        if args.experiments not in ([], ["serve"]):
+            print(
+                f"--replay only applies to 'serve', got {args.experiments}",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_replay(args)
 
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [e for e in selected if e not in EXPERIMENTS]

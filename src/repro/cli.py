@@ -41,6 +41,10 @@ _COMMANDS: dict[str, tuple[str, str]] = {
         "repro.bench.cli",
         "regenerate the paper's tables and figures, plus serving benchmarks",
     ),
+    "obs": (
+        "repro.obs.cli",
+        "inspect metrics snapshots and request traces (summary/tail/export)",
+    ),
 }
 
 
@@ -57,7 +61,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="store_true", help="print the version and exit"
     )
-    sub = parser.add_subparsers(dest="command", metavar="{serve,autotune,bench}")
+    sub = parser.add_subparsers(
+        dest="command", metavar="{serve,autotune,bench,obs}"
+    )
     for name, (_module, help_line) in _COMMANDS.items():
         sub.add_parser(name, help=help_line, add_help=False)
     return parser

@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` — same surface as ``repro obs``."""
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""``repro obs`` — inspect metrics snapshots and trace logs.
+
+Usage::
+
+    repro obs summary                      # tables from a metrics snapshot
+    repro obs summary --metrics m.json
+    repro obs export --format prometheus   # scrape-ready text
+    repro obs export --format json --out metrics.json
+    repro obs tail -n 5                    # most recent request traces
+
+The commands operate on the artifacts a serving run exports — by
+default the files ``repro bench serve --replay`` writes
+(``BENCH_serve.metrics.json`` / ``BENCH_serve.trace.jsonl``). When no
+snapshot exists yet, ``summary`` and ``export`` fall back to an empty
+registry with every standard metric declared, so ``repro obs export
+--format prometheus`` always names the full documented contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import (
+    load_json,
+    render_json,
+    render_prometheus,
+    summarize,
+    write_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.names import declare_standard
+
+__all__ = ["DEFAULT_METRICS_PATH", "DEFAULT_TRACE_PATH", "main"]
+
+#: the artifacts the traffic-replay bench leaves at the repo root
+DEFAULT_METRICS_PATH = "BENCH_serve.metrics.json"
+DEFAULT_TRACE_PATH = "BENCH_serve.trace.jsonl"
+
+
+def _load_registry(path: str) -> tuple[MetricsRegistry, str]:
+    """(registry, provenance line) for a snapshot path that may not exist."""
+    p = Path(path)
+    if p.exists():
+        return load_json(p.read_text()), f"metrics from {p}"
+    registry = declare_standard(MetricsRegistry())
+    return registry, f"{p} not found; showing the (empty) standard contract"
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    registry, provenance = _load_registry(args.metrics)
+    print(f"# {provenance}")
+    print(summarize(registry))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    registry, provenance = _load_registry(args.metrics)
+    if args.format == "prometheus":
+        text = render_prometheus(registry)
+    else:
+        text = render_json(registry) + "\n"
+    if args.out:
+        if args.format == "json":
+            write_snapshot(registry, args.out)
+        else:
+            from repro.ioutil import atomic_write_text
+
+            atomic_write_text(args.out, text)
+        print(f"wrote {args.out} ({provenance})")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _render_trace_line(doc: dict) -> str:
+    lines = [
+        f"request {doc.get('request_id')} "
+        f"[{doc.get('op')}@{doc.get('session')}]"
+    ]
+    spans = doc.get("spans", [])
+    children: dict[int | None, list[dict]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+
+    def walk(parent: int | None, depth: int) -> None:
+        for span in children.get(parent, []):
+            attrs = span.get("attrs") or {}
+            facts = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            lines.append(
+                f"{'  ' * (depth + 1)}{span['name']}: "
+                f"{span.get('wall_s', 0.0) * 1e3:.3f} ms"
+                + (f"  ({facts})" if facts else "")
+            )
+            walk(span["span_id"], depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    path = Path(args.trace)
+    if not path.exists():
+        print(
+            f"{path} not found; run `repro bench serve --replay` (or export "
+            f"a tracer) first",
+            file=sys.stderr,
+        )
+        return 1
+    lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
+    for line in lines[-args.n:]:
+        print(_render_trace_line(json.loads(line)))
+    if not lines:
+        print("(trace log is empty)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", metavar="{summary,tail,export}")
+
+    p_summary = sub.add_parser(
+        "summary", help="render a metrics snapshot as tables"
+    )
+    p_summary.add_argument(
+        "--metrics", default=DEFAULT_METRICS_PATH,
+        help="metrics snapshot JSON (default: %(default)s)",
+    )
+    p_summary.set_defaults(fn=_cmd_summary)
+
+    p_export = sub.add_parser(
+        "export", help="export a metrics snapshot (json or prometheus)"
+    )
+    p_export.add_argument(
+        "--metrics", default=DEFAULT_METRICS_PATH,
+        help="metrics snapshot JSON (default: %(default)s)",
+    )
+    p_export.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+    )
+    p_export.add_argument("--out", help="write here instead of stdout")
+    p_export.set_defaults(fn=_cmd_export)
+
+    p_tail = sub.add_parser(
+        "tail", help="show the most recent request traces"
+    )
+    p_tail.add_argument(
+        "--trace", default=DEFAULT_TRACE_PATH,
+        help="trace JSONL log (default: %(default)s)",
+    )
+    p_tail.add_argument("-n", type=int, default=10, help="traces to show")
+    p_tail.set_defaults(fn=_cmd_tail)
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

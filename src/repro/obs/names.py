@@ -1,0 +1,99 @@
+"""The observability contract: every standard metric, by name.
+
+These constants are the single source of truth for what the serving
+stack publishes. ``docs/observability.md`` renders this table, the
+Prometheus exporter emits exactly these families, and the docs test
+asserts the two never drift. Adding a metric means adding it *here*
+(name + kind + help) and then publishing into it.
+
+Conventions follow Prometheus: ``_total`` suffix on counters,
+``_seconds`` on time-valued histograms, labels for the low-cardinality
+dimensions (``session``, ``backend``, ``device``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS_S, MetricsRegistry
+
+__all__ = ["STANDARD_METRICS", "declare_standard"]
+
+# -- serving -----------------------------------------------------------
+REQUESTS = "repro_requests_total"
+BATCHES = "repro_batches_total"
+LAUNCHES = "repro_launches_total"
+REJECTIONS = "repro_rejections_total"
+QUEUE_DEPTH = "repro_queue_depth"
+REQUEST_WALL = "repro_request_wall_seconds"
+REQUEST_MODELLED = "repro_request_modelled_seconds"
+QUEUE_WAIT = "repro_queue_wait_seconds"
+BATCH_SIZE = "repro_batch_size"
+
+# -- plan cache --------------------------------------------------------
+CACHE_HITS = "repro_plan_cache_hits_total"
+CACHE_MISSES = "repro_plan_cache_misses_total"
+CACHE_PROMOTIONS = "repro_plan_cache_promotions_total"
+CACHE_ENTRIES = "repro_plan_cache_entries"
+
+# -- re-tuning scheduler -----------------------------------------------
+RETUNE_CYCLES = "repro_retune_cycles_total"
+RETUNE_TRIGGERS = "repro_retune_triggers_total"
+RETUNE_PROMOTIONS = "repro_retune_promotions_total"
+RETUNE_COOLDOWN = "repro_retune_cooldown_keys"
+
+#: batch sizes are small integers; powers of two up to the default
+#: ``BatchPolicy.max_batch_size`` neighbourhood
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: ``(name, kind, help, buckets)`` for every metric the stack publishes
+STANDARD_METRICS: tuple[tuple[str, str, str, tuple[float, ...] | None], ...] = (
+    (REQUESTS, "counter",
+     "Requests served, by session.", None),
+    (BATCHES, "counter",
+     "Coalesced batch executions, by session.", None),
+    (LAUNCHES, "counter",
+     "Modelled kernel launches, by session.", None),
+    (REJECTIONS, "counter",
+     "Requests shed by admission control, by session.", None),
+    (QUEUE_DEPTH, "gauge",
+     "Requests waiting in the micro-batcher at last enqueue, by session.",
+     None),
+    (REQUEST_WALL, "histogram",
+     "Per-request wall latency: queue wait + batch execution.",
+     DEFAULT_TIME_BUCKETS_S),
+    (REQUEST_MODELLED, "histogram",
+     "Per-request modelled kernel latency (calibrated cost model).",
+     DEFAULT_TIME_BUCKETS_S),
+    (QUEUE_WAIT, "histogram",
+     "Time a request spent queued before its batch dispatched.",
+     DEFAULT_TIME_BUCKETS_S),
+    (BATCH_SIZE, "histogram",
+     "Requests coalesced per batch execution.", _BATCH_BUCKETS),
+    (CACHE_HITS, "counter",
+     "Plan-cache lookups answered from the cache.", None),
+    (CACHE_MISSES, "counter",
+     "Plan-cache lookups that fell through to the planner.", None),
+    (CACHE_PROMOTIONS, "counter",
+     "Plans promoted into the live cache (warm start or re-tune).", None),
+    (CACHE_ENTRIES, "gauge",
+     "Plans currently resident in the cache.", None),
+    (RETUNE_CYCLES, "counter",
+     "Re-tuning scheduler observe/decide cycles.", None),
+    (RETUNE_TRIGGERS, "counter",
+     "Plan keys whose drift triggered a re-sweep.", None),
+    (RETUNE_PROMOTIONS, "counter",
+     "Plan keys whose re-sweep promoted a changed plan.", None),
+    (RETUNE_COOLDOWN, "gauge",
+     "Plan keys currently held in re-tune cooldown.", None),
+)
+
+
+def declare_standard(registry: MetricsRegistry) -> MetricsRegistry:
+    """Pre-register every standard family (empty until published into).
+
+    The engine calls this on its registry at construction so ``repro
+    obs export`` names every documented metric even on a freshly
+    started — or idle — engine.
+    """
+    for name, kind, help_line, buckets in STANDARD_METRICS:
+        registry.declare(name, kind, help_line, buckets=buckets)
+    return registry

@@ -1,0 +1,291 @@
+"""Request-scoped tracing: one span tree per served request.
+
+A :class:`Tracer` hands out a :class:`RequestTrace` per request; code
+along the serving path opens named :class:`Span`\\ s on it::
+
+    tracer = Tracer(enabled=True)
+    trace = tracer.request(op="spmm", session="ffn", request_id=7)
+    with trace.span("plan-resolution"):
+        ...  # resolve()
+    tracer.finish(trace)
+
+Span ids are a **per-trace counter starting at 1**, assigned in
+creation order — two identical request flows produce identical
+id/name/parent structure (wall timings differ, structure never does),
+which is what the span-tree determinism test pins. Spans nest through
+a per-thread stack, so a span opened *inside* another span's ``with``
+block (same thread) parents to it; spans opened from a different
+thread — the batcher's worker executing the batch the request rode —
+attach at the root, mirroring the actual handoff.
+
+When tracing is disabled the tracer returns the :data:`NULL_TRACE`
+singleton whose every operation is a constant no-op (and which is
+*falsy*, so hot paths can skip work with ``if trace:``). That is the
+whole overhead story: no allocation, no branching beyond one method
+call, per disabled request.
+
+Finished traces ring-buffer on the tracer (:attr:`Tracer.KEEP` most
+recent) and export as JSON-lines — one trace per line, deterministic
+key order — via :meth:`Tracer.export_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Iterator
+
+from repro.ioutil import atomic_write_text
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "RequestTrace",
+    "Span",
+    "Tracer",
+]
+
+
+class Span:
+    """One named, timed segment of a request's journey.
+
+    ``start_s``/``end_s`` are seconds relative to the owning trace's
+    birth (monotonic clock). ``attrs`` carries the segment's facts —
+    plan key, backend, modelled time, queue depth, batch id — set at
+    creation or later via :meth:`set`.
+    """
+
+    __slots__ = ("trace", "span_id", "parent_id", "name", "start_s", "end_s", "attrs")
+
+    def __init__(
+        self,
+        trace: "RequestTrace",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        start_s: float,
+        attrs: dict,
+    ) -> None:
+        self.trace = trace
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.attrs = attrs
+
+    def set(self, **attrs) -> "Span":
+        """Attach facts to the span; returns ``self`` for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self) -> None:
+        """Close the span now (idempotent)."""
+        if self.end_s is None:
+            self.end_s = self.trace.now()
+
+    @property
+    def wall_s(self) -> float:
+        """The span's wall duration (0.0 while still open)."""
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end()
+        self.trace._pop(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "wall_s": self.wall_s,
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+
+
+class RequestTrace:
+    """The span tree of one request, from submit to response.
+
+    Thread-safe: the submitting thread and the batch-executing worker
+    both append spans. Iterating yields spans in creation (= id) order.
+    """
+
+    def __init__(self, request_id: int, op: str, session: str) -> None:
+        self.request_id = request_id
+        self.op = op
+        self.session = session
+        self._born = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 1
+        self._stack = threading.local()  # per-thread open-span stack
+
+    def now(self) -> float:
+        """Seconds since the trace was born (the span clock)."""
+        return time.perf_counter() - self._born
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span; close it via ``with`` or :meth:`Span.end`.
+
+        Used as a context manager, spans opened inside the block (same
+        thread) parent to it.
+        """
+        stack = getattr(self._stack, "open", None)
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span = Span(self, self._next_id, parent, name, self.now(), attrs)
+            self._next_id += 1
+            self._spans.append(span)
+        if stack is None:
+            stack = self._stack.open = []
+        stack.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._stack, "open", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def add_span(
+        self, name: str, start_s: float, end_s: float, **attrs
+    ) -> Span:
+        """Record an already-elapsed segment with explicit timing.
+
+        The engine synthesizes the *queue* span this way: the wait is
+        measured by the batcher (``BatchItem.queue_wait_s``), so by the
+        time the batch executes, the span's start and end are known
+        facts rather than live instants.
+        """
+        with self._lock:
+            span = Span(self, self._next_id, None, name, start_s, attrs)
+            self._next_id += 1
+            span.end_s = end_s
+            self._spans.append(span)
+        return span
+
+    def __iter__(self) -> Iterator[Span]:
+        with self._lock:
+            return iter(list(self._spans))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __bool__(self) -> bool:
+        # a live trace is truthy even before its first span (len()
+        # would otherwise make an empty trace look like NULL_TRACE)
+        return True
+
+    def find(self, name: str) -> Span | None:
+        """The first span with ``name``, or None."""
+        for span in self:
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; span order is creation order."""
+        return {
+            "request_id": self.request_id,
+            "op": self.op,
+            "session": self.session,
+            "spans": [s.to_dict() for s in self],
+        }
+
+
+class _NullSpan:
+    """The no-op span: every operation returns instantly."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def end(self) -> None:
+        pass
+
+
+class _NullTrace:
+    """The no-op trace a disabled tracer hands out (falsy singleton)."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def add_span(self, name: str, start_s: float, end_s: float, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def now(self) -> float:
+        return 0.0
+
+    def to_dict(self) -> None:  # a null trace serializes to nothing
+        return None
+
+
+NULL_SPAN = _NullSpan()
+NULL_TRACE = _NullTrace()
+
+
+class Tracer:
+    """Hands out request traces and ring-buffers the finished ones."""
+
+    #: finished traces retained for ``repro obs tail`` / export
+    KEEP = 1024
+
+    def __init__(self, enabled: bool = True, keep: int | None = None) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._finished: deque[RequestTrace] = deque(
+            maxlen=keep if keep is not None else self.KEEP
+        )
+
+    def request(
+        self, op: str, session: str, request_id: int
+    ) -> "RequestTrace | _NullTrace":
+        """A new trace for one request — or :data:`NULL_TRACE` when
+        disabled (the only branch the disabled path ever takes)."""
+        if not self.enabled:
+            return NULL_TRACE
+        return RequestTrace(request_id, op, session)
+
+    def finish(self, trace: "RequestTrace | _NullTrace") -> None:
+        """Retire a trace into the ring buffer (no-op for null traces)."""
+        if not trace:
+            return
+        with self._lock:
+            self._finished.append(trace)
+
+    def finished(self) -> list[RequestTrace]:
+        """Retired traces, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def export_jsonl(self, path: "str | Path") -> Path:
+        """Write retired traces as JSON lines (one trace per line,
+        sorted keys — deterministic given identical trace structure).
+        Atomic, like every artifact writer in the library."""
+        lines = [
+            json.dumps(t.to_dict(), sort_keys=True) for t in self.finished()
+        ]
+        return atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))

@@ -219,6 +219,14 @@ class MicroBatcher:
                 return self.rejected
             return self._rejected_by_key.get(key, 0)
 
+    def queue_depth(self, key: Hashable | None = None) -> int:
+        """Requests currently queued (one group, or all groups)."""
+        with self._lock:
+            if key is None:
+                return sum(len(g.pending) for g in self._groups.values())
+            group = self._groups.get(key)
+            return len(group.pending) if group is not None else 0
+
     def submit_async(self, key: Hashable, payload: object) -> RequestHandle:
         """Queue one request and return its awaitable ticket."""
         return self.wrap(self.submit(key, payload))

@@ -44,11 +44,25 @@ class PlanCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self._metrics = None
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
             # startup auto-load is forgiving: a corrupt shared cache
             # file degrades to a cold start, never a crashed server
             self.load(self.path, strict=False)
+
+    def bind_metrics(self, registry) -> None:
+        """Publish hit/miss/promotion counts into a
+        :class:`repro.obs.MetricsRegistry` alongside the local
+        counters (the engine binds its registry at construction)."""
+        self._metrics = registry
+        self._publish_entries()
+
+    def _publish_entries(self) -> None:
+        if self._metrics is not None:
+            from repro.obs import names
+
+            self._metrics.gauge(names.CACHE_ENTRIES).set(len(self._plans))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -74,11 +88,18 @@ class PlanCache:
                 self.misses += 1
             else:
                 self.hits += 1
-            return plan
+        if self._metrics is not None:
+            from repro.obs import names
+
+            self._metrics.counter(
+                names.CACHE_HITS if plan is not None else names.CACHE_MISSES
+            ).inc()
+        return plan
 
     def put(self, key: str, plan: "Plan") -> None:
         with self._lock:
             self._plans[key] = plan
+        self._publish_entries()
 
     def promote(self, plans: "dict[str, Plan]") -> int:
         """Atomically install a batch of (re-tuned) plans into the live
@@ -97,7 +118,12 @@ class PlanCache:
                 if old is None or old.to_dict() != plan.to_dict():
                     changed += 1
                 self._plans[key] = plan
-            return changed
+        if self._metrics is not None and plans:
+            from repro.obs import names
+
+            self._metrics.counter(names.CACHE_PROMOTIONS).inc(len(plans))
+        self._publish_entries()
+        return changed
 
     def get_or_build(self, key: str, builder: Callable[[], "Plan"]) -> "Plan":
         """Return the cached plan or build, store and return a new one.
@@ -212,6 +238,7 @@ class PlanCache:
             ) from exc
         with self._lock:
             self._plans.update(plans)
+        self._publish_entries()
         return len(plans)
 
 

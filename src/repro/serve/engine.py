@@ -29,7 +29,9 @@ pre-v1 factories :meth:`Engine.spmm_session` /
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 import warnings
 from collections import deque
 from concurrent.futures import Future
@@ -55,6 +57,10 @@ from repro.api.resolution import (
 from repro.core.matrix import SparseMatrix
 from repro.errors import AdmissionError, ConfigError, EngineClosedError, RetuneError
 from repro.formats.bcrs import BCRSMatrix
+from repro.obs import names as metric_names
+from repro.obs.metrics import get_registry
+from repro.obs.names import declare_standard
+from repro.obs.trace import NULL_TRACE, Tracer
 from repro.runtime import Device, resolve_backend
 from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher, RequestHandle
 from repro.serve.cache import PlanCache
@@ -118,6 +124,7 @@ class SpmmSession:
 
     def submit_request(self, req: SpmmRequest) -> Future:
         """Enqueue one typed request; resolves to a :class:`Response`."""
+        request_id, trace = self.engine._begin_request(self.name, "spmm")
         req = normalize(
             replace(
                 req,
@@ -125,7 +132,14 @@ class SpmmSession:
                 l_bits=req.l_bits if req.l_bits is not None else self.weight_bits,
             )
         )
-        res = self._resolve(req)
+        with trace.span("plan-resolution") as span:
+            res = self._resolve(req)
+        if trace:
+            span.set(
+                plan_key=res.plan.key if res.plan is not None else None,
+                backend=res.backend,
+                device=res.device_label,
+            )
         # the group key carries everything that must match for requests
         # to share one kernel launch — a batch executes under a single
         # resolution, so riders with a different backend/device/config
@@ -136,7 +150,8 @@ class SpmmSession:
             tuple(sorted(req.knobs.items())), repr(res.config),
         )
         return self.engine._enqueue(
-            self.name, key, {"request": req, "resolution": res}
+            self.name, key, {"request": req, "resolution": res},
+            request_id=request_id, trace=trace,
         )
 
     def submit(self, rhs: np.ndarray, r_bits: int | None = None) -> Future:
@@ -188,20 +203,29 @@ class SddmmSession:
 
     def submit_request(self, req: SddmmRequest) -> Future:
         """Enqueue one typed request; resolves to a :class:`Response`."""
+        request_id, trace = self.engine._begin_request(self.name, "sddmm")
         req = normalize(
             replace(
                 req,
                 objective=req.objective if req.objective is not None else self.objective,
             )
         )
-        res = self._resolve(req)
+        with trace.span("plan-resolution") as span:
+            res = self._resolve(req)
+        if trace:
+            span.set(
+                plan_key=res.plan.key if res.plan is not None else None,
+                backend=res.backend,
+                device=res.device_label,
+            )
         key = (
             "sddmm", self.name, req.a.shape[1], res.precision,
             res.backend, res.device_label, req.output_format or "bcrs",
             tuple(sorted(req.knobs.items())), repr(res.config),
         )
         return self.engine._enqueue(
-            self.name, key, {"request": req, "resolution": res}
+            self.name, key, {"request": req, "resolution": res},
+            request_id=request_id, trace=trace,
         )
 
     def submit(
@@ -277,11 +301,17 @@ class AttentionSession:
         coalesced launch executes one topology, so serving a mismatch
         would price the wrong forward pass.
         """
-        req = normalize(req)
-        mine = self.request().topology
-        theirs = replace(
-            req, backend=req.backend if req.backend is not None else self.backend
-        ).topology
+        request_id, trace = self.engine._begin_request(self.name, "attention")
+        # attention resolves at execute time (the coalesced launch owns
+        # one topology); the validation below is this op's plan stage
+        with trace.span("plan-resolution") as span:
+            req = normalize(req)
+            mine = self.request().topology
+            theirs = replace(
+                req, backend=req.backend if req.backend is not None else self.backend
+            ).topology
+        if trace:
+            span.set(backend=self.backend, device=self.engine.device)
         if theirs != mine:
             raise ConfigError(
                 f"session {self.name!r} serves topology {mine}, not "
@@ -289,7 +319,10 @@ class AttentionSession:
                 f"client key by topology)"
             )
         key = ("attention", self.name)
-        return self.engine._enqueue(self.name, key, {"batch": req.batch})
+        return self.engine._enqueue(
+            self.name, key, {"batch": req.batch},
+            request_id=request_id, trace=trace,
+        )
 
     def submit(self, batch: int = 1) -> Future:
         """Enqueue one forward-pass request of ``batch`` sequences."""
@@ -317,6 +350,8 @@ class Engine:
         warm_start: "str | Path | Sequence[str | Path] | None" = None,
         telemetry: Telemetry | None = None,
         retune: "RetunePolicy | None" = None,
+        metrics=None,
+        tracer: Tracer | None = None,
     ) -> None:
         """``warm_start`` preloads one or more shipped autotune
         artifacts (see :mod:`repro.autotune`) into the planner's plan
@@ -327,7 +362,12 @@ class Engine:
         attaches (and starts) a background
         :class:`~repro.autotune.scheduler.RetuneScheduler` driven by
         the given :class:`~repro.autotune.policy.RetunePolicy`, closing
-        the serve → autotune loop in-process."""
+        the serve → autotune loop in-process. ``metrics`` injects a
+        :class:`repro.obs.MetricsRegistry` (default: the process-wide
+        one); the telemetry, plan cache and scheduler all publish into
+        it. ``tracer`` attaches a :class:`repro.obs.Tracer` — requests
+        then carry their span tree on ``Response.trace``; the default
+        is a disabled tracer (near-zero overhead)."""
         if planner is not None and cache is not None:
             raise ConfigError("pass either a planner or a cache, not both")
         self._device = Device.resolve(device)
@@ -347,7 +387,15 @@ class Engine:
                 warm_start = [warm_start]
             self.warm_start_paths = tuple(Path(p) for p in warm_start)
             self.planner.warm_start(self.warm_start_paths)
+        self.metrics = metrics if metrics is not None else get_registry()
+        declare_standard(self.metrics)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.telemetry.bind_metrics(self.metrics)
+        self.planner.cache.bind_metrics(self.metrics)
+        #: monotonic request ids (also the ticket ids `submit` hands out)
+        self._request_ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
         self._sessions: dict[str, SpmmSession | SddmmSession | AttentionSession] = {}
         self._batcher = MicroBatcher(
             self._execute_batch, policy=policy, max_workers=max_workers
@@ -509,21 +557,63 @@ class Engine:
             raise ConfigError(f"session {name!r} already exists")
 
     # -- request intake -------------------------------------------------
-    def _enqueue(self, session: str, key: tuple, payload: dict) -> Future:
+    def _begin_request(self, session: str, op: str):
+        """Assign the next request id and open its trace (the id is
+        also the ticket id ``submit`` hands out, so a trace, a log line
+        and a redeemable ticket all name the same request)."""
+        request_id = next(self._request_ids)
+        return request_id, self.tracer.request(
+            op=op, session=session, request_id=request_id
+        )
+
+    def _enqueue(
+        self,
+        session: str,
+        key: tuple,
+        payload: dict,
+        request_id: int | None = None,
+        trace=None,
+    ) -> Future:
         """Submit to the micro-batcher, accounting admission rejections."""
         if self._closed:
             raise EngineClosedError(
                 f"engine is closed; request for session {session!r} refused"
             )
+        payload["request_id"] = request_id
+        span = None
+        if trace:
+            payload["trace"] = trace
+            span = trace.span(
+                "admission", queue_depth=self._batcher.queue_depth(key)
+            )
         try:
-            return self._batcher.submit(key, payload)
-        except AdmissionError:
+            future = self._batcher.submit(key, payload)
+        except AdmissionError as exc:
+            if span is not None:
+                span.set(rejected=True).end()
+                self.tracer.finish(trace)
             self.telemetry.record_rejection(session)
+            if request_id is not None:
+                # name the shed request so rejection logs line up with
+                # traces and the per-session rejection counters
+                raise AdmissionError(f"request #{request_id}: {exc}") from exc
             raise
+        if span is not None:
+            span.end()
+        self.metrics.gauge(
+            metric_names.QUEUE_DEPTH, {"session": session}
+        ).set(self._batcher.queue_depth(key))
+        future._repro_request_id = request_id
+        return future
 
     # -- ticketed client API -------------------------------------------
     def _track(self, future: Future) -> RequestHandle:
-        handle = self._batcher.wrap(future)
+        request_id = getattr(future, "_repro_request_id", None)
+        if request_id is not None:
+            # the ticket id IS the engine's request id
+            handle = RequestHandle(request_id, future)
+        else:
+            handle = self._batcher.wrap(future)
         with self._inflight_lock:
             self._inflight[handle.id] = handle
         future.add_done_callback(
@@ -624,6 +714,49 @@ class Engine:
         self.close()
 
     # -- batched execution ---------------------------------------------
+    def _finalize_item(
+        self,
+        item: BatchItem,
+        *,
+        wall_s: float,
+        modelled_s: float,
+        batch_id: int,
+        batch_size: int,
+        plan_key: str | None = None,
+        backend: str = "",
+        device: str = "",
+    ) -> tuple[int | None, dict | None]:
+        """Close out one rider's trace: synthesize the queue span (its
+        wait was measured by the batcher) and the kernel-launch span,
+        retire the trace, and return ``(request_id, span tree)`` for
+        the rider's :class:`Response`."""
+        payload = item.payload
+        request_id = payload.get("request_id")
+        trace = payload.get("trace")
+        if not trace:
+            return request_id, None
+        now = trace.now()
+        trace.add_span(
+            "queue",
+            now - wall_s - item.queue_wait_s,
+            now - wall_s,
+            queue_wait_s=item.queue_wait_s,
+            batch_id=batch_id,
+        )
+        trace.add_span(
+            "kernel-launch",
+            now - wall_s,
+            now,
+            modelled_time_s=modelled_s,
+            plan_key=plan_key,
+            backend=backend,
+            device=device,
+            batch_id=batch_id,
+            batch_size=batch_size,
+        )
+        self.tracer.finish(trace)
+        return request_id, trace.to_dict()
+
     def _execute_batch(
         self, key: tuple, items: Sequence[BatchItem]
     ) -> list[Response]:
@@ -660,7 +793,10 @@ class Engine:
                     r_bits=res.plan.r_bits,
                 )
             )
+        t0 = time.perf_counter()
         r = execute_resolution(res, req, rhs=rhs)
+        wall_s = time.perf_counter() - t0
+        batch_id = next(self._batch_ids)
         self.telemetry.record_batch(
             session.name, "spmm", r.time_s, [i.queue_wait_s for i in items],
             backend=res.backend, device=res.device_label,
@@ -668,11 +804,19 @@ class Engine:
             predicted_time_s=(
                 res.plan.predicted_time_s if res.plan is not None else None
             ),
+            wall_time_s=wall_s,
         )
         offsets = np.concatenate([[0], np.cumsum(widths)])
         share = r.time_s / len(items)
-        return [
-            Response(
+        responses = []
+        for i, item in enumerate(items):
+            request_id, trace = self._finalize_item(
+                item, wall_s=wall_s, modelled_s=r.time_s,
+                batch_id=batch_id, batch_size=len(items),
+                plan_key=res.plan.key if res.plan is not None else None,
+                backend=res.backend, device=res.device_label,
+            )
+            responses.append(Response(
                 output=r.output[:, offsets[i]: offsets[i + 1]],
                 time_s=r.time_s,
                 tops=r.tops,
@@ -684,20 +828,31 @@ class Engine:
                 request_time_s=share,
                 queue_wait_s=item.queue_wait_s,
                 batch_size=len(items),
-            )
-            for i, item in enumerate(items)
-        ]
+                request_id=request_id,
+                trace=trace,
+            ))
+        return responses
 
     def _execute_sddmm(
         self, session: SddmmSession, items: Sequence[BatchItem]
     ) -> list[Response]:
         # sampled products carry their own dense operands; execute
         # item-by-item under one dispatch (shared telemetry group)
+        batch_id = next(self._batch_ids)
+        t0 = time.perf_counter()
         results = []
         for item in items:
             req: SddmmRequest = item.payload["request"]
             res: Resolution = item.payload["resolution"]
+            item_t0 = time.perf_counter()
             r = execute_resolution(res, req)
+            request_id, trace = self._finalize_item(
+                item, wall_s=time.perf_counter() - item_t0,
+                modelled_s=r.time_s, batch_id=batch_id,
+                batch_size=len(items),
+                plan_key=res.plan.key if res.plan is not None else None,
+                backend=res.backend, device=res.device_label,
+            )
             results.append(
                 Response(
                     output=r.output,
@@ -710,6 +865,8 @@ class Engine:
                     precision=res.precision,
                     queue_wait_s=item.queue_wait_s,
                     batch_size=len(items),
+                    request_id=request_id,
+                    trace=trace,
                 )
             )
         res0: Resolution = items[0].payload["resolution"]
@@ -722,6 +879,7 @@ class Engine:
                 res0.plan.predicted_time_s if res0.plan is not None else None
             ),
             launches=len(items),  # sampled products execute item-by-item
+            wall_time_s=time.perf_counter() - t0,
         )
         return results
 
@@ -731,15 +889,25 @@ class Engine:
         batches = [item.payload["batch"] for item in items]
         total = sum(batches)
         req = session.request(batch=total)
+        t0 = time.perf_counter()
         res = resolve_request(req, device=self._device, backend=session.backend)
         r = execute_resolution(res, req, batch=total, planner=self.planner)
+        wall_s = time.perf_counter() - t0
+        batch_id = next(self._batch_ids)
         self.telemetry.record_batch(
             session.name, "attention", r.time_s,
             [i.queue_wait_s for i in items],
             backend=session.backend, device=self.device,
+            wall_time_s=wall_s,
         )
-        return [
-            Response(
+        responses = []
+        for b, item in zip(batches, items):
+            request_id, trace = self._finalize_item(
+                item, wall_s=wall_s, modelled_s=r.time_s,
+                batch_id=batch_id, batch_size=len(items),
+                backend=res.backend, device=res.device_label,
+            )
+            responses.append(Response(
                 output=None,
                 time_s=r.time_s,
                 stats=r.stats,
@@ -749,9 +917,10 @@ class Engine:
                 request_time_s=r.time_s * b / total,
                 queue_wait_s=item.queue_wait_s,
                 batch_size=len(items),
-            )
-            for b, item in zip(batches, items)
-        ]
+                request_id=request_id,
+                trace=trace,
+            ))
+        return responses
 
     # -- reporting ------------------------------------------------------
     def summary(self) -> dict:

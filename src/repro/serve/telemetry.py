@@ -35,12 +35,61 @@ import numpy as np
 from repro.ioutil import atomic_write_text
 
 
+class _Reservoir:
+    """A bounded, deterministic sample of an unbounded value stream.
+
+    Running ``count``/``total`` stay exact forever. The retained
+    ``values`` are a systematic sample: every ``stride``-th observation
+    is kept, and when the buffer exceeds ``cap`` it is thinned to every
+    other element (``values[::2]``) and the stride doubles — kept
+    positions stay multiples of the new stride, so two identical
+    recordings always retain identical samples. While ``stride == 1``
+    (up to ``cap`` observations) the sample *is* the full stream and
+    percentiles computed from it are exact — which keeps
+    :class:`TelemetrySnapshot` byte-identical to the historical
+    unbounded-list behaviour for every bounded workload; past the cap,
+    percentiles degrade gracefully to estimates over ~``cap/2`` evenly
+    spaced observations instead of the process growing without bound.
+    """
+
+    __slots__ = ("cap", "stride", "count", "total", "values")
+
+    #: retained samples stay in (CAP/2, CAP]; at 4096 float64s that is
+    #: at most 32 KiB per series, forever
+    CAP = 4096
+
+    def __init__(self, cap: int = CAP) -> None:
+        self.cap = cap
+        self.stride = 1
+        self.count = 0
+        self.total = 0.0
+        self.values: list[float] = []
+
+    def add(self, v: float) -> None:
+        if self.count % self.stride == 0:
+            self.values.append(v)
+            if len(self.values) > self.cap:
+                self.values = self.values[::2]
+                self.stride *= 2
+        self.count += 1
+        self.total += v
+
+    @property
+    def exact(self) -> bool:
+        """Whether ``values`` still holds every observation."""
+        return self.stride == 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
 @dataclass
 class _SessionStats:
-    latencies_s: list = field(default_factory=list)  # per request
-    queue_waits_s: list = field(default_factory=list)  # per request
-    batch_sizes: list = field(default_factory=list)  # per batch
-    batch_times_s: list = field(default_factory=list)  # per batch (modelled)
+    latencies_s: _Reservoir = field(default_factory=_Reservoir)  # per request
+    queue_waits_s: _Reservoir = field(default_factory=_Reservoir)  # per request
+    batch_sizes: _Reservoir = field(default_factory=_Reservoir)  # per batch
+    batch_times_s: _Reservoir = field(default_factory=_Reservoir)  # per batch
     ops: set = field(default_factory=set)
 
 
@@ -208,15 +257,27 @@ class TelemetrySnapshot:
 
 
 class Telemetry:
-    """Thread-safe per-session aggregation of serving metrics."""
+    """Thread-safe per-session aggregation of serving metrics.
 
-    def __init__(self) -> None:
+    ``metrics`` (or a later :meth:`bind_metrics`) attaches a
+    :class:`repro.obs.MetricsRegistry`; every recorded batch and
+    rejection is then also published as the standard counters and
+    histograms (see :mod:`repro.obs.names`), which is how the scrape /
+    replay-bench view stays consistent with the rendered tables.
+    """
+
+    def __init__(self, metrics=None) -> None:
         self._lock = threading.Lock()
         self._sessions: dict[str, _SessionStats] = {}
         self._backends: dict[tuple[str, str], _SessionStats] = {}
         self._plans: dict[str, _PlanStats] = {}
         self._rejections: dict[str, int] = {}
         self._started_at = time.monotonic()
+        self.metrics = metrics
+
+    def bind_metrics(self, registry) -> None:
+        """Publish all future recordings into ``registry`` as well."""
+        self.metrics = registry
 
     # ------------------------------------------------------------------
     def record_batch(
@@ -230,6 +291,7 @@ class Telemetry:
         plan_key: str | None = None,
         predicted_time_s: float | None = None,
         launches: int = 1,
+        wall_time_s: float | None = None,
     ) -> None:
         """Record one batched launch serving ``len(queue_waits_s)`` requests.
 
@@ -241,6 +303,10 @@ class Telemetry:
         ``launches`` is how many kernel launches ``modelled_time_s``
         spans (SDDMM dispatches execute item-by-item), so observed
         per-launch time stays comparable to the plan's estimate.
+        ``wall_time_s`` is the host wall time of the batch execution;
+        when given (and a metrics registry is bound), each rider's
+        wall latency — queue wait + execution — feeds the
+        ``repro_request_wall_seconds`` histogram.
         """
         n = len(queue_waits_s)
         with self._lock:
@@ -251,10 +317,11 @@ class Telemetry:
                 )
             for s in buckets:
                 s.ops.add(op)
-                s.batch_sizes.append(n)
-                s.batch_times_s.append(modelled_time_s)
-                s.latencies_s.extend([modelled_time_s] * n)
-                s.queue_waits_s.extend(queue_waits_s)
+                s.batch_sizes.add(n)
+                s.batch_times_s.add(modelled_time_s)
+                for w in queue_waits_s:
+                    s.latencies_s.add(modelled_time_s)
+                    s.queue_waits_s.add(w)
             if plan_key is not None:
                 p = self._plans.setdefault(plan_key, _PlanStats())
                 p.requests += n
@@ -267,11 +334,42 @@ class Telemetry:
                     p.backend = backend
                 if device is not None:
                     p.device = device
+        if self.metrics is not None:
+            self._publish_batch(
+                session, n, modelled_time_s, queue_waits_s, launches,
+                wall_time_s,
+            )
+
+    def _publish_batch(
+        self, session, n, modelled_time_s, queue_waits_s, launches, wall_time_s
+    ) -> None:
+        """Mirror one recorded batch into the bound metrics registry."""
+        from repro.obs import names
+
+        m = self.metrics
+        m.counter(names.REQUESTS, {"session": session}).inc(n)
+        m.counter(names.BATCHES, {"session": session}).inc()
+        m.counter(names.LAUNCHES, {"session": session}).inc(max(1, launches))
+        m.histogram(names.BATCH_SIZE).observe(n)
+        modelled = m.histogram(names.REQUEST_MODELLED)
+        waits = m.histogram(names.QUEUE_WAIT)
+        wall = m.histogram(names.REQUEST_WALL)
+        for w in queue_waits_s:
+            modelled.observe(modelled_time_s)
+            waits.observe(w)
+            if wall_time_s is not None:
+                wall.observe(w + wall_time_s)
 
     def record_rejection(self, session: str, count: int = 1) -> None:
         """Count ``count`` admission-control rejections against a session."""
         with self._lock:
             self._rejections[session] = self._rejections.get(session, 0) + count
+        if self.metrics is not None:
+            from repro.obs import names
+
+            self.metrics.counter(
+                names.REJECTIONS, {"session": session}
+            ).inc(count)
 
     def rejections(self, session: str | None = None) -> int:
         """Rejected requests for one session, or in total."""
@@ -354,27 +452,47 @@ class Telemetry:
             stats = [self._backends.get((backend, device), _SessionStats())]
             return self._summarize(stats)
 
+    @staticmethod
+    def _mean(reservoirs: list[_Reservoir]) -> float:
+        """Exact mean while every reservoir is complete (the historical
+        ``np.mean`` over the raw lists, bit for bit), running-total mean
+        once any stream has been thinned."""
+        if not reservoirs or not any(r.count for r in reservoirs):
+            return 0.0
+        if all(r.exact for r in reservoirs):
+            return float(np.mean([v for r in reservoirs for v in r.values]))
+        total = sum(r.total for r in reservoirs)
+        count = sum(r.count for r in reservoirs)
+        return float(total / count)
+
     def _summarize(self, stats: list[_SessionStats]) -> LatencySummary:
-        """Aggregate a list of stat buckets (call with lock held)."""
+        """Aggregate a list of stat buckets (call with lock held).
+
+        Request/batch counts and totals come from the reservoirs'
+        running aggregates (exact at any traffic volume); percentiles
+        come from the retained samples — the full stream below the
+        reservoir cap, an evenly spaced sample above it.
+        """
         latencies = np.array(
-            [t for s in stats for t in s.latencies_s], dtype=np.float64
+            [t for s in stats for t in s.latencies_s.values], dtype=np.float64
         )
-        waits = [w for s in stats for w in s.queue_waits_s]
-        sizes = [b for s in stats for b in s.batch_sizes]
-        busy = float(sum(t for s in stats for t in s.batch_times_s))
+        n = sum(s.latencies_s.count for s in stats)
+        batches = sum(s.batch_sizes.count for s in stats)
+        busy = float(sum(s.batch_times_s.total for s in stats))
         wall = time.monotonic() - self._started_at
-        n = latencies.size
         if n == 0:
             return LatencySummary(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, wall, 0.0)
         p50, p95, p99 = np.percentile(latencies, [50, 95, 99]) * 1e3
         return LatencySummary(
             requests=int(n),
-            batches=len(sizes),
+            batches=batches,
             p50_ms=float(p50),
             p95_ms=float(p95),
             p99_ms=float(p99),
-            mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
-            mean_queue_wait_ms=float(np.mean(waits) * 1e3) if waits else 0.0,
+            mean_batch_size=self._mean([s.batch_sizes for s in stats]),
+            mean_queue_wait_ms=self._mean(
+                [s.queue_waits_s for s in stats]
+            ) * 1e3,
             modelled_busy_s=busy,
             modelled_throughput_rps=float(n / busy) if busy > 0 else 0.0,
             wall_s=wall,

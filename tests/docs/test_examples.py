@@ -40,10 +40,28 @@ def python_blocks(path: Path) -> list[tuple[int, str]]:
 def test_doc_files_exist():
     names = {p.name for p in DOC_FILES}
     assert "README.md" in names
-    # the five subsystem docs plus the architecture map and runbook
+    # the six subsystem docs plus the architecture map and runbook
     for doc in ("api.md", "runtime.md", "serving.md", "autotuning.md",
-                "architecture.md", "operations.md"):
+                "observability.md", "architecture.md", "operations.md"):
         assert doc in names, f"{doc} is missing from docs/"
+
+
+def test_observability_doc_names_every_standard_metric():
+    """The metric table in observability.md mirrors names.STANDARD_METRICS.
+
+    The names module is the single source of truth; this is the drift
+    guard its docstring promises — adding (or renaming) a metric without
+    updating the documented table fails here.
+    """
+    from repro.obs.names import STANDARD_METRICS
+
+    text = (REPO / "docs" / "observability.md").read_text()
+    documented = set(re.findall(r"\| `(repro_[a-z_]+)` \|", text))
+    declared = {name for name, _, _, _ in STANDARD_METRICS}
+    assert documented == declared, (
+        f"docs missing: {sorted(declared - documented)}; "
+        f"stale in docs: {sorted(documented - declared)}"
+    )
 
 
 def test_docs_actually_contain_examples():

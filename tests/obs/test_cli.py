@@ -1,0 +1,135 @@
+"""``repro obs`` CLI: summary / export / tail over real artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import names
+from repro.obs.cli import main
+from repro.obs.export import load_json, parse_prometheus, write_snapshot
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.names import STANDARD_METRICS, declare_standard
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    r = declare_standard(MetricsRegistry())
+    r.counter(names.REQUESTS, {"session": "s"}).inc(3)
+    r.histogram(names.REQUEST_WALL).observe(0.01)
+    return write_snapshot(r, tmp_path / "metrics.json")
+
+
+@pytest.fixture
+def trace_log(tmp_path):
+    tracer = Tracer()
+    t = tracer.request(op="spmm", session="s", request_id=1)
+    with t.span("admission", queue_depth=0):
+        pass
+    t.add_span("kernel-launch", 0.0, 0.001, batch_id=1)
+    tracer.finish(t)
+    return tracer.export_jsonl(tmp_path / "trace.jsonl")
+
+
+class TestSummary:
+    def test_renders_tables_from_snapshot(self, snapshot, capsys):
+        assert main(["summary", "--metrics", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert names.REQUESTS in out and "session=s" in out
+
+    def test_missing_snapshot_falls_back_to_contract(self, tmp_path, capsys):
+        assert main(["summary", "--metrics", str(tmp_path / "nope.json")]) == 0
+        assert "standard contract" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_prometheus_names_full_contract_even_without_snapshot(
+        self, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "nope.json")
+        assert main(["export", "--metrics", missing, "--format", "prometheus"]) == 0
+        families = parse_prometheus(capsys.readouterr().out)
+        assert set(families) == {m[0] for m in STANDARD_METRICS}
+
+    def test_prometheus_round_trip_from_snapshot(self, snapshot, capsys):
+        assert main([
+            "export", "--metrics", str(snapshot), "--format", "prometheus",
+        ]) == 0
+        families = parse_prometheus(capsys.readouterr().out)
+        sample, = (
+            s for s in families[names.REQUESTS]["samples"]
+            if s["labels"] == {"session": "s"}
+        )
+        assert sample["value"] == 3
+
+    def test_json_export_to_file(self, snapshot, tmp_path):
+        out = tmp_path / "again.json"
+        assert main([
+            "export", "--metrics", str(snapshot), "--format", "json",
+            "--out", str(out),
+        ]) == 0
+        restored = load_json(out.read_text())
+        assert restored.counter(names.REQUESTS, {"session": "s"}).value == 3
+
+
+class TestTail:
+    def test_renders_span_tree(self, trace_log, capsys):
+        assert main(["tail", "--trace", str(trace_log), "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "request 1 [spmm@s]" in out
+        assert "admission" in out and "queue_depth=0" in out
+        assert "kernel-launch" in out
+
+    def test_missing_trace_log_fails_with_hint(self, tmp_path, capsys):
+        assert main(["tail", "--trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "serve --replay" in capsys.readouterr().err
+
+
+class TestEntryPoints:
+    def test_no_subcommand_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "summary" in capsys.readouterr().out
+
+    def test_registered_with_the_repro_umbrella(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["--help"]) == 0
+        assert "obs" in capsys.readouterr().out
+
+    def test_runnable_as_module(self, snapshot):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "export", "--metrics",
+             str(snapshot), "--format", "prometheus"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert names.REQUESTS in proc.stdout
+
+
+def _trace_doc() -> dict:
+    return {
+        "request_id": 7, "op": "spmm", "session": "s",
+        "spans": [
+            {"span_id": 1, "parent_id": None, "name": "outer",
+             "start_s": 0.0, "end_s": 0.002, "wall_s": 0.002, "attrs": {}},
+            {"span_id": 2, "parent_id": 1, "name": "inner",
+             "start_s": 0.0, "end_s": 0.001, "wall_s": 0.001,
+             "attrs": {"k": "v"}},
+        ],
+    }
+
+
+def test_tail_indents_children_under_parents(tmp_path, capsys):
+    log = tmp_path / "t.jsonl"
+    log.write_text(json.dumps(_trace_doc()) + "\n")
+    assert main(["tail", "--trace", str(log)]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    outer = next(ln for ln in lines if "outer" in ln)
+    inner = next(ln for ln in lines if "inner" in ln)
+    assert len(inner) - len(inner.lstrip()) > len(outer) - len(outer.lstrip())
+    assert "k=v" in inner

@@ -1,0 +1,149 @@
+"""MetricsRegistry: instruments, labels, persistence round-trip."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import names
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS_S,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.names import STANDARD_METRICS, declare_standard
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        r = MetricsRegistry()
+        c = r.counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert r.counter("c") is c  # same child on re-access
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4.0
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ConfigError):
+            r.gauge("x")
+
+    def test_labels_key_sorted_and_stringified(self):
+        r = MetricsRegistry()
+        a = r.counter("c", {"b": "2", "a": "1"})
+        b = r.counter("c", {"a": 1, "b": 2})
+        assert a is b
+        (labels, child), = r.samples("c")
+        assert labels == {"a": "1", "b": "2"} and child is a
+
+
+class TestHistogram:
+    def test_observe_and_bounds(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        assert h.counts == [1, 1, 1, 1]  # last is the +Inf overflow
+        assert (h.min, h.max) == (0.5, 100.0)
+
+    def test_quantile_interpolates_within_observed_range(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 0.7, 3.9):
+            h.observe(v)
+        assert h.quantile(0.0) >= h.min
+        assert h.quantile(1.0) == h.max
+        assert h.min <= h.quantile(0.5) <= 1.0  # inside the first bucket
+
+    def test_quantile_empty_and_invalid(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.99) == 0.0
+        with pytest.raises(ConfigError):
+            h.quantile(1.5)
+
+    def test_default_buckets_are_time_shaped(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.buckets == DEFAULT_TIME_BUCKETS_S
+        assert len(h.counts) == len(h.buckets) + 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+    def test_memory_constant_under_load(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        for i in range(10_000):
+            h.observe(i % 3)
+        assert len(h.counts) == 3
+        assert h.count == 10_000
+
+
+class TestRoundTrip:
+    def test_to_from_dict_identical(self):
+        r = MetricsRegistry()
+        declare_standard(r)
+        r.counter(names.REQUESTS, {"session": "s"}).inc(7)
+        r.gauge(names.QUEUE_DEPTH, {"session": "s"}).set(3)
+        r.histogram(names.BATCH_SIZE).observe(4)
+        r.histogram(names.REQUEST_WALL).observe(0.01)
+        restored = MetricsRegistry.from_dict(r.to_dict())
+        assert restored.to_dict() == r.to_dict()
+
+    def test_round_trip_preserves_custom_buckets(self):
+        # regression: restoring a snapshot must not reset a family's
+        # bucket layout to the time default
+        r = MetricsRegistry()
+        h = r.histogram("sizes", buckets=(1.0, 8.0, 64.0))
+        h.observe(5)
+        h2 = MetricsRegistry.from_dict(r.to_dict()).histogram("sizes")
+        assert h2.buckets == (1.0, 8.0, 64.0)
+        assert h2.quantile(0.5) == h.quantile(0.5)
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry.from_dict({"x": {"kind": "summary", "samples": []}})
+
+    def test_empty_histogram_min_max_survive(self):
+        r = MetricsRegistry()
+        r.histogram("h")
+        h = MetricsRegistry.from_dict(r.to_dict()).histogram("h")
+        assert h.count == 0 and h.min == math.inf
+
+
+class TestStandardContract:
+    def test_declare_standard_names_everything(self):
+        r = declare_standard(MetricsRegistry())
+        assert r.names() == sorted(m[0] for m in STANDARD_METRICS)
+
+    def test_standard_metric_conventions(self):
+        for name, kind, help_line, _ in STANDARD_METRICS:
+            assert name.startswith("repro_")
+            assert help_line.strip()
+            if kind == "counter":
+                assert name.endswith("_total")
+            if name.endswith("_seconds"):
+                assert kind == "histogram"
+
+    def test_global_registry_swap(self):
+        fresh = MetricsRegistry()
+        old = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(old)
+        assert get_registry() is old

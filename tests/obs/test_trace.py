@@ -1,0 +1,128 @@
+"""Tracer / RequestTrace: span-tree structure, null path, export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.trace import NULL_SPAN, NULL_TRACE, Tracer
+
+
+def _structure(trace) -> list[tuple]:
+    """The determinism fingerprint: ids, parents, names — no timings."""
+    return [(s.span_id, s.parent_id, s.name) for s in trace]
+
+
+class TestSpanTree:
+    def test_ids_count_from_one_in_creation_order(self):
+        trace = Tracer().request(op="spmm", session="s", request_id=1)
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        trace.add_span("late", 0.0, 1.0)
+        assert _structure(trace) == [
+            (1, None, "outer"), (2, 1, "inner"), (3, None, "late"),
+        ]
+
+    def test_identical_flows_identical_structure(self):
+        def flow():
+            t = Tracer().request(op="spmm", session="s", request_id=9)
+            with t.span("admission", queue_depth=0):
+                pass
+            with t.span("plan-resolution"):
+                t.span("lookup").end()
+            t.add_span("queue", 0.0, 0.5)
+            t.add_span("kernel-launch", 0.5, 0.6, batch_id=1)
+            return t
+
+        a, b = flow(), flow()
+        assert _structure(a) == _structure(b)
+        # full dict form matches modulo wall timings
+        def strip(d):
+            return [
+                {k: v for k, v in s.items()
+                 if k not in ("start_s", "end_s", "wall_s")}
+                for s in d["spans"]
+            ]
+        assert strip(a.to_dict()) == strip(b.to_dict())
+
+    def test_cross_thread_spans_attach_at_root(self):
+        trace = Tracer().request(op="spmm", session="s", request_id=1)
+        with trace.span("outer"):
+            worker_span = []
+            t = threading.Thread(
+                target=lambda: worker_span.append(trace.span("worker"))
+            )
+            t.start()
+            t.join()
+            worker_span[0].end()
+        assert worker_span[0].parent_id is None  # not a child of "outer"
+
+    def test_span_end_idempotent_and_wall(self):
+        trace = Tracer().request(op="x", session="s", request_id=1)
+        span = trace.span("a")
+        assert span.wall_s == 0.0  # open
+        span.end()
+        first = span.end_s
+        span.end()
+        assert span.end_s == first
+        assert span.wall_s == span.end_s - span.start_s >= 0.0
+
+    def test_set_chains_and_attrs_sorted_in_dict(self):
+        trace = Tracer().request(op="x", session="s", request_id=1)
+        span = trace.span("a").set(z=1).set(b=2)
+        span.end()
+        assert list(span.to_dict()["attrs"]) == ["b", "z"]
+
+    def test_find(self):
+        trace = Tracer().request(op="x", session="s", request_id=1)
+        trace.span("a").end()
+        assert trace.find("a").name == "a"
+        assert trace.find("missing") is None
+
+
+class TestNullPath:
+    def test_disabled_tracer_hands_out_the_falsy_singleton(self):
+        tracer = Tracer(enabled=False)
+        trace = tracer.request(op="spmm", session="s", request_id=1)
+        assert trace is NULL_TRACE
+        assert not trace and not NULL_SPAN
+
+    def test_null_trace_is_a_complete_no_op(self):
+        with NULL_TRACE.span("x", a=1) as span:
+            assert span.set(b=2) is span
+        assert NULL_TRACE.add_span("y", 0, 1) is NULL_SPAN
+        assert NULL_TRACE.now() == 0.0
+        assert NULL_TRACE.to_dict() is None
+
+    def test_finishing_a_null_trace_keeps_the_buffer_empty(self):
+        tracer = Tracer(enabled=False)
+        tracer.finish(tracer.request(op="x", session="s", request_id=1))
+        assert tracer.finished() == []
+
+
+class TestTracer:
+    def test_ring_buffer_keeps_most_recent(self):
+        tracer = Tracer(keep=2)
+        for i in range(1, 5):
+            tracer.finish(tracer.request(op="x", session="s", request_id=i))
+        assert [t.request_id for t in tracer.finished()] == [3, 4]
+
+    def test_export_jsonl_one_sorted_line_per_trace(self, tmp_path):
+        tracer = Tracer()
+        for i in (1, 2):
+            t = tracer.request(op="spmm", session="s", request_id=i)
+            t.span("a").end()
+            tracer.finish(t)
+        path = tracer.export_jsonl(tmp_path / "traces.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["request_id"] == 1
+        assert [s["name"] for s in first["spans"]] == ["a"]
+        # deterministic serialization: keys sorted
+        assert lines[0] == json.dumps(first, sort_keys=True)
+
+    def test_export_empty_writes_empty_file(self, tmp_path):
+        path = Tracer().export_jsonl(tmp_path / "none.jsonl")
+        assert path.read_text() == ""
