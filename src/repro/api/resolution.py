@@ -51,6 +51,7 @@ from repro.lowp.quantize import int_range
 from repro.runtime import DEFAULT_BACKEND, Device, get_backend, resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.serve.planner import ExecutionPlanner, Plan
 
 __all__ = [
@@ -315,10 +316,11 @@ def _resolve_attention(
     if name is None:
         name = (
             default_backend
-            if default_backend is not None and default_backend.startswith("magicube")
+            if default_backend is not None
+            and default_backend.startswith(("magicube", "fastpath"))
             else DEFAULT_BACKEND
         )
-    if not name.startswith("magicube"):
+    if not name.startswith(("magicube", "fastpath")):
         raise ConfigError(
             f"attention sessions model the Magicube pipeline; backend "
             f"{name!r} cannot plan it"
@@ -336,40 +338,41 @@ def execute(
     rhs: np.ndarray | None = None,
     batch: int | None = None,
     planner: "ExecutionPlanner | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> Response:
     """Run a resolution against its request's operands.
 
     ``rhs`` / ``batch`` override the request's own operand — the
     micro-batcher's coalesced launches execute one resolution against
     the concatenated batch. ``planner`` routes the attention latency
-    model through cached serving plans (the engine path).
+    model through cached serving plans (the engine path). ``metrics``
+    receives the measured kernel wall time (the global registry when
+    omitted) — the signal backend speedups show up in.
     """
     if res.op == "spmm":
         the_rhs = rhs if rhs is not None else request.rhs
         if the_rhs is None:
             raise ConfigError("SpmmRequest.rhs is required to execute")
         if res.config is not None:
-            r = get_backend(res.backend).execute(
-                "spmm", res.device, config=res.config,
+            r = _timed_execute(
+                res, metrics, config=res.config,
                 lhs=request.lhs, rhs=the_rhs, scale=request.scale,
             )
         else:
             # non-Magicube plans (vector-sparse on V100, a pinned
             # baseline...) take no Magicube kernel knobs
-            r = get_backend(res.backend).execute(
-                "spmm", res.device, lhs=request.lhs, rhs=the_rhs
-            )
+            r = _timed_execute(res, metrics, lhs=request.lhs, rhs=the_rhs)
     elif res.op == "sddmm":
         if request.a is None or request.b is None:
             raise ConfigError("SddmmRequest.a and .b are required to execute")
         if res.config is not None:
-            r = get_backend(res.backend).execute(
-                "sddmm", res.device, config=res.config,
+            r = _timed_execute(
+                res, metrics, config=res.config,
                 a=request.a, b=request.b, mask=request.mask,
             )
         else:
-            r = get_backend(res.backend).execute(
-                "sddmm", res.device, a=request.a, b=request.b, mask=request.mask
+            r = _timed_execute(
+                res, metrics, a=request.a, b=request.b, mask=request.mask
             )
     else:
         return _execute_attention(res, request, batch=batch, planner=planner)
@@ -383,6 +386,29 @@ def execute(
         device=res.device_label,
         precision=res.precision,
     )
+
+
+def _timed_execute(res: Resolution, metrics, **operands):
+    """Run the backend and observe the measured wall time.
+
+    ``repro_kernel_wall_seconds`` is the *measured* counterpart of the
+    modelled ``repro_request_modelled_seconds`` — it is what makes a
+    faster backend (e.g. ``fastpath-vectorized``) visible in telemetry.
+    """
+    from time import perf_counter
+
+    from repro.obs.metrics import get_registry
+    from repro.obs.names import KERNEL_WALL
+
+    t0 = perf_counter()
+    r = get_backend(res.backend).execute(res.op, res.device, **operands)
+    wall = perf_counter() - t0
+    registry = metrics if metrics is not None else get_registry()
+    registry.histogram(
+        KERNEL_WALL,
+        labels={"op": res.op, "backend": res.backend},
+    ).observe(wall)
+    return r
 
 
 def _execute_attention(

@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench --list
     python -m repro.bench serve --replay  # traffic replay -> BENCH_serve.json
     python -m repro.bench compare BENCH_serve.json baseline.json
+    python -m repro.bench kernels --wall  # emulation vs fastpath, asserted
 
 Prints the same rows the paper reports; heavy sweeps honour ``--count``.
 The traffic replay (``serve --replay``, :mod:`repro.bench.loadgen`)
@@ -483,6 +484,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.loadgen import compare_main
 
         return compare_main(argv[1:])
+    if argv[:1] == ["kernels"]:
+        # the kernel wall-clock gate has its own flags (--wall, --floor)
+        from repro.bench.kernels import kernels_main
+
+        return kernels_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro bench", description=__doc__

@@ -1,0 +1,344 @@
+"""Kernel wall-clock bench: emulation vs fastpath, asserted.
+
+``repro bench kernels --wall`` measures *measured seconds*, not modelled
+ones: every grid cell builds one (op x precision x topology) problem,
+verifies the two backends produce **bit-identical** results, then times
+``backend.execute`` for the baseline (``magicube-emulation``) and the
+candidate (``fastpath-vectorized``) and reports the wall-clock speedup.
+
+The gate is the pooled median speedup over the gated (SpMM + SDDMM)
+cells: below ``--floor`` (default 10x) the run exits non-zero, so CI
+*asserts* the fast path stays fast instead of trusting a claim in a
+commit message. Per-op medians are reported alongside — SpMM clears the
+floor on its own; SDDMM is structurally capped lower on one CPU core
+(an int64 NumPy matmul baseline against BLAS tops out around 4-7x) and
+rides inside the pool. Softmax cells are measured and reported but not
+gated.
+
+Results are written to ``BENCH_kernels.json`` (schema-versioned, like
+``BENCH_serve.json``) so the perf trajectory is a committed artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+
+import numpy as np
+
+__all__ = [
+    "KERNELS_SCHEMA",
+    "Cell",
+    "DEFAULT_GRID",
+    "REDUCED_GRID",
+    "kernels_main",
+    "render_kernel_report",
+    "run_kernel_bench",
+]
+
+KERNELS_SCHEMA = 1
+
+#: default wall-clock gate: pooled median speedup over gated cells
+DEFAULT_FLOOR = 10.0
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (op x precision x topology) bench cell.
+
+    ``rows x cols`` is the sparse operand's shape; ``inner`` is the RHS
+    width N for SpMM and the reduction dim K for SDDMM (unused for
+    softmax). ``gated`` cells contribute to the asserted pooled median.
+    """
+
+    op: str
+    precision: str
+    rows: int
+    cols: int
+    inner: int
+    vector_length: int
+    sparsity: float
+    gated: bool = True
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.op} {self.precision} {self.rows}x{self.cols}"
+            f"/{self.inner} V={self.vector_length} s={self.sparsity}"
+        )
+
+
+#: the committed-artifact grid: Table-IV pairs over attention-shaped
+#: (V=2) and FFN-shaped (V=4/8) topologies at DLMC sparsities
+DEFAULT_GRID: tuple[Cell, ...] = (
+    Cell("spmm", "L8-R8", 256, 256, 64, 2, 0.90),
+    Cell("spmm", "L8-R8", 512, 512, 64, 2, 0.90),
+    Cell("spmm", "L8-R8", 512, 512, 64, 2, 0.95),
+    Cell("spmm", "L8-R8", 640, 640, 80, 2, 0.95),
+    Cell("spmm", "L8-R8", 768, 768, 64, 2, 0.95),
+    Cell("spmm", "L8-R8", 1024, 1024, 64, 2, 0.95),
+    Cell("spmm", "L8-R4", 512, 512, 64, 2, 0.95),
+    Cell("spmm", "L12-R4", 512, 512, 128, 2, 0.90),
+    Cell("spmm", "L12-R4", 512, 512, 96, 2, 0.95),
+    Cell("spmm", "L4-R4", 384, 384, 64, 2, 0.90),
+    Cell("spmm", "L4-R4", 1024, 1024, 128, 4, 0.95),
+    Cell("spmm", "L16-R16", 512, 512, 64, 2, 0.90),
+    Cell("sddmm", "L8-R8", 512, 512, 256, 8, 0.90),
+    Cell("sddmm", "L8-R8", 512, 512, 512, 8, 0.90),
+    Cell("sddmm", "L4-R4", 512, 512, 128, 4, 0.90),
+    Cell("sddmm", "L16-R16", 512, 512, 256, 8, 0.90),
+    Cell("softmax", "q8", 512, 512, 0, 2, 0.90, gated=False),
+    Cell("softmax", "q16", 512, 512, 0, 8, 0.95, gated=False),
+)
+
+#: the CI grid: the stablest cells, sized for a noisy hosted runner
+REDUCED_GRID: tuple[Cell, ...] = (
+    Cell("spmm", "L8-R8", 512, 512, 64, 2, 0.95),
+    Cell("spmm", "L8-R8", 768, 768, 64, 2, 0.95),
+    Cell("spmm", "L8-R4", 512, 512, 64, 2, 0.95),
+    Cell("spmm", "L12-R4", 512, 512, 128, 2, 0.90),
+    Cell("spmm", "L4-R4", 384, 384, 64, 2, 0.90),
+    Cell("sddmm", "L8-R8", 512, 512, 256, 8, 0.90),
+    Cell("sddmm", "L8-R8", 512, 512, 512, 8, 0.90),
+)
+
+
+def _pair_bits(precision: str) -> tuple[int, int]:
+    l_str, r_str = precision.split("-")
+    return int(l_str[1:]), int(r_str[1:])
+
+
+def _median_wall(fn, repeats: int) -> float:
+    fn()  # warm: memoized plans/layouts build on first contact
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(median(samples))
+
+
+def _bench_cell(cell: Cell, repeats: int, seed: int, device: str) -> dict:
+    from repro.core.matrix import SparseMatrix
+    from repro.dlmc.generator import MatrixSpec, generate_matrix
+    from repro.formats.convert import dense_to_bcrs
+    from repro.lowp.quantize import int_range
+    from repro.runtime import get_backend
+
+    rng = np.random.default_rng(seed)
+    emu = get_backend("magicube-emulation")
+    fast = get_backend("fastpath-vectorized")
+    spec = MatrixSpec(
+        "transformer", cell.rows, cell.cols, sparsity=cell.sparsity, seed=seed
+    )
+
+    if cell.op == "spmm":
+        from repro.kernels.spmm import SpMMConfig
+
+        l_bits, r_bits = _pair_bits(cell.precision)
+        dense = generate_matrix(spec, vector_length=cell.vector_length, bits=l_bits)
+        lhs = SparseMatrix.from_dense(
+            dense, vector_length=cell.vector_length, precision=cell.precision
+        )
+        lo, hi = int_range(r_bits, True)
+        rhs = rng.integers(lo, hi + 1, size=(cell.cols, cell.inner), dtype=np.int64)
+        cfg = SpMMConfig(l_bits=l_bits, r_bits=r_bits)
+
+        def run(backend):
+            return backend.execute(
+                "spmm", device, config=cfg, lhs=lhs, rhs=rhs, scale=0.0125
+            )
+
+        exact = np.array_equal(run(emu).output, run(fast).output)
+    elif cell.op == "sddmm":
+        from repro.kernels.sddmm import SDDMMConfig
+
+        l_bits, r_bits = _pair_bits(cell.precision)
+        mask = dense_to_bcrs(
+            generate_matrix(spec, vector_length=cell.vector_length, bits=8),
+            cell.vector_length,
+        )
+        lo, hi = int_range(l_bits, True)
+        a = rng.integers(lo, hi + 1, size=(cell.rows, cell.inner), dtype=np.int64)
+        lo, hi = int_range(r_bits, True)
+        b = rng.integers(lo, hi + 1, size=(cell.inner, cell.cols), dtype=np.int64)
+        cfg = SDDMMConfig(l_bits=l_bits, r_bits=r_bits)
+
+        def run(backend):
+            return backend.execute("sddmm", device, config=cfg, a=a, b=b, mask=mask)
+
+        exact = np.array_equal(
+            np.asarray(run(emu).output.values), np.asarray(run(fast).output.values)
+        )
+    elif cell.op == "softmax":
+        from repro.fastpath import sparse_softmax_quantized_fast
+        from repro.formats.bcrs import BCRSMatrix
+        from repro.kernels.softmax import sparse_softmax_quantized
+
+        out_bits = int(cell.precision.lstrip("q"))
+        topo = dense_to_bcrs(
+            generate_matrix(spec, vector_length=cell.vector_length, bits=8),
+            cell.vector_length,
+        )
+        scores = BCRSMatrix(
+            shape=topo.shape,
+            vector_length=topo.vector_length,
+            row_ptrs=topo.row_ptrs,
+            col_indices=topo.col_indices,
+            values=rng.integers(
+                -127, 128, size=(topo.num_vectors, topo.vector_length)
+            ).astype(np.int64),
+        )
+
+        def run(backend):
+            fn = (
+                sparse_softmax_quantized_fast
+                if backend is fast
+                else sparse_softmax_quantized
+            )
+            return fn(scores, scale=0.02, out_bits=out_bits)
+
+        exact = np.array_equal(run(emu).output.values, run(fast).output.values)
+    else:  # pragma: no cover - grid cells are op-checked at definition
+        raise ValueError(f"unknown bench op {cell.op!r}")
+
+    baseline_s = _median_wall(lambda: run(emu), repeats)
+    candidate_s = _median_wall(lambda: run(fast), repeats)
+    return {
+        "op": cell.op,
+        "precision": cell.precision,
+        "rows": cell.rows,
+        "cols": cell.cols,
+        "inner": cell.inner,
+        "vector_length": cell.vector_length,
+        "sparsity": cell.sparsity,
+        "gated": cell.gated,
+        "bit_exact": bool(exact),
+        "baseline_ms": baseline_s * 1e3,
+        "candidate_ms": candidate_s * 1e3,
+        "speedup": baseline_s / candidate_s if candidate_s > 0 else float("inf"),
+    }
+
+
+def run_kernel_bench(
+    cells: tuple[Cell, ...] | None = None,
+    repeats: int = 5,
+    floor: float = DEFAULT_FLOOR,
+    out: "str | Path | None" = None,
+    seed: int = 7,
+    device: str = "A100",
+) -> dict:
+    """Measure every cell; return the schema-versioned report dict.
+
+    The report's ``passed`` is the asserted property: every gated cell
+    bit-exact *and* the pooled gated median speedup at or above
+    ``floor``. Callers decide whether to raise (the CLI exits 1).
+    """
+    cells = DEFAULT_GRID if cells is None else cells
+    rows = [_bench_cell(c, repeats, seed, device) for c in cells]
+    per_op: dict[str, list[float]] = {}
+    for row in rows:
+        per_op.setdefault(row["op"], []).append(row["speedup"])
+    gated = [r["speedup"] for r in rows if r["gated"]]
+    pooled = float(median(gated)) if gated else 0.0
+    report = {
+        "schema": KERNELS_SCHEMA,
+        "baseline": "magicube-emulation",
+        "candidate": "fastpath-vectorized",
+        "device": device,
+        "repeats": repeats,
+        "floor": floor,
+        "median_speedup": {op: float(median(v)) for op, v in sorted(per_op.items())},
+        "gated_median_speedup": pooled,
+        "all_bit_exact": all(r["bit_exact"] for r in rows),
+        "passed": bool(
+            gated and pooled >= floor and all(r["bit_exact"] for r in rows)
+        ),
+        "cells": rows,
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def render_kernel_report(report: dict) -> str:
+    from repro.bench.report import render_table
+
+    rows = [
+        [
+            r["op"],
+            r["precision"],
+            f"{r['rows']}x{r['cols']}/{r['inner']}",
+            r["vector_length"],
+            r["sparsity"],
+            f"{r['baseline_ms']:.2f}",
+            f"{r['candidate_ms']:.2f}",
+            f"{r['speedup']:.1f}x" + ("" if r["gated"] else " (ungated)"),
+            "yes" if r["bit_exact"] else "NO",
+        ]
+        for r in report["cells"]
+    ]
+    table = render_table(
+        ["op", "pair", "shape", "V", "s", "emulation ms", "fastpath ms",
+         "speedup", "bit-exact"],
+        rows,
+    )
+    medians = ", ".join(
+        f"{op} {v:.1f}x" for op, v in report["median_speedup"].items()
+    )
+    verdict = "PASS" if report["passed"] else "FAIL"
+    return (
+        f"{table}\n"
+        f"median speedup: {medians}\n"
+        f"gated (spmm+sddmm) median: {report['gated_median_speedup']:.1f}x "
+        f"(floor {report['floor']:.1f}x) -> {verdict}"
+    )
+
+
+def kernels_main(argv: list[str] | None = None) -> int:
+    """``repro bench kernels --wall`` — the asserted kernel speedup gate."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench kernels",
+        description="measure emulation vs fastpath wall-clock per grid cell",
+    )
+    parser.add_argument(
+        "--wall", action="store_true",
+        help="measure wall-clock time (required; modelled time has no "
+        "baseline/candidate difference)",
+    )
+    parser.add_argument(
+        "--reduced", action="store_true",
+        help="run the reduced CI grid instead of the full one",
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="timing repeats")
+    parser.add_argument(
+        "--floor", type=float, default=DEFAULT_FLOOR,
+        help="minimum pooled median speedup (default: %(default)sx)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_kernels.json", help="report artifact path"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="topology seed")
+    args = parser.parse_args(argv)
+    if not args.wall:
+        print(
+            "repro bench kernels: pass --wall (both backends share the "
+            "modelled cost; only wall-clock differs)",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_kernel_bench(
+        cells=REDUCED_GRID if args.reduced else DEFAULT_GRID,
+        repeats=args.repeats,
+        floor=args.floor,
+        out=args.out,
+        seed=args.seed,
+    )
+    print(render_kernel_report(report))
+    print(f"wrote {args.out}")
+    return 0 if report["passed"] else 1

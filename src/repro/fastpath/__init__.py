@@ -1,0 +1,35 @@
+"""Wall-clock fast paths for the Magicube kernels.
+
+:mod:`repro.kernels` is *functional + accounted*: it computes the true
+quantized result and models the CUDA kernel's cost, but its hot path
+walks Python loops per row strip. This package provides bit-exact
+replacements whose inner loops are fully vectorized — batched gathers
+built from layout plans memoized on the operand (:mod:`.plans`), the
+SpMM strip loop collapsed into one compiled sparse x dense product
+(:mod:`.spmm`), the SDDMM gather hoisted out of the strip loop
+(:mod:`.sddmm`), and the quantized softmax bucketed by segment length
+(:mod:`.softmax`).
+
+Two backends expose them through the runtime registry:
+
+- ``fastpath-vectorized`` (:class:`.backend.FastpathVectorizedBackend`)
+  — pure NumPy/SciPy, always available;
+- ``fastpath-jit`` (:class:`.jit.FastpathJitBackend`) — numba-compiled
+  strip loops, registered only when numba is importable.
+
+Both share ``magicube-emulation``'s capabilities, cost accounting and
+``plan_candidates``, so plans route through the same planner with only
+the backend name differing in the plan key. Results are bit-exact
+against the emulation backend (asserted by ``tests/fastpath`` and the
+``repro bench kernels --wall`` gate).
+"""
+
+from repro.fastpath.sddmm import FastpathSDDMM
+from repro.fastpath.softmax import sparse_softmax_quantized_fast
+from repro.fastpath.spmm import FastpathSpMM
+
+__all__ = [
+    "FastpathSDDMM",
+    "FastpathSpMM",
+    "sparse_softmax_quantized_fast",
+]

@@ -1,0 +1,31 @@
+"""The ``fastpath-vectorized`` backend.
+
+A subclass of :class:`~repro.runtime.magicube.MagicubeEmulationBackend`
+that swaps in the :mod:`repro.fastpath` kernels — everything else
+(capabilities, Table-II device admission, cost accounting,
+``plan_candidates``) is inherited, so the planner sees the same
+modelled costs under a different backend name and plans route through
+the same ``(backend, device)`` plan keys.
+
+Priority sits *above* the emulation backend's (higher number = later in
+the fallback chain), so the default resolution order is unchanged:
+callers opt in by pinning ``backend="fastpath-vectorized"`` or by
+handing the planner the backend list to search.
+"""
+
+from __future__ import annotations
+
+from repro.fastpath.sddmm import FastpathSDDMM
+from repro.fastpath.spmm import FastpathSpMM
+from repro.runtime.magicube import MagicubeEmulationBackend
+
+__all__ = ["FastpathVectorizedBackend"]
+
+
+class FastpathVectorizedBackend(MagicubeEmulationBackend):
+    """Bit-exact Magicube execution with fully vectorized inner loops."""
+
+    name = "fastpath-vectorized"
+    priority = 15
+    spmm_kernel = FastpathSpMM
+    sddmm_kernel = FastpathSDDMM

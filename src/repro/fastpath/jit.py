@@ -1,0 +1,86 @@
+"""The optional ``fastpath-jit`` tier: numba-compiled strip loops.
+
+This module demonstrates the registry absorbing a *compiled* backend
+with zero planner changes: when numba is importable the registry
+registers ``fastpath-jit`` (see :mod:`repro.runtime.registry`); when it
+is not, the entry simply never exists — no stub backend, no capability
+lies. The backend itself subclasses ``fastpath-vectorized``, replacing
+only the SpMM accumulation with an ``@njit`` CSR loop; priority is
+below the vectorized tier by default (a compiled loop only wins once
+warm, and the first call pays compilation).
+
+The container this reproduction grows in has no numba, so the jitted
+path is exercised only where the dependency exists — the test suite
+skips it otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fastpath.backend import FastpathVectorizedBackend
+from repro.fastpath.plans import spmm_plan
+from repro.fastpath.spmm import FastpathSpMM
+from repro.kernels.spmm import SpMMResult
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common container case
+    numba = None
+    HAVE_NUMBA = False
+
+__all__ = ["FastpathJitBackend", "HAVE_NUMBA"]
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _csr_spmm(indptr, indices, data, rhs, out):
+        for i in range(out.shape[0]):
+            for p in range(indptr[i], indptr[i + 1]):
+                a = data[p]
+                row = indices[p]
+                for j in range(out.shape[1]):
+                    out[i, j] += a * rhs[row, j]
+
+
+class JitSpMM(FastpathSpMM):
+    """SpMM with the CSR accumulation compiled by numba."""
+
+    def __call__(self, lhs, rhs, scale=None, strict=False):
+        if strict or not HAVE_NUMBA:
+            return super().__call__(lhs, rhs, scale=scale, strict=strict)
+        cfg = self.config
+        self._validate(lhs, rhs)
+        plan = spmm_plan(lhs)
+        csr = plan.csr(np.dtype(np.float64))
+        acc = np.zeros((lhs.shape[0], rhs.shape[1]), dtype=np.float64)
+        _csr_spmm(
+            csr.indptr, csr.indices, csr.data,
+            np.asarray(rhs, dtype=np.float64), acc,
+        )
+        out = np.rint(acc).astype(np.int64)
+        deq = None
+        if scale is not None and cfg.fuse_dequant:
+            deq = (out * scale).astype(np.float32)
+        return SpMMResult(
+            output=out, stats=self._account(lhs, rhs.shape[1]), dequantized=deq
+        )
+
+
+class FastpathJitBackend(FastpathVectorizedBackend):
+    """Compiled tier of the fastpath family (requires numba)."""
+
+    name = "fastpath-jit"
+    priority = 20
+    spmm_kernel = JitSpMM
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise ConfigError(
+                "backend 'fastpath-jit' requires numba, which is not "
+                "installed; use 'fastpath-vectorized'"
+            )

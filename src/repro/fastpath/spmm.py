@@ -1,0 +1,89 @@
+"""Vectorized SpMM: the strip loop as one sparse x dense product.
+
+Bit-exactness argument: the emulation kernel accumulates in ``int64``,
+which is exact. A floating-point accumulation of the same integer data
+is exact — in *any* summation order — as long as every partial sum is
+exactly representable, i.e. below the mantissa capacity. Each output
+element is a dot product of at most ``max_nnz_row`` terms, each bounded
+by ``max|lhs| * max|rhs|`` (the configured Table-IV operand ranges), so
+
+- ``float64`` is always exact here (the bound never approaches 2^53);
+- ``float32`` is exact iff ``max_nnz_row * max|lhs| * max|rhs| < 2^24``,
+  which holds for the low-bit pairs that dominate serving traffic.
+
+The kernel picks the narrowest exact dtype per call, runs one compiled
+CSR x dense product against the plan's memoized CSR view, and rounds
+back to ``int64`` — identical bits to the emulated result, asserted by
+``tests/fastpath`` across the full equivalence grid.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.fastpath.plans import spmm_plan
+from repro.formats.srbcrs import SRBCRSMatrix
+from repro.kernels.spmm import MagicubeSpMM, SpMMResult
+from repro.lowp.quantize import int_range
+
+__all__ = ["FastpathSpMM"]
+
+#: largest integer magnitude float32 accumulates exactly (24-bit mantissa)
+_F32_EXACT_BOUND = float(2**24)
+
+
+class FastpathSpMM(MagicubeSpMM):
+    """Drop-in :class:`~repro.kernels.spmm.MagicubeSpMM` with the strip
+    loop replaced by one memoized-CSR sparse x dense product.
+
+    Validation, cost accounting and the strict (digit-decomposition)
+    path are inherited unchanged — only the arithmetic hot path
+    differs, and only in speed.
+    """
+
+    def _accum_dtype(self, max_nnz_row: int) -> np.dtype:
+        """Narrowest float dtype whose accumulation is provably exact."""
+        cfg = self.config
+        lo, hi = int_range(cfg.l_bits, cfg.l_signed)
+        amax = max(abs(lo), abs(hi))
+        lo, hi = int_range(cfg.r_bits, cfg.r_signed)
+        bmax = max(abs(lo), abs(hi))
+        if max_nnz_row * amax * bmax < _F32_EXACT_BOUND:
+            return np.dtype(np.float32)
+        return np.dtype(np.float64)
+
+    def __call__(
+        self,
+        lhs: SRBCRSMatrix,
+        rhs: np.ndarray,
+        scale: float | None = None,
+        strict: bool = False,
+    ) -> SpMMResult:
+        if strict:
+            # verification path: the fragment-level algebra is the point
+            return super().__call__(lhs, rhs, scale=scale, strict=True)
+        cfg = self.config
+        self._validate(lhs, rhs)
+        plan = spmm_plan(lhs)
+        dtype = self._accum_dtype(plan.max_nnz_row)
+        acc = plan.csr(dtype) @ np.asarray(rhs, dtype=dtype)
+        out = np.rint(acc).astype(np.int64)
+        deq = None
+        if scale is not None and cfg.fuse_dequant:
+            # fused dequant epilogue: one array expression over the tile
+            deq = (out * scale).astype(np.float32)
+        return SpMMResult(
+            output=out, stats=self._stats(plan, lhs, rhs.shape[1]), dequantized=deq
+        )
+
+    def _stats(self, plan, lhs, n: int):
+        """Memoized cost accounting: the model is a pure function of
+        (layout, config, N), so it is computed once per request class
+        and deep-copied out (results must not alias each other)."""
+        key = (self.config, n)
+        cached = plan.stats_cache.get(key)
+        if cached is None:
+            cached = plan.stats_cache[key] = self._account(lhs, n)
+        return copy.deepcopy(cached)

@@ -115,13 +115,19 @@ class MagicubeSDDMM:
         """
         cfg = self.config
         self._validate(a, b, mask)
+        # dtype promotions and pointer reads hoisted out of the strip
+        # loop; one (V, max_vectors) accumulator is reused per strip
         a64 = np.asarray(a, dtype=np.int64)
         b64 = np.asarray(b, dtype=np.int64)
         v = mask.vector_length
         num_vectors = mask.num_vectors
         values = np.zeros((num_vectors, v), dtype=np.int64)
+        ptrs = np.asarray(mask.row_ptrs)
+        seg_counts = np.diff(ptrs)
+        max_vec = int(seg_counts.max()) if seg_counts.size else 0
+        acc = np.empty((v, max_vec), dtype=np.int64)
         for r in range(mask.num_strips):
-            lo, hi = int(mask.row_ptrs[r]), int(mask.row_ptrs[r + 1])
+            lo, hi = int(ptrs[r]), int(ptrs[r + 1])
             if hi == lo:
                 continue
             cols = mask.col_indices[lo:hi]
@@ -136,7 +142,7 @@ class MagicubeSDDMM:
                     b_signed=cfg.r_signed,
                 )
             else:
-                prod = a_strip @ b_cols
+                prod = np.matmul(a_strip, b_cols, out=acc[:, : hi - lo])
             values[lo:hi] = prod.T  # vector-major
 
         out = BCRSMatrix(
@@ -190,8 +196,8 @@ class MagicubeSDDMM:
         steps = k // self.bsk
         shape = mma_shape_for(plan.native_bits)
 
-        vec_counts = mask.vectors_per_strip()
-        vec_blocks = np.array([ceil_div(int(c), cfg.bsn) for c in vec_counts])
+        vec_counts = np.asarray(mask.vectors_per_strip())
+        vec_blocks = -(-vec_counts // cfg.bsn)  # vectorized ceil-div
         padded_vecs = int((vec_blocks * cfg.bsn).sum())
         blocks_total = int(vec_blocks.sum())
 

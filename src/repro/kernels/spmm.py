@@ -122,20 +122,29 @@ class MagicubeSpMM:
         stride = lhs.stride
 
         out = np.zeros((m, n), dtype=np.int64)
+        # dtype promotions hoisted out of the strip loop; the staging
+        # buffer below is allocated once and reused per strip
         rhs64 = np.asarray(rhs, dtype=np.int64)
         values = np.asarray(lhs.values, dtype=np.int64)
+        row_starts = lhs.row_starts
+        counts = np.asarray(lhs.row_ends) - np.asarray(row_starts)
+        max_pad = int((-(-counts // stride)).max()) * stride if counts.size else 0
+        staged = np.empty((max_pad, n), dtype=np.int64)
         for r in range(lhs.num_strips):
-            start = int(lhs.row_starts[r])
+            start = int(row_starts[r])
             npad = lhs.strip_num_groups(r) * stride
             if npad == 0:
                 continue
             cols = lhs.col_indices[start : start + npad]
             valid = cols != PAD_INDEX
             safe = np.where(valid, cols, 0)
-            gathered = rhs64[safe] * valid[:, None]  # (npad, N) staged rows
-            # strip LHS: stride groups stored (V, stride) row-major
+            gathered = staged[:npad]  # (npad, N) staged rows
+            np.take(rhs64, safe, axis=0, out=gathered)
+            gathered[~valid] = 0
+            # strip LHS: stride groups stored (V, stride) row-major —
+            # a transpose-reshape view beats concatenating group tiles
             tiles = values[start * v : (start + npad) * v].reshape(-1, v, stride)
-            lhs_strip = np.concatenate(list(tiles), axis=1)  # (V, npad)
+            lhs_strip = tiles.transpose(1, 0, 2).reshape(v, npad)  # (V, npad)
             if strict:
                 out[r * v : (r + 1) * v] = emulated_matmul(
                     lhs_strip,
@@ -145,7 +154,7 @@ class MagicubeSpMM:
                     b_signed=cfg.r_signed,
                 )
             else:
-                out[r * v : (r + 1) * v] = lhs_strip @ gathered
+                np.matmul(lhs_strip, gathered, out=out[r * v : (r + 1) * v])
 
         stats = self._account(lhs, n)
         deq = None

@@ -28,6 +28,9 @@ REQUEST_MODELLED = "repro_request_modelled_seconds"
 QUEUE_WAIT = "repro_queue_wait_seconds"
 BATCH_SIZE = "repro_batch_size"
 
+# -- kernels -----------------------------------------------------------
+KERNEL_WALL = "repro_kernel_wall_seconds"
+
 # -- plan cache --------------------------------------------------------
 CACHE_HITS = "repro_plan_cache_hits_total"
 CACHE_MISSES = "repro_plan_cache_misses_total"
@@ -68,6 +71,9 @@ STANDARD_METRICS: tuple[tuple[str, str, str, tuple[float, ...] | None], ...] = (
      DEFAULT_TIME_BUCKETS_S),
     (BATCH_SIZE, "histogram",
      "Requests coalesced per batch execution.", _BATCH_BUCKETS),
+    (KERNEL_WALL, "histogram",
+     "Measured wall time of one backend kernel execution, by op and "
+     "backend.", DEFAULT_TIME_BUCKETS_S),
     (CACHE_HITS, "counter",
      "Plan-cache lookups answered from the cache.", None),
     (CACHE_MISSES, "counter",

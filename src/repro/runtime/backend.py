@@ -149,13 +149,24 @@ class Backend(abc.ABC):
         return False
 
     def cost(self, device: Device | str, op: str = "spmm") -> CostModel:
-        """The calibrated cost model for this backend on one device."""
-        # imported here: repro.baselines.__init__ itself queries the
-        # registry for Table I, so this import must stay off the
-        # module-import path
-        from repro.baselines.calibration import cost_model_for
+        """The calibrated cost model for this backend on one device.
 
-        return cost_model_for(self.library_profile, Device.resolve(device).spec)
+        Models are immutable, so one instance per device name is built
+        and cached — ``cost`` sits on every execute path and the model
+        construction would otherwise dominate small launches.
+        """
+        dev = Device.resolve(device)
+        cache = self.__dict__.setdefault("_cost_models", {})
+        model = cache.get(dev.name)
+        if model is None:
+            # imported here: repro.baselines.__init__ itself queries the
+            # registry for Table I, so this import must stay off the
+            # module-import path
+            from repro.baselines.calibration import cost_model_for
+
+            model = cost_model_for(self.library_profile, dev.spec)
+            cache[dev.name] = model
+        return model
 
     def prepare(
         self, operand: object, op: str = "spmm", config: object | None = None

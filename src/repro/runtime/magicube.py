@@ -46,12 +46,21 @@ def _pair_labels() -> tuple[str, ...]:
 
 
 class MagicubeEmulationBackend(Backend):
-    """The Magicube kernels with vectorized (emulated) strip execution."""
+    """The Magicube kernels with vectorized (emulated) strip execution.
+
+    ``spmm_kernel`` / ``sddmm_kernel`` are class attributes so subclasses
+    (``magicube-strict``, the :mod:`repro.fastpath` backends) swap the
+    arithmetic implementation while inheriting the whole protocol
+    surface — capabilities, device admission, cost accounting and the
+    planning hook stay identical by construction.
+    """
 
     name = "magicube-emulation"
     priority = 10
     library_profile = "magicube"
     strict = False
+    spmm_kernel: type[MagicubeSpMM] = MagicubeSpMM
+    sddmm_kernel: type[MagicubeSDDMM] = MagicubeSDDMM
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
@@ -80,7 +89,7 @@ class MagicubeEmulationBackend(Backend):
         """SR-BCRS at the config's stride for SpMM; BCRS for SDDMM."""
         if op == "spmm":
             cfg = config if isinstance(config, SpMMConfig) else SpMMConfig()
-            stride = MagicubeSpMM(cfg).required_stride
+            stride = self.spmm_kernel(cfg).required_stride
             if hasattr(operand, "srbcrs_for"):
                 return operand.srbcrs_for(stride)
             return operand
@@ -111,7 +120,7 @@ class MagicubeEmulationBackend(Backend):
         scale=None,
         **_,
     ) -> ExecutionResult:
-        kern = MagicubeSpMM(config if config is not None else SpMMConfig())
+        kern = self.spmm_kernel(config if config is not None else SpMMConfig())
         prepared = self.prepare(lhs, op="spmm", config=kern.config)
         if not isinstance(prepared, SRBCRSMatrix) and not hasattr(prepared, "stride"):
             raise ShapeError("spmm lhs must be a SparseMatrix or SRBCRSMatrix")
@@ -134,7 +143,7 @@ class MagicubeEmulationBackend(Backend):
         mask=None,
         **_,
     ) -> ExecutionResult:
-        kern = MagicubeSDDMM(config if config is not None else SDDMMConfig())
+        kern = self.sddmm_kernel(config if config is not None else SDDMMConfig())
         topo = self.prepare(mask, op="sddmm", config=kern.config)
         if not isinstance(topo, BCRSMatrix):
             raise ShapeError("sddmm mask must be a SparseMatrix or BCRSMatrix")
@@ -167,7 +176,7 @@ class MagicubeEmulationBackend(Backend):
             if problem.op == "spmm":
                 best = None
                 for bsn in BSN_CANDIDATES:
-                    kern = MagicubeSpMM(
+                    kern = self.spmm_kernel(
                         SpMMConfig(l_bits=l_bits, r_bits=r_bits, bsn=bsn)
                     )
                     sr = UniformSRBCRS(
@@ -192,7 +201,7 @@ class MagicubeEmulationBackend(Backend):
                 )
                 best = None
                 for warps in WARP_CANDIDATES:
-                    kern = MagicubeSDDMM(
+                    kern = self.sddmm_kernel(
                         SDDMMConfig(l_bits=l_bits, r_bits=r_bits, warps=warps)
                     )
                     stats = kern._account(

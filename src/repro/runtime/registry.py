@@ -13,6 +13,7 @@ order, returning the first backend that supports the requested
 from __future__ import annotations
 
 import importlib
+import importlib.util
 import threading
 from typing import Callable, Iterable
 
@@ -162,6 +163,7 @@ REGISTRY = BackendRegistry()
 _BUILTINS: tuple[tuple[str, str], ...] = (
     ("magicube-emulation", "repro.runtime.magicube:MagicubeEmulationBackend"),
     ("magicube-strict", "repro.runtime.magicube:MagicubeStrictBackend"),
+    ("fastpath-vectorized", "repro.fastpath.backend:FastpathVectorizedBackend"),
     ("vector-sparse", "repro.runtime.baselines:VectorSparseBackend"),
     ("cusparselt", "repro.runtime.baselines:CusparseLtBackend"),
     ("cublas-fp16", "repro.runtime.baselines:CublasFp16Backend"),
@@ -173,6 +175,11 @@ _BUILTINS: tuple[tuple[str, str], ...] = (
 
 for _name, _entry in _BUILTINS:
     REGISTRY.register(_name, _entry)
+
+# the compiled fastpath tier exists only where its dependency does: no
+# numba, no entry — capability discovery stays truthful
+if importlib.util.find_spec("numba") is not None:  # pragma: no cover
+    REGISTRY.register("fastpath-jit", "repro.fastpath.jit:FastpathJitBackend")
 
 
 def register_backend(

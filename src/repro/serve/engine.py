@@ -794,7 +794,7 @@ class Engine:
                 )
             )
         t0 = time.perf_counter()
-        r = execute_resolution(res, req, rhs=rhs)
+        r = execute_resolution(res, req, rhs=rhs, metrics=self.metrics)
         wall_s = time.perf_counter() - t0
         batch_id = next(self._batch_ids)
         self.telemetry.record_batch(
@@ -845,7 +845,7 @@ class Engine:
             req: SddmmRequest = item.payload["request"]
             res: Resolution = item.payload["resolution"]
             item_t0 = time.perf_counter()
-            r = execute_resolution(res, req)
+            r = execute_resolution(res, req, metrics=self.metrics)
             request_id, trace = self._finalize_item(
                 item, wall_s=time.perf_counter() - item_t0,
                 modelled_s=r.time_s, batch_id=batch_id,
@@ -891,7 +891,9 @@ class Engine:
         req = session.request(batch=total)
         t0 = time.perf_counter()
         res = resolve_request(req, device=self._device, backend=session.backend)
-        r = execute_resolution(res, req, batch=total, planner=self.planner)
+        r = execute_resolution(
+            res, req, batch=total, planner=self.planner, metrics=self.metrics
+        )
         wall_s = time.perf_counter() - t0
         batch_id = next(self._batch_ids)
         self.telemetry.record_batch(

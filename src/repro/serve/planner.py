@@ -255,7 +255,9 @@ class Plan:
 
     @property
     def is_magicube(self) -> bool:
-        return self.backend.startswith("magicube")
+        # the fastpath backends run the Magicube kernels (same configs,
+        # same accounting) — their plans carry Magicube knobs too
+        return self.backend.startswith(("magicube", "fastpath"))
 
     @property
     def stride(self) -> int:

@@ -1,0 +1,85 @@
+"""The kernel wall-clock bench harness and its CLI gate."""
+
+import json
+
+import pytest
+
+from repro.bench.kernels import (
+    DEFAULT_GRID,
+    KERNELS_SCHEMA,
+    REDUCED_GRID,
+    Cell,
+    kernels_main,
+    render_kernel_report,
+    run_kernel_bench,
+)
+
+#: one tiny cell per op: correctness of the harness, not the speedup
+TINY_GRID = (
+    Cell("spmm", "L8-R8", 64, 64, 32, 4, 0.8),
+    Cell("sddmm", "L8-R8", 64, 64, 32, 4, 0.8),
+    Cell("softmax", "q8", 64, 64, 0, 4, 0.8, gated=False),
+)
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_kernels.json"
+    return run_kernel_bench(cells=TINY_GRID, repeats=1, floor=0.0, out=out), out
+
+
+class TestHarness:
+    def test_schema_and_artifact(self, report):
+        rep, out = report
+        assert rep["schema"] == KERNELS_SCHEMA
+        assert json.loads(out.read_text()) == rep
+
+    def test_every_cell_bit_exact(self, report):
+        rep, _ = report
+        assert rep["all_bit_exact"]
+        assert all(c["bit_exact"] for c in rep["cells"])
+
+    def test_floor_zero_passes(self, report):
+        rep, _ = report
+        assert rep["passed"]
+        assert rep["gated_median_speedup"] > 0
+
+    def test_softmax_cells_are_not_gated(self, report):
+        rep, _ = report
+        gated_ops = {c["op"] for c in rep["cells"] if c["gated"]}
+        assert gated_ops == {"spmm", "sddmm"}
+        assert "softmax" in rep["median_speedup"]
+
+    def test_unreachable_floor_fails(self, tmp_path):
+        rep = run_kernel_bench(
+            cells=TINY_GRID[:1], repeats=1, floor=1e9,
+            out=tmp_path / "r.json",
+        )
+        assert not rep["passed"]
+
+    def test_render_names_the_verdict(self, report):
+        rep, _ = report
+        text = render_kernel_report(rep)
+        assert "gated (spmm+sddmm) median" in text
+        assert "PASS" in text
+
+    def test_grids_are_well_formed(self):
+        for grid in (DEFAULT_GRID, REDUCED_GRID):
+            assert any(c.op == "spmm" and c.gated for c in grid)
+            assert any(c.op == "sddmm" and c.gated for c in grid)
+            for cell in grid:
+                assert cell.op in ("spmm", "sddmm", "softmax")
+                assert 0.0 < cell.sparsity < 1.0
+
+
+class TestCli:
+    def test_wall_flag_required(self, capsys):
+        assert kernels_main([]) == 2
+        assert "--wall" in capsys.readouterr().err
+
+    def test_routed_from_bench_cli(self, capsys):
+        from repro.bench.cli import main
+
+        # reaches the kernels parser (which rejects the missing --wall)
+        assert main(["kernels"]) == 2
+        assert "--wall" in capsys.readouterr().err
