@@ -42,7 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from repro.autotune.policy import RetunePolicy
     from repro.autotune.scheduler import RetuneScheduler, RetuneStatus
+    from repro.obs.health import HealthReport
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import ProfileConfig, Profiler
     from repro.obs.trace import Tracer
     from repro.serve.batcher import BatchPolicy, RequestHandle
     from repro.serve.cache import PlanCache
@@ -67,6 +69,7 @@ def open_engine(
     metrics: "MetricsRegistry | None" = None,
     tracer: "Tracer | None" = None,
     trace: bool = False,
+    profile: "ProfileConfig | Profiler | None" = None,
 ) -> "Client":
     """Open a serving engine and return its :class:`Client` facade.
 
@@ -88,6 +91,11 @@ def open_engine(
     (``r.trace``) and ``r.request_id`` — and ``tracer`` passes a
     pre-built :class:`repro.obs.Tracer` instead (for custom retention
     or shared collectors); see ``docs/observability.md``.
+    ``profile`` attaches a sampling profiler
+    (:class:`repro.obs.ProfileConfig`, or a prebuilt
+    :class:`~repro.obs.profile.Profiler`): batcher dispatch and backend
+    ``execute`` then collect collapsed-stack samples, readable on
+    ``client.profiler`` and exportable to flamegraph/speedscope form.
 
     Example::
 
@@ -122,6 +130,7 @@ def open_engine(
         retune=retune,
         metrics=metrics,
         tracer=tracer,
+        profile=profile,
     )
     return Client(engine)
 
@@ -283,6 +292,44 @@ class Client:
         """The engine's request tracer (disabled unless opened with
         ``trace=True`` / ``tracer=``)."""
         return self._engine.tracer
+
+    @property
+    def profiler(self):
+        """The engine's sampling profiler (the falsy null profiler
+        unless opened with ``profile=``). ``client.profiler.report()``
+        snapshots the collapsed-stack samples collected so far."""
+        return self._engine.profiler
+
+    def health(self, specs=None) -> "HealthReport":
+        """Grade the engine's metrics against SLO objectives, now.
+
+        One-shot evaluation over the engine's registry (see
+        :func:`repro.obs.health.evaluate_registry`); ``specs`` defaults
+        to :data:`repro.obs.health.DEFAULT_SLOS`. Burn rates publish
+        back into the registry under the ``repro_slo_*`` metrics.
+
+        Example::
+
+            import numpy as np
+            import repro
+            from repro import api
+            from repro.obs.metrics import MetricsRegistry
+
+            A = repro.SparseMatrix.from_dense(
+                np.eye(32, dtype=np.int8), vector_length=8
+            )
+            with repro.open_engine(metrics=MetricsRegistry()) as client:
+                client.run(api.SpmmRequest(lhs=A, rhs=np.ones((32, 4))))
+                report = client.health()
+                assert report.status in ("healthy", "degraded", "breach")
+        """
+        from repro.obs.health import DEFAULT_SLOS, evaluate_registry
+
+        return evaluate_registry(
+            self._engine.metrics,
+            specs if specs is not None else DEFAULT_SLOS,
+            publish=True,
+        )
 
     @property
     def device(self) -> str:

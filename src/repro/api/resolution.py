@@ -339,6 +339,7 @@ def execute(
     batch: int | None = None,
     planner: "ExecutionPlanner | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    profiler=None,
 ) -> Response:
     """Run a resolution against its request's operands.
 
@@ -347,7 +348,9 @@ def execute(
     the concatenated batch. ``planner`` routes the attention latency
     model through cached serving plans (the engine path). ``metrics``
     receives the measured kernel wall time (the global registry when
-    omitted) — the signal backend speedups show up in.
+    omitted) — the signal backend speedups show up in. ``profiler``
+    (a :class:`repro.obs.profile.Profiler`) samples the backend
+    ``execute`` call under the ``backend-execute`` phase.
     """
     if res.op == "spmm":
         the_rhs = rhs if rhs is not None else request.rhs
@@ -355,24 +358,24 @@ def execute(
             raise ConfigError("SpmmRequest.rhs is required to execute")
         if res.config is not None:
             r = _timed_execute(
-                res, metrics, config=res.config,
+                res, metrics, profiler, config=res.config,
                 lhs=request.lhs, rhs=the_rhs, scale=request.scale,
             )
         else:
             # non-Magicube plans (vector-sparse on V100, a pinned
             # baseline...) take no Magicube kernel knobs
-            r = _timed_execute(res, metrics, lhs=request.lhs, rhs=the_rhs)
+            r = _timed_execute(res, metrics, profiler, lhs=request.lhs, rhs=the_rhs)
     elif res.op == "sddmm":
         if request.a is None or request.b is None:
             raise ConfigError("SddmmRequest.a and .b are required to execute")
         if res.config is not None:
             r = _timed_execute(
-                res, metrics, config=res.config,
+                res, metrics, profiler, config=res.config,
                 a=request.a, b=request.b, mask=request.mask,
             )
         else:
             r = _timed_execute(
-                res, metrics, a=request.a, b=request.b, mask=request.mask
+                res, metrics, profiler, a=request.a, b=request.b, mask=request.mask
             )
     else:
         return _execute_attention(res, request, batch=batch, planner=planner)
@@ -388,25 +391,34 @@ def execute(
     )
 
 
-def _timed_execute(res: Resolution, metrics, **operands):
+def _timed_execute(res: Resolution, metrics, profiler=None, **operands):
     """Run the backend and observe the measured wall time.
 
     ``repro_kernel_wall_seconds`` is the *measured* counterpart of the
     modelled ``repro_request_modelled_seconds`` — it is what makes a
     faster backend (e.g. ``fastpath-vectorized``) visible in telemetry.
+    The histogram uses the sub-microsecond ``KERNEL_WALL_BUCKETS_S``
+    layout (passed here because the one-shot path's registry may never
+    have seen ``declare_standard``): fastpath kernels finish in
+    hundreds of nanoseconds, below the default buckets' lowest edge.
     """
     from time import perf_counter
 
     from repro.obs.metrics import get_registry
-    from repro.obs.names import KERNEL_WALL
+    from repro.obs.names import KERNEL_WALL, KERNEL_WALL_BUCKETS_S
 
     t0 = perf_counter()
-    r = get_backend(res.backend).execute(res.op, res.device, **operands)
+    if profiler:
+        with profiler.sample("backend-execute"):
+            r = get_backend(res.backend).execute(res.op, res.device, **operands)
+    else:
+        r = get_backend(res.backend).execute(res.op, res.device, **operands)
     wall = perf_counter() - t0
     registry = metrics if metrics is not None else get_registry()
     registry.histogram(
         KERNEL_WALL,
         labels={"op": res.op, "backend": res.backend},
+        buckets=KERNEL_WALL_BUCKETS_S,
     ).observe(wall)
     return r
 

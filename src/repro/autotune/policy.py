@@ -30,6 +30,7 @@ from typing import Sequence
 from repro.autotune.runner import SweepBudget
 from repro.autotune.space import SweepConfig
 from repro.errors import ConfigError
+from repro.obs.health import HealthReport, SloSpec
 from repro.serve.planner import Objective, PlanKey
 from repro.serve.telemetry import TelemetrySnapshot
 
@@ -69,6 +70,14 @@ class RetunePolicy:
     :func:`~repro.autotune.runner.run_sweep`. ``artifact_dir`` (when
     set) ships every promotion as a ``retune-NNNN/plans.json`` artifact
     whose manifest records the triggering telemetry snapshot.
+
+    ``slos`` attaches SLO objectives (:class:`repro.obs.health.SloSpec`)
+    the scheduler evaluates over the engine's metrics each cycle, on a
+    rolling ``slo_window_s`` window; while a **latency** objective is
+    in breach and ``retune_on_slo_breach`` is on, every served key is
+    marked for re-sweep (the ``slo-breach`` trigger) — the engine is
+    failing its contract, so the plans carrying the traffic are the
+    first suspects.
     """
 
     interval_s: float = 30.0
@@ -77,6 +86,9 @@ class RetunePolicy:
     regression_ratio: float = 1.5
     retune_cold_misses: bool = True
     retune_on_drift: bool = True
+    slos: tuple[SloSpec, ...] = ()
+    retune_on_slo_breach: bool = True
+    slo_window_s: float = 300.0
     max_keys: int = 8
     cooldown_s: float = 300.0
     budget: SweepBudget = field(
@@ -101,6 +113,11 @@ class RetunePolicy:
             raise ConfigError("cooldown_s must be >= 0")
         if self.warmup < 0 or self.repeats < 1:
             raise ConfigError("warmup must be >= 0 and repeats >= 1")
+        if self.slo_window_s <= 0:
+            raise ConfigError("slo_window_s must be > 0")
+        # a tuple-of-SloSpec is the frozen form; accept a plain list
+        if not isinstance(self.slos, tuple):
+            object.__setattr__(self, "slos", tuple(self.slos))
 
 
 @dataclass(frozen=True)
@@ -108,10 +125,10 @@ class RetuneTrigger:
     """One plan key one policy decided to re-sweep, and why.
 
     ``reason`` is the highest-priority trigger that fired
-    (``regression`` > ``cold-miss`` > ``hot`` > ``drift``); ``detail``
-    names every one that did. ``share`` is the key's traffic share in
-    the evaluated snapshot (the sort key for :func:`evaluate_snapshot`'s
-    ``max_keys`` cap).
+    (``regression`` > ``slo-breach`` > ``cold-miss`` > ``hot`` >
+    ``drift``); ``detail`` names every one that did. ``share`` is the
+    key's traffic share in the evaluated snapshot (the sort key for
+    :func:`evaluate_snapshot`'s ``max_keys`` cap).
     """
 
     plan_key: str
@@ -150,6 +167,7 @@ def evaluate_snapshot(
     baseline_keys: frozenset[str] = frozenset(),
     drift: Sequence[str] = (),
     exclude: "frozenset[str] | set[str]" = frozenset(),
+    health: "HealthReport | None" = None,
 ) -> list[RetuneTrigger]:
     """Decide which of a snapshot's plan keys are worth re-sweeping.
 
@@ -159,13 +177,19 @@ def evaluate_snapshot(
     trigger. ``drift`` is the output of
     :func:`~repro.autotune.artifact.check_drift` for the engine's
     warm-start manifests; any non-empty drift marks every served key.
-    ``exclude`` removes keys under the scheduler's cooldown. Triggers
-    come back sorted by traffic share (then key), capped at
+    ``health`` is a current :class:`~repro.obs.health.HealthReport`
+    (the scheduler evaluates ``policy.slos`` each cycle); a **latency**
+    objective in breach marks every served key — the ``slo-breach``
+    trigger. ``exclude`` removes keys under the scheduler's cooldown.
+    Triggers come back sorted by traffic share (then key), capped at
     ``policy.max_keys``.
     """
     total = snapshot.requests
     if total < policy.min_requests or total == 0:
         return []
+    breached = []
+    if policy.retune_on_slo_breach and health is not None:
+        breached = [r for r in health.breaches if r.spec.kind == "latency"]
     triggers: list[RetuneTrigger] = []
     for key in sorted(snapshot.plans):
         if key in exclude:
@@ -185,6 +209,13 @@ def evaluate_snapshot(
                     f"{predicted * 1e6:.2f}us ({ratio:.2f}x > "
                     f"{policy.regression_ratio}x)",
                 ))
+        if breached:
+            worst = max(breached, key=lambda r: r.burn)
+            reasons.append((
+                "slo-breach",
+                f"latency objective {worst.spec.name!r} burning at "
+                f"{worst.burn:.2f}x budget ({worst.detail})",
+            ))
         if policy.retune_cold_misses and key not in baseline_keys:
             reasons.append((
                 "cold-miss",

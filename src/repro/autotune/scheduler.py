@@ -10,7 +10,9 @@ time:
    the engine's warm-start manifests against the live registry;
 2. **decide** — :func:`~repro.autotune.policy.evaluate_snapshot` names
    the plan keys worth re-sweeping (hot, cold-missed, regressed,
-   drifted), under the policy's cooldown and ``max_keys`` cap;
+   drifted, or carrying traffic while a latency SLO burns — see
+   ``RetunePolicy.slos``), under the policy's cooldown and
+   ``max_keys`` cap;
 3. **re-sweep** — :func:`~repro.autotune.policy.synthesize` builds
    targeted :class:`~repro.autotune.space.SweepConfig`\\ s and
    :func:`~repro.autotune.runner.run_sweep` measures exactly the
@@ -202,6 +204,15 @@ class RetuneScheduler:
         #: the engine's obs metrics registry (distinct from `registry`,
         #: the runtime *backend* registry used for drift fingerprints)
         self._obs_metrics = getattr(engine, "metrics", None)
+        #: rolling-window SLO evaluator (only when the policy declares
+        #: objectives and the engine has a metrics registry to read)
+        self._health_evaluator = None
+        if self.policy.slos and self._obs_metrics is not None:
+            from repro.obs.health import HealthEvaluator
+
+            self._health_evaluator = HealthEvaluator(
+                self.policy.slos, window_s=self.policy.slo_window_s
+            )
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
         #: serializes cycles (timer thread vs. a direct run_once call)
@@ -292,12 +303,19 @@ class RetuneScheduler:
                 backoff = 1 << min(self._unchanged_streak.get(key, 0), 6)
                 if now - tuned < self.policy.cooldown_s * backoff:
                     exclude.add(key)
+            health = None
+            if self._health_evaluator is not None:
+                # publishes repro_slo_* into the engine's registry too
+                health = self._health_evaluator.evaluate(
+                    self._obs_metrics, now=now
+                )
             triggers = evaluate_snapshot(
                 snapshot,
                 self.policy,
                 baseline_keys=self._baseline_keys,
                 drift=drift,
                 exclude=exclude,
+                health=health,
             )
             cycle = RetuneCycle(
                 snapshot_fingerprint=snapshot.fingerprint,

@@ -472,7 +472,10 @@ def _run_replay(args) -> int:
     )
     report = run_replay(config, out=args.out)
     print(render_replay_report(report))
-    print(f"wrote {args.out} (+ .metrics.json, .trace.jsonl)")
+    print(
+        f"wrote {args.out} (+ .metrics.json, .trace.jsonl, .health.json, "
+        f".profile.json, .folded.txt)"
+    )
     return 0
 
 

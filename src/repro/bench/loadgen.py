@@ -5,8 +5,12 @@ way a deployment does — typed requests arriving on a clock, admission
 control pushing back, the micro-batcher coalescing, the planner
 resolving, telemetry and the :mod:`repro.obs` metrics registry keeping
 score — and writes the numbers down as a schema-versioned
-``BENCH_serve.json`` artifact (plus the raw metrics snapshot and the
-span-tree trace next to it).
+``BENCH_serve.json`` artifact, with the full observability triad next
+to it: the raw metrics snapshot, the span-tree trace log, an SLO
+health report (``BENCH_serve.health.json``, graded over
+:data:`repro.obs.health.DEFAULT_SLOS`), and the sampling profiler's
+flamegraph exports (``BENCH_serve.profile.json`` speedscope +
+``BENCH_serve.folded.txt``).
 
 Three arrival processes are built in (all seeded, all deterministic in
 their *schedules*; wall-clock numbers naturally vary per host):
@@ -58,6 +62,9 @@ BENCH_SCHEMA = 1
 DEFAULT_OUT = "BENCH_serve.json"
 DEFAULT_METRICS_OUT = "BENCH_serve.metrics.json"
 DEFAULT_TRACE_OUT = "BENCH_serve.trace.jsonl"
+DEFAULT_HEALTH_OUT = "BENCH_serve.health.json"
+DEFAULT_PROFILE_OUT = "BENCH_serve.profile.json"
+DEFAULT_FOLDED_OUT = "BENCH_serve.folded.txt"
 
 
 @dataclass(frozen=True)
@@ -243,16 +250,26 @@ def run_replay(
     out: str | Path | None = DEFAULT_OUT,
     metrics_out: str | Path | None = DEFAULT_METRICS_OUT,
     trace_out: str | Path | None = DEFAULT_TRACE_OUT,
+    health_out: str | Path | None = DEFAULT_HEALTH_OUT,
+    profile_out: str | Path | None = DEFAULT_PROFILE_OUT,
+    folded_out: str | Path | None = DEFAULT_FOLDED_OUT,
 ) -> dict:
     """Replay one arrival schedule against a live engine; return (and
     optionally write) the ``BENCH_serve.json`` report dict.
 
-    Pass ``out=None`` (etc.) to skip writing an artifact.
+    Beyond the report itself, a run leaves the full observability triad
+    behind: the metrics snapshot (``metrics_out``), the span-tree trace
+    log (``trace_out``), an SLO health report graded over the default
+    objectives (``health_out``), and the sampling profiler's speedscope
+    + folded-stack flamegraph exports (``profile_out`` /
+    ``folded_out``). Pass ``out=None`` (etc.) to skip writing one.
     """
     from repro import api
     from repro.obs import names
     from repro.obs.export import write_snapshot
+    from repro.obs.health import DEFAULT_SLOS, evaluate_registry
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import ProfileConfig, render_folded
     from repro.obs.trace import Tracer
     from repro.serve.batcher import BatchPolicy
 
@@ -270,7 +287,8 @@ def run_replay(
     futures = []
     rejected = 0
     with api.open_engine(
-        device=config.device, policy=policy, metrics=registry, tracer=tracer
+        device=config.device, policy=policy, metrics=registry, tracer=tracer,
+        profile=ProfileConfig(),
     ) as client:
         # prepare every class up front so session build cost (operand
         # conversion, backend pinning) is not billed to the first arrival
@@ -290,7 +308,9 @@ def run_replay(
         duration_s = time.perf_counter() - t0
         snapshot = client.telemetry.snapshot()
         cache_stats = client.planner.cache.stats()
+        profile_report = client.profiler.report()
 
+    health = evaluate_registry(registry, DEFAULT_SLOS)
     completed = len(futures)
     total = snapshot.total
     modelled_busy_s = float(total.get("modelled_busy_s", 0.0))
@@ -334,6 +354,15 @@ def run_replay(
                 "misses": cache_stats["misses"],
                 "hit_rate": cache_stats["hit_rate"],
             },
+            "health": {
+                "status": health.status,
+                "objectives": len(health.results),
+                "breaches": [r.spec.name for r in health.breaches],
+            },
+            "profile": {
+                "sampled": profile_report.sampled,
+                "phases": profile_report.phase_totals(),
+            },
             "duration_s": duration_s,
         },
     }
@@ -345,6 +374,12 @@ def run_replay(
         write_snapshot(registry, Path(metrics_out))
     if trace_out is not None:
         tracer.export_jsonl(Path(trace_out))
+    if health_out is not None:
+        health.save(Path(health_out))
+    if profile_out is not None:
+        profile_report.save(Path(profile_out))
+    if folded_out is not None:
+        atomic_write_text(Path(folded_out), render_folded(profile_report))
     return report
 
 
@@ -389,6 +424,26 @@ def render_replay_report(report: dict) -> str:
             f"plan cache {r['plan_cache']['hit_rate']:.1%} hit rate"
         ),
     ]
+    health = r.get("health")
+    if health:  # artifacts from older runs predate the health section
+        breaches = (
+            f" (breaching: {', '.join(health['breaches'])})"
+            if health.get("breaches") else ""
+        )
+        lines.append(
+            f"health: {health['status']} over {health['objectives']} "
+            f"objective(s){breaches}"
+        )
+    profile = r.get("profile")
+    if profile:
+        phases = ", ".join(
+            f"{name} {t['wall_s'] * 1e3:.1f}ms/{t['count']}"
+            for name, t in sorted(profile["phases"].items())
+        )
+        lines.append(
+            f"profile: {profile['sampled']} sample(s){': ' if phases else ''}"
+            f"{phases}"
+        )
     return "\n".join(lines)
 
 

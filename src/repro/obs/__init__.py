@@ -11,6 +11,12 @@ The observability subsystem the serving stack publishes into:
   ``docs/observability.md``).
 - :mod:`repro.obs.export` — JSON-snapshot and Prometheus-text
   exporters, surfaced by the ``repro obs`` CLI.
+- :mod:`repro.obs.profile` — self-time attribution over span trees and
+  the opt-in sampling profiler (``Engine(profile=ProfileConfig())``),
+  exporting folded-stack and speedscope flamegraphs.
+- :mod:`repro.obs.health` — declarative :class:`SloSpec` objectives and
+  burn-rate evaluation over any registry, producing probe-style
+  :class:`HealthReport` grades.
 
 See ``docs/observability.md`` for the span model and metric names.
 """
@@ -22,6 +28,13 @@ from repro.obs.export import (
     render_prometheus,
     write_snapshot,
 )
+from repro.obs.health import (
+    DEFAULT_SLOS,
+    HealthEvaluator,
+    HealthReport,
+    SloSpec,
+    evaluate_registry,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,25 +44,46 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.names import STANDARD_METRICS, declare_standard
+from repro.obs.profile import (
+    NULL_PROFILER,
+    ProfileConfig,
+    ProfileReport,
+    Profiler,
+    attribute,
+    render_folded,
+    render_speedscope,
+)
 from repro.obs.trace import NULL_SPAN, NULL_TRACE, RequestTrace, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
     "Gauge",
+    "HealthEvaluator",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_SPAN",
     "NULL_TRACE",
+    "ProfileConfig",
+    "ProfileReport",
+    "Profiler",
     "RequestTrace",
     "STANDARD_METRICS",
+    "SloSpec",
     "Span",
     "Tracer",
+    "attribute",
     "declare_standard",
+    "evaluate_registry",
     "get_registry",
     "load_json",
     "parse_prometheus",
     "render_json",
     "render_prometheus",
+    "render_folded",
+    "render_speedscope",
     "set_registry",
     "write_snapshot",
 ]

@@ -69,13 +69,23 @@ def _fmt(v: float) -> str:
     return repr(float(v))
 
 
+def _escape(value: str) -> str:
+    """Prometheus label-value escaping: ``\\``, newline, ``"``."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
 def _labels(labels: dict, extra: "tuple[str, str] | None" = None) -> str:
     pairs = sorted(labels.items())
     if extra is not None:
         pairs.append(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -107,6 +117,45 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                     f"{name}_count{_labels(labels)} {instrument.count}"
                 )
     return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_label_body(body: str, raw: str) -> dict[str, str]:
+    """Tokenize ``k="v",k2="v2"`` honouring the value escapes.
+
+    The naive ``split(",")`` reader corrupts any label value that
+    contains a comma, quote, or backslash — exactly the values
+    :func:`_escape` now protects on the render side — so this walks the
+    body character by character, undoing ``\\\\``, ``\\n`` and ``\\"``.
+    """
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0 or eq + 1 >= n or body[eq + 1] != '"':
+            raise ConfigError(f"unparseable label value in: {raw!r}")
+        key = body[i:eq]
+        chars: list[str] = []
+        j = eq + 2
+        while j < n and body[j] != '"':
+            ch = body[j]
+            if ch == "\\":
+                if j + 1 >= n:
+                    raise ConfigError(f"unparseable label value in: {raw!r}")
+                nxt = body[j + 1]
+                chars.append({"\\": "\\", "n": "\n", '"': '"'}.get(nxt, nxt))
+                j += 2
+            else:
+                chars.append(ch)
+                j += 1
+        if j >= n:
+            raise ConfigError(f"unparseable label value in: {raw!r}")
+        labels[key] = "".join(chars)
+        i = j + 1
+        if i < n:
+            if body[i] != ",":
+                raise ConfigError(f"unparseable labels in: {raw!r}")
+            i += 1
+    return labels
 
 
 def parse_prometheus(text: str) -> dict[str, dict]:
@@ -146,11 +195,7 @@ def parse_prometheus(text: str) -> dict[str, dict]:
         if label_body:
             if not label_body.endswith("}"):
                 raise ConfigError(f"unparseable labels in: {raw!r}")
-            for pair in label_body[:-1].split(","):
-                k, _, v = pair.partition("=")
-                if not (v.startswith('"') and v.endswith('"')):
-                    raise ConfigError(f"unparseable label value in: {raw!r}")
-                labels[k] = v[1:-1]
+            labels = _parse_label_body(label_body[:-1], raw)
         base = name
         for suffix in ("_bucket", "_sum", "_count"):
             if name.endswith(suffix) and name[: -len(suffix)] in families:

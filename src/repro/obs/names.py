@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS_S, MetricsRegistry
 
-__all__ = ["STANDARD_METRICS", "declare_standard"]
+__all__ = ["KERNEL_WALL_BUCKETS_S", "STANDARD_METRICS", "declare_standard"]
 
 # -- serving -----------------------------------------------------------
 REQUESTS = "repro_requests_total"
@@ -30,6 +30,11 @@ BATCH_SIZE = "repro_batch_size"
 
 # -- kernels -----------------------------------------------------------
 KERNEL_WALL = "repro_kernel_wall_seconds"
+
+# -- SLO / health ------------------------------------------------------
+SLO_EVALUATIONS = "repro_slo_evaluations_total"
+SLO_BREACHES = "repro_slo_breaches_total"
+SLO_BURN_RATE = "repro_slo_burn_rate"
 
 # -- plan cache --------------------------------------------------------
 CACHE_HITS = "repro_plan_cache_hits_total"
@@ -46,6 +51,13 @@ RETUNE_COOLDOWN = "repro_retune_cooldown_keys"
 #: batch sizes are small integers; powers of two up to the default
 #: ``BatchPolicy.max_batch_size`` neighbourhood
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: kernel-wall buckets start at 10 ns, not 1 µs: the fastpath backends
+#: execute small kernels in hundreds of nanoseconds, which would all
+#: collapse into the lowest ``DEFAULT_TIME_BUCKETS_S`` edge and make
+#: p50 interpolation meaningless. This override is KERNEL_WALL-only —
+#: request-level latencies keep the default layout.
+KERNEL_WALL_BUCKETS_S: tuple[float, ...] = tuple(1e-8 * 4**i for i in range(15))
 
 #: ``(name, kind, help, buckets)`` for every metric the stack publishes
 STANDARD_METRICS: tuple[tuple[str, str, str, tuple[float, ...] | None], ...] = (
@@ -73,7 +85,15 @@ STANDARD_METRICS: tuple[tuple[str, str, str, tuple[float, ...] | None], ...] = (
      "Requests coalesced per batch execution.", _BATCH_BUCKETS),
     (KERNEL_WALL, "histogram",
      "Measured wall time of one backend kernel execution, by op and "
-     "backend.", DEFAULT_TIME_BUCKETS_S),
+     "backend.", KERNEL_WALL_BUCKETS_S),
+    (SLO_EVALUATIONS, "counter",
+     "SLO health evaluations performed, by objective.", None),
+    (SLO_BREACHES, "counter",
+     "Health evaluations that found an objective in breach, by "
+     "objective.", None),
+    (SLO_BURN_RATE, "gauge",
+     "Error-budget burn rate at the last health evaluation, by "
+     "objective (1.0 = burning exactly the budget).", None),
     (CACHE_HITS, "counter",
      "Plan-cache lookups answered from the cache.", None),
     (CACHE_MISSES, "counter",

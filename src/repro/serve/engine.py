@@ -60,6 +60,7 @@ from repro.formats.bcrs import BCRSMatrix
 from repro.obs import names as metric_names
 from repro.obs.metrics import get_registry
 from repro.obs.names import declare_standard
+from repro.obs.profile import NULL_PROFILER, ProfileConfig, Profiler
 from repro.obs.trace import NULL_TRACE, Tracer
 from repro.runtime import Device, resolve_backend
 from repro.serve.batcher import BatchItem, BatchPolicy, MicroBatcher, RequestHandle
@@ -352,6 +353,7 @@ class Engine:
         retune: "RetunePolicy | None" = None,
         metrics=None,
         tracer: Tracer | None = None,
+        profile: "ProfileConfig | Profiler | None" = None,
     ) -> None:
         """``warm_start`` preloads one or more shipped autotune
         artifacts (see :mod:`repro.autotune`) into the planner's plan
@@ -367,7 +369,13 @@ class Engine:
         one); the telemetry, plan cache and scheduler all publish into
         it. ``tracer`` attaches a :class:`repro.obs.Tracer` — requests
         then carry their span tree on ``Response.trace``; the default
-        is a disabled tracer (near-zero overhead)."""
+        is a disabled tracer (near-zero overhead). ``profile`` attaches
+        a sampling profiler (a
+        :class:`~repro.obs.profile.ProfileConfig`, or a prebuilt
+        :class:`~repro.obs.profile.Profiler` to share across engines):
+        batcher dispatch and backend ``execute`` calls then collect
+        collapsed-stack samples on ``engine.profiler``; the default is
+        the null profiler (one no-op method call per dispatch)."""
         if planner is not None and cache is not None:
             raise ConfigError("pass either a planner or a cache, not both")
         self._device = Device.resolve(device)
@@ -390,6 +398,12 @@ class Engine:
         self.metrics = metrics if metrics is not None else get_registry()
         declare_standard(self.metrics)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        if profile is None:
+            self.profiler = NULL_PROFILER
+        elif isinstance(profile, Profiler):
+            self.profiler = profile
+        else:
+            self.profiler = Profiler(profile)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.telemetry.bind_metrics(self.metrics)
         self.planner.cache.bind_metrics(self.metrics)
@@ -398,7 +412,8 @@ class Engine:
         self._batch_ids = itertools.count(1)
         self._sessions: dict[str, SpmmSession | SddmmSession | AttentionSession] = {}
         self._batcher = MicroBatcher(
-            self._execute_batch, policy=policy, max_workers=max_workers
+            self._execute_batch, policy=policy, max_workers=max_workers,
+            profiler=self.profiler,
         )
         self._closed = False
         self._inflight: dict[int, RequestHandle] = {}
@@ -794,7 +809,9 @@ class Engine:
                 )
             )
         t0 = time.perf_counter()
-        r = execute_resolution(res, req, rhs=rhs, metrics=self.metrics)
+        r = execute_resolution(
+            res, req, rhs=rhs, metrics=self.metrics, profiler=self.profiler
+        )
         wall_s = time.perf_counter() - t0
         batch_id = next(self._batch_ids)
         self.telemetry.record_batch(
@@ -845,7 +862,9 @@ class Engine:
             req: SddmmRequest = item.payload["request"]
             res: Resolution = item.payload["resolution"]
             item_t0 = time.perf_counter()
-            r = execute_resolution(res, req, metrics=self.metrics)
+            r = execute_resolution(
+                res, req, metrics=self.metrics, profiler=self.profiler
+            )
             request_id, trace = self._finalize_item(
                 item, wall_s=time.perf_counter() - item_t0,
                 modelled_s=r.time_s, batch_id=batch_id,
@@ -892,7 +911,8 @@ class Engine:
         t0 = time.perf_counter()
         res = resolve_request(req, device=self._device, backend=session.backend)
         r = execute_resolution(
-            res, req, batch=total, planner=self.planner, metrics=self.metrics
+            res, req, batch=total, planner=self.planner, metrics=self.metrics,
+            profiler=self.profiler,
         )
         wall_s = time.perf_counter() - t0
         batch_id = next(self._batch_ids)

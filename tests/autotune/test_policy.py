@@ -158,6 +158,103 @@ class TestEvaluate:
         assert a == b
 
 
+def health_report(kind="latency", breaching=True):
+    """A real HealthReport graded from a synthetic registry."""
+    from repro.obs import names
+    from repro.obs.health import SloSpec, evaluate_registry
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.names import declare_standard
+
+    registry = declare_standard(MetricsRegistry())
+    if kind == "latency":
+        wall = registry.histogram(names.REQUEST_WALL)
+        for _ in range(20):
+            wall.observe(2.0 if breaching else 0.001)
+        spec = SloSpec(name="wall-p95", kind="latency", objective=0.25)
+    else:
+        registry.counter(names.REQUESTS, {"session": "s"}).inc(100)
+        registry.counter(names.REJECTIONS, {"session": "s"}).inc(
+            50 if breaching else 0
+        )
+        spec = SloSpec(name="shed", kind="rejection_rate", objective=0.05)
+    return evaluate_registry(registry, (spec,))
+
+
+class TestSloBreachTrigger:
+    def _quiet_policy(self, **kwargs):
+        # no other trigger can fire: warm baseline, no hot share reached
+        return RetunePolicy(
+            min_requests=1, hot_share=1.0, retune_cold_misses=False, **kwargs
+        )
+
+    def test_latency_breach_marks_served_keys(self):
+        keys = [key_for(64), key_for(128)]
+        snap = snapshot_for({k: plan_stats(requests=10) for k in keys})
+        triggers = evaluate_snapshot(
+            snap, self._quiet_policy(), health=health_report("latency")
+        )
+        assert sorted(t.plan_key for t in triggers) == sorted(keys)
+        assert {t.reason for t in triggers} == {"slo-breach"}
+        assert all("wall-p95" in t.detail for t in triggers)
+
+    def test_healthy_report_triggers_nothing(self):
+        # requests=100 keeps the key's share below hot_share
+        snap = snapshot_for({key_for(): plan_stats(requests=10)}, requests=100)
+        report = health_report("latency", breaching=False)
+        assert report.status == "healthy"
+        assert evaluate_snapshot(
+            snap, self._quiet_policy(), health=report
+        ) == []
+
+    def test_non_latency_breach_does_not_retune(self):
+        # a rejection-rate breach means admission pressure, not a stale
+        # plan: re-sweeping would not help, so the trigger ignores it
+        snap = snapshot_for({key_for(): plan_stats(requests=10)}, requests=100)
+        report = health_report("rejection_rate")
+        assert report.status == "breach"
+        assert evaluate_snapshot(
+            snap, self._quiet_policy(), health=report
+        ) == []
+
+    def test_toggle_off_suppresses_the_trigger(self):
+        snap = snapshot_for({key_for(): plan_stats(requests=10)}, requests=100)
+        policy = self._quiet_policy(retune_on_slo_breach=False)
+        assert evaluate_snapshot(
+            snap, policy, health=health_report("latency")
+        ) == []
+
+    def test_regression_outranks_slo_breach(self):
+        key = key_for()
+        snap = snapshot_for({
+            key: plan_stats(requests=10, predicted=1e-6, busy=3e-5),
+        })
+        policy = self._quiet_policy(regression_ratio=2.0)
+        (trigger,) = evaluate_snapshot(
+            snap, policy, health=health_report("latency")
+        )
+        assert trigger.reason == "regression"
+        assert "slo-breach" in trigger.detail  # still named in the detail
+
+    def test_slo_breach_outranks_cold_miss(self):
+        key = key_for()
+        snap = snapshot_for({key: plan_stats(requests=10)})
+        policy = RetunePolicy(min_requests=1, hot_share=1.0)
+        (trigger,) = evaluate_snapshot(
+            snap, policy, health=health_report("latency")
+        )
+        assert trigger.reason == "slo-breach"
+        assert "cold-miss" in trigger.detail
+
+    def test_slo_knob_validation(self):
+        with pytest.raises(ConfigError):
+            RetunePolicy(slo_window_s=0.0)
+        from repro.obs.health import SloSpec
+
+        spec = SloSpec(name="lat", kind="latency", objective=0.25)
+        policy = RetunePolicy(slos=[spec])  # lists coerce to tuple
+        assert policy.slos == (spec,)
+
+
 class TestSynthesize:
     def trigger(self, key: str) -> RetuneTrigger:
         return RetuneTrigger(plan_key=key, reason="hot", detail="", share=0.5)

@@ -69,6 +69,34 @@ class TestEngineWiring:
             assert cycle.triggers == []
             assert cycle.promoted == 0
 
+    def test_slo_cycle_publishes_health_metrics(self, weights):
+        from repro.obs import names
+        from repro.obs.health import DEFAULT_SLOS
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        policy = quiet_policy(slos=DEFAULT_SLOS)
+        with api.open_engine(
+            device="A100", metrics=registry, retune=policy
+        ) as client:
+            serve_widths(client, weights, [16], per=2)
+            client.retune.run_once()
+        evaluations = sum(
+            c.value for _, c in registry.samples(names.SLO_EVALUATIONS)
+        )
+        assert evaluations == len(DEFAULT_SLOS)
+
+    def test_policy_without_slos_skips_health(self):
+        from repro.obs import names
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with api.open_engine(
+            device="A100", metrics=registry, retune=quiet_policy()
+        ) as client:
+            client.retune.run_once()
+        assert registry.samples(names.SLO_EVALUATIONS) == []
+
 
 class TestCycles:
     def test_cold_misses_trigger_and_promote(self, weights):

@@ -89,6 +89,9 @@ def replay_artifacts(tmp_path_factory):
         out=tmp / "BENCH_serve.json",
         metrics_out=tmp / "BENCH_serve.metrics.json",
         trace_out=tmp / "BENCH_serve.trace.jsonl",
+        health_out=tmp / "BENCH_serve.health.json",
+        profile_out=tmp / "BENCH_serve.profile.json",
+        folded_out=tmp / "BENCH_serve.folded.txt",
     )
     return tmp, report
 
@@ -136,6 +139,40 @@ class TestRunReplay:
         text = render_replay_report(report)
         assert "traffic replay" in text
         assert "p99" in text and "rejected by admission" in text
+        assert "health:" in text and "profile:" in text
+
+    def test_render_tolerates_pre_health_artifacts(self, replay_artifacts):
+        # artifacts recorded before the health/profile sections existed
+        # must still render (the compare gate reads old baselines)
+        _, report = replay_artifacts
+        old = json.loads(json.dumps(report))
+        del old["results"]["health"]
+        del old["results"]["profile"]
+        text = render_replay_report(old)
+        assert "traffic replay" in text and "health:" not in text
+
+    def test_health_report_grades_the_default_slos(self, replay_artifacts):
+        tmp, report = replay_artifacts
+        from repro.obs.health import DEFAULT_SLOS, HEALTH_SCHEMA
+
+        doc = json.loads((tmp / "BENCH_serve.health.json").read_text())
+        assert doc["schema"] == HEALTH_SCHEMA
+        assert len(doc["objectives"]) == len(DEFAULT_SLOS) >= 1
+        assert doc["status"] in ("healthy", "degraded", "breach")
+        assert report["results"]["health"]["status"] == doc["status"]
+        evaluated = {o["spec"]["name"] for o in doc["objectives"]}
+        assert evaluated == {s.name for s in DEFAULT_SLOS}
+
+    def test_profile_artifacts_cover_both_phases(self, replay_artifacts):
+        tmp, report = replay_artifacts
+        speedscope = json.loads((tmp / "BENCH_serve.profile.json").read_text())
+        assert speedscope["$schema"].startswith("https://www.speedscope.app")
+        phases = {p["name"] for p in speedscope["profiles"]}
+        assert phases == {"batcher-dispatch", "backend-execute"}
+        folded = (tmp / "BENCH_serve.folded.txt").read_text().splitlines()
+        assert folded and all(" " in ln for ln in folded)
+        assert any(ln.startswith("backend-execute;") for ln in folded)
+        assert report["results"]["profile"]["sampled"] > 0
 
     def test_mixed_classes_all_serve(self, replay_artifacts):
         tmp, _ = replay_artifacts

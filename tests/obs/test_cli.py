@@ -1,4 +1,4 @@
-"""``repro obs`` CLI: summary / export / tail over real artifacts."""
+"""``repro obs`` CLI: summary/export/tail/profile/health over artifacts."""
 
 from __future__ import annotations
 
@@ -85,6 +85,181 @@ class TestTail:
     def test_missing_trace_log_fails_with_hint(self, tmp_path, capsys):
         assert main(["tail", "--trace", str(tmp_path / "nope.jsonl")]) == 1
         assert "serve --replay" in capsys.readouterr().err
+
+
+@pytest.fixture
+def mixed_trace_log(tmp_path):
+    """Four traces over two sessions and two plan keys."""
+    tracer = Tracer(enabled=True)
+    for i in range(4):
+        t = tracer.request(op="spmm", session=f"s{i % 2}", request_id=i + 1)
+        t.add_span(
+            "kernel-launch", 0.0, 0.001,
+            backend="numpy", plan_key=f"k{i % 2}",
+        )
+        tracer.finish(t)
+    return tracer.export_jsonl(tmp_path / "trace.jsonl")
+
+
+class TestTailFilters:
+    def _headers(self, out):
+        return [ln for ln in out.splitlines() if ln.startswith("request ")]
+
+    def test_session_filter(self, mixed_trace_log, capsys):
+        assert main([
+            "tail", "--trace", str(mixed_trace_log), "--session", "s1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert len(self._headers(out)) == 2 and "@s0" not in out
+
+    def test_plan_key_filter_matches_span_attrs(self, mixed_trace_log, capsys):
+        assert main([
+            "tail", "--trace", str(mixed_trace_log), "--plan-key", "k0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "@s0" in out and "@s1" not in out
+
+    def test_no_matches_says_so(self, mixed_trace_log, capsys):
+        assert main([
+            "tail", "--trace", str(mixed_trace_log), "--session", "nope",
+        ]) == 0
+        assert "(no matching traces)" in capsys.readouterr().out
+
+    def test_filters_compose_with_n(self, mixed_trace_log, capsys):
+        assert main([
+            "tail", "--trace", str(mixed_trace_log), "--session", "s0",
+            "-n", "1",
+        ]) == 0
+        headers = self._headers(capsys.readouterr().out)
+        assert headers == ["request 3 [spmm@s0]"]  # the most recent match
+
+
+class TestTailFollow:
+    def test_follow_prints_appended_traces(self, tmp_path, capsys):
+        import threading
+
+        log = tmp_path / "t.jsonl"
+        log.write_text(json.dumps(_trace_doc()) + "\n")
+
+        def append_later():
+            doc = {**_trace_doc(), "request_id": 8}
+            with log.open("a") as f:
+                f.write(json.dumps(doc) + "\n")
+
+        timer = threading.Timer(0.05, append_later)
+        timer.start()
+        try:
+            assert main([
+                "tail", "--trace", str(log), "--follow",
+                "--interval", "0.02", "--max-polls", "20",
+            ]) == 0
+        finally:
+            timer.cancel()
+        out = capsys.readouterr().out
+        assert "request 7" in out and "request 8" in out
+
+    def test_follow_survives_a_missing_then_created_file(self, tmp_path, capsys):
+        log = tmp_path / "later.jsonl"
+        assert main([
+            "tail", "--trace", str(log), "--follow",
+            "--interval", "0.01", "--max-polls", "2",
+        ]) == 0  # no error: the file may not exist yet
+        log.write_text(json.dumps(_trace_doc()) + "\n")
+        assert main([
+            "tail", "--trace", str(log), "--follow",
+            "--interval", "0.01", "--max-polls", "2",
+        ]) == 0
+        assert "request 7" in capsys.readouterr().out
+
+    def test_follow_resets_on_truncation(self, tmp_path, capsys):
+        # the tracer rewrites its ring file atomically; a shrink means
+        # a rotation and the follower must start over, not explode
+        log = tmp_path / "t.jsonl"
+        lines = [json.dumps({**_trace_doc(), "request_id": i}) for i in (1, 2)]
+        log.write_text("\n".join(lines) + "\n")
+        assert main([
+            "tail", "--trace", str(log), "--follow",
+            "--interval", "0.01", "--max-polls", "1",
+        ]) == 0
+        log.write_text(json.dumps({**_trace_doc(), "request_id": 9}) + "\n")
+        assert main([
+            "tail", "--trace", str(log), "--follow",
+            "--interval", "0.01", "--max-polls", "1",
+        ]) == 0
+        assert "request 9" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_renders_self_time_table(self, mixed_trace_log, capsys):
+        assert main(["profile", "--trace", str(mixed_trace_log)]) == 0
+        out = capsys.readouterr().out
+        assert "self ms" in out and "kernel-launch" in out
+        assert "k0" in out and "k1" in out
+
+    def test_top_caps_rows_and_says_so(self, mixed_trace_log, capsys):
+        assert main([
+            "profile", "--trace", str(mixed_trace_log), "--top", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "more row(s)" in out
+
+    def test_json_output_is_machine_readable(self, mixed_trace_log, capsys):
+        assert main([
+            "profile", "--trace", str(mixed_trace_log), "--json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and {"phase", "self_s", "count"} <= set(rows[0])
+
+    def test_missing_trace_fails_with_hint(self, tmp_path, capsys):
+        assert main(["profile", "--trace", str(tmp_path / "no.jsonl")]) == 1
+        assert "serve --replay" in capsys.readouterr().err
+
+
+class TestHealthCommand:
+    def _breaching_snapshot(self, tmp_path):
+        r = declare_standard(MetricsRegistry())
+        for _ in range(20):
+            r.histogram(names.REQUEST_WALL).observe(2.0)  # way over 250ms
+        return write_snapshot(r, tmp_path / "bad.json")
+
+    def test_missing_snapshot_probes_healthy(self, tmp_path, capsys):
+        # the cli-smoke CI job runs exactly this before any artifact
+        # exists: the empty standard contract must grade healthy
+        assert main([
+            "health", "--metrics", str(tmp_path / "no.json"), "--probe",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overall: healthy" in out and "standard contract" in out
+
+    def test_probe_exit_code_reflects_breach(self, tmp_path, capsys):
+        snapshot = self._breaching_snapshot(tmp_path)
+        assert main(["health", "--metrics", str(snapshot), "--probe"]) == 2
+        out = capsys.readouterr().out
+        assert "overall: breach" in out and "wall-p95" in out
+
+    def test_without_probe_always_exits_zero(self, tmp_path):
+        snapshot = self._breaching_snapshot(tmp_path)
+        assert main(["health", "--metrics", str(snapshot)]) == 0
+
+    def test_out_writes_the_report_json(self, snapshot, tmp_path):
+        out = tmp_path / "health.json"
+        assert main([
+            "health", "--metrics", str(snapshot), "--out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["status"] in ("healthy", "degraded", "breach")
+        assert len(doc["objectives"]) == 4
+
+    def test_custom_slos_from_file(self, snapshot, tmp_path, capsys):
+        specs = tmp_path / "slos.json"
+        specs.write_text(json.dumps([
+            {"name": "custom-lat", "kind": "latency", "objective": 0.5},
+        ]))
+        assert main([
+            "health", "--metrics", str(snapshot), "--slos", str(specs),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "custom-lat" in out and "wall-p95" not in out
 
 
 class TestEntryPoints:

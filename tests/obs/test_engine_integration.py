@@ -196,6 +196,49 @@ class TestMetricsPublication:
         assert registry.counter(names.RETUNE_CYCLES).value >= 1
 
 
+class TestKernelWallResolution:
+    def test_kernel_wall_buckets_resolve_below_a_microsecond(self):
+        """The fastpath regression: sub-µs kernels need sub-µs buckets.
+
+        Fastpath kernels finish in hundreds of nanoseconds. Under the
+        default time buckets (floor 1 µs) every observation lands in
+        the first bucket and the p50 interpolates to a constant ~0.5 µs
+        whatever the true latency — the KERNEL_WALL-specific layout
+        must keep the quantiles meaningful instead.
+        """
+        from repro.obs.names import KERNEL_WALL_BUCKETS_S, declare_standard
+
+        assert KERNEL_WALL_BUCKETS_S[0] == pytest.approx(1e-8)
+        declared = dict(
+            (name, buckets) for name, _, _, buckets in STANDARD_METRICS
+        )
+        assert declared[names.KERNEL_WALL] == KERNEL_WALL_BUCKETS_S
+
+        registry = declare_standard(MetricsRegistry())
+        h = registry.histogram(
+            names.KERNEL_WALL, {"op": "spmm", "backend": "fastpath-vectorized"}
+        )
+        true_s = 3e-7  # a realistic fastpath kernel wall
+        for _ in range(100):
+            h.observe(true_s)
+        p50 = h.quantile(0.50)
+        # within one power-of-four bucket of the truth, not a constant
+        assert true_s / 4 <= p50 <= true_s * 4, (
+            f"p50 {p50:.3e}s is not within a bucket of the true {true_s:.3e}s"
+        )
+
+    def test_served_requests_record_kernel_wall_at_fine_resolution(self, lhs):
+        from repro.obs.names import KERNEL_WALL_BUCKETS_S
+
+        registry = MetricsRegistry()
+        with repro.open_engine(metrics=registry) as client:
+            client.run(api.SpmmRequest(lhs=lhs, rhs=_rhs()))
+        samples = registry.samples(names.KERNEL_WALL)
+        assert samples
+        for _, h in samples:
+            assert h.buckets == KERNEL_WALL_BUCKETS_S
+
+
 class TestDisabledOverhead:
     def test_disabled_tracer_costs_under_five_percent_of_a_request(self, lhs):
         """The null-trace path must be invisible next to a real request.

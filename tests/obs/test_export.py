@@ -96,6 +96,33 @@ class TestPrometheus:
         with pytest.raises(ConfigError):
             parse_prometheus("# TYPE x summary\nx 1")
 
+    @pytest.mark.parametrize("value", [
+        'quote:"double"',
+        "back\\slash",
+        "new\nline",
+        'all\\of\n"them",together',
+        "plan|spmm|512x512x64,v=8",
+    ])
+    def test_label_values_escape_and_round_trip(self, value):
+        r = MetricsRegistry()
+        r.counter("c_total", {"plan_key": value}).inc(1)
+        text = render_prometheus(r)
+        # the exposition stays one sample per line whatever the value
+        assert sum(not ln.startswith("#") for ln in text.splitlines()) == 1
+        sample, = parse_prometheus(text)["c_total"]["samples"]
+        assert sample["labels"] == {"plan_key": value}
+
+    def test_escaped_rendering_matches_prometheus_conventions(self):
+        r = MetricsRegistry()
+        r.counter("c_total", {"k": 'a\\b"c\nd'}).inc(1)
+        assert 'c_total{k="a\\\\b\\"c\\nd"} 1' in render_prometheus(r)
+
+    def test_unterminated_label_value_is_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_prometheus('# TYPE c_total counter\nc_total{k="open 1')
+        with pytest.raises(ConfigError):
+            parse_prometheus('# TYPE c_total counter\nc_total{k="trail\\"} 1')
+
     def test_integer_values_have_no_decimal_point(self):
         r = MetricsRegistry()
         r.counter("c_total").inc(5)

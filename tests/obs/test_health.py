@@ -1,0 +1,292 @@
+"""SLO health: spec validation, burn-rate grading, windows, publishing."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.errors import ConfigError
+from repro.obs import names
+from repro.obs.health import (
+    DEFAULT_SLOS,
+    HEALTH_SCHEMA,
+    HealthEvaluator,
+    HealthReport,
+    SloSpec,
+    evaluate_registry,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.names import declare_standard
+
+
+class TestSloSpec:
+    def test_defaults_and_source_metric(self):
+        spec = SloSpec(name="p95", kind="latency", objective=0.25)
+        assert spec.quantile == 0.95
+        assert spec.source_metric == names.REQUEST_WALL
+        assert SloSpec(
+            name="r", kind="rejection_rate", objective=0.05
+        ).source_metric == names.REJECTIONS
+
+    def test_metric_override(self):
+        spec = SloSpec(
+            name="kernel", kind="latency", objective=1e-3,
+            metric=names.KERNEL_WALL,
+        )
+        assert spec.source_metric == names.KERNEL_WALL
+
+    def test_dict_labels_normalize_to_sorted_tuple(self):
+        spec = SloSpec(
+            name="s", kind="latency", objective=0.1,
+            labels={"session": "ffn", "backend": "numpy"},
+        )
+        assert spec.labels == (("backend", "numpy"), ("session", "ffn"))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kind": "nonsense"},
+        {"objective": 0.0},
+        {"objective": -1.0},
+        {"kind": "rejection_rate", "objective": 1.0},
+        {"kind": "cache_hit_rate", "objective": 1.5},
+        {"kind": "latency", "quantile": 0.0},
+        {"kind": "latency", "quantile": 1.0},
+        {"degraded_burn": 0.0},
+        {"degraded_burn": 3.0, "breach_burn": 2.0},
+    ])
+    def test_bad_specs_raise(self, kwargs):
+        base = {"name": "x", "kind": "latency", "objective": 0.5}
+        with pytest.raises(ConfigError):
+            SloSpec(**{**base, **kwargs})
+
+
+def _registry_with_wall(values, buckets=None) -> MetricsRegistry:
+    r = declare_standard(MetricsRegistry())
+    h = r.histogram(names.REQUEST_WALL)
+    for v in values:
+        h.observe(v)
+    return r
+
+
+class TestLatencyGrading:
+    def _spec(self, objective, quantile=0.90):
+        return SloSpec(
+            name="lat", kind="latency", objective=objective, quantile=quantile
+        )
+
+    def test_all_fast_requests_are_healthy(self):
+        r = _registry_with_wall([0.001] * 20)
+        report = evaluate_registry(r, (self._spec(0.25),))
+        (result,) = report.results
+        assert result.status == "healthy" and result.burn == 0.0
+
+    def test_all_slow_requests_breach(self):
+        r = _registry_with_wall([1.0] * 20)
+        report = evaluate_registry(r, (self._spec(0.25),))
+        (result,) = report.results
+        assert result.status == "breach"
+        # every request over the threshold burns 1/budget = 10x
+        assert result.burn == pytest.approx(10.0, rel=0.05)
+
+    def test_burn_is_fraction_over_budget(self):
+        # 2 of 20 over the threshold against a 10% budget: burn ~1.0.
+        # Threshold sits at a bucket bound so interpolation is exact.
+        r = _registry_with_wall([0.001] * 18 + [0.9] * 2)
+        (result,) = evaluate_registry(
+            r, (self._spec(0.262144, quantile=0.90),)
+        ).results
+        assert result.burn == pytest.approx(1.0, rel=0.1)
+        assert result.observed == pytest.approx(0.1, rel=0.1)
+
+    def test_empty_registry_is_healthy(self):
+        report = evaluate_registry(declare_standard(MetricsRegistry()))
+        assert report.status == "healthy"
+        assert all("yet" in r.detail for r in report.results)
+
+
+class TestOtherKinds:
+    def test_rejection_rate(self):
+        r = declare_standard(MetricsRegistry())
+        r.counter(names.REQUESTS, {"session": "s"}).inc(90)
+        r.counter(names.REJECTIONS, {"session": "s"}).inc(10)
+        spec = SloSpec(name="rej", kind="rejection_rate", objective=0.05)
+        (result,) = evaluate_registry(r, (spec,)).results
+        assert result.burn == pytest.approx(2.0)  # 10% shed vs 5% objective
+        assert result.status == "breach"
+
+    def test_queue_depth_reads_the_gauge_max(self):
+        r = declare_standard(MetricsRegistry())
+        r.gauge(names.QUEUE_DEPTH, {"session": "a"}).set(8)
+        r.gauge(names.QUEUE_DEPTH, {"session": "b"}).set(96)
+        spec = SloSpec(name="q", kind="queue_depth", objective=64.0)
+        (result,) = evaluate_registry(r, (spec,)).results
+        assert result.burn == pytest.approx(96 / 64)
+        assert result.status == "degraded"
+
+    def test_cache_hit_rate_floor(self):
+        r = declare_standard(MetricsRegistry())
+        r.counter(names.CACHE_HITS).inc(75)
+        r.counter(names.CACHE_MISSES).inc(25)
+        spec = SloSpec(name="c", kind="cache_hit_rate", objective=0.50)
+        (result,) = evaluate_registry(r, (spec,)).results
+        # 25% misses against a 50% miss budget: half the budget
+        assert result.burn == pytest.approx(0.5)
+        assert result.status == "healthy"
+
+    def test_labels_filter_samples(self):
+        r = declare_standard(MetricsRegistry())
+        r.counter(names.REQUESTS, {"session": "a"}).inc(10)
+        r.counter(names.REQUESTS, {"session": "b"}).inc(10)
+        r.counter(names.REJECTIONS, {"session": "b"}).inc(10)
+        only_a = SloSpec(
+            name="a", kind="rejection_rate", objective=0.05,
+            labels={"session": "a"},
+        )
+        (result,) = evaluate_registry(r, (only_a,)).results
+        assert result.status == "healthy" and result.burn == 0.0
+
+
+class TestHealthReport:
+    def _report(self, statuses):
+        results = [
+            evaluate_registry(
+                declare_standard(MetricsRegistry()),
+                (SloSpec(name=f"s{i}", kind="latency", objective=1.0),),
+            ).results[0]
+            for i, _ in enumerate(statuses)
+        ]
+        for result, status in zip(results, statuses):
+            result.status = status
+        return HealthReport(results=results)
+
+    def test_worst_objective_decides_and_exits(self):
+        assert self._report(["healthy", "healthy"]).exit_code() == 0
+        assert self._report(["healthy", "degraded"]).exit_code() == 1
+        assert self._report(["breach", "degraded"]).exit_code() == 2
+
+    def test_breaches_and_burning_select(self):
+        report = self._report(["healthy", "degraded", "breach"])
+        assert [r.spec.name for r in report.breaches] == ["s2"]
+        assert [r.spec.name for r in report.burning()] == ["s1", "s2"]
+        assert report.burning("rejection_rate") == []
+
+    def test_save_writes_schema_versioned_json(self, tmp_path):
+        path = self._report(["healthy"]).save(tmp_path / "h.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == HEALTH_SCHEMA
+        assert doc["status"] == "healthy" and len(doc["objectives"]) == 1
+
+
+class TestPublish:
+    def test_publish_writes_slo_metrics_back(self):
+        r = _registry_with_wall([1.0] * 10)
+        spec = SloSpec(name="lat", kind="latency", objective=0.25)
+        evaluate_registry(r, (spec,), publish=True)
+        labels = {"objective": "lat"}
+        assert r.counter(names.SLO_EVALUATIONS, labels).value == 1
+        assert r.counter(names.SLO_BREACHES, labels).value == 1
+        assert r.gauge(names.SLO_BURN_RATE, labels).value > 2.0
+
+    def test_healthy_evaluation_increments_no_breaches(self):
+        r = _registry_with_wall([0.001] * 10)
+        evaluate_registry(r, DEFAULT_SLOS, publish=True)
+        total = sum(
+            c.value for _, c in r.samples(names.SLO_BREACHES)
+        )
+        assert total == 0
+
+    def test_publish_needs_a_live_registry(self):
+        doc = declare_standard(MetricsRegistry()).to_dict()
+        with pytest.raises(ConfigError):
+            evaluate_registry(doc, DEFAULT_SLOS, publish=True)
+
+    def test_snapshot_dict_evaluates_like_the_live_registry(self):
+        r = _registry_with_wall([0.001] * 10)
+        live = evaluate_registry(r, DEFAULT_SLOS)
+        loaded = evaluate_registry(r.to_dict(), DEFAULT_SLOS)
+        assert [x.burn for x in live.results] == [x.burn for x in loaded.results]
+
+
+class TestHealthEvaluator:
+    def _observe(self, registry, values):
+        h = registry.histogram(names.REQUEST_WALL)
+        for v in values:
+            h.observe(v)
+
+    def test_windows_grade_recent_traffic_not_lifetime(self):
+        registry = declare_standard(MetricsRegistry())
+        spec = SloSpec(name="lat", kind="latency", objective=0.25)
+        evaluator = HealthEvaluator((spec,), window_s=60.0, publish=False)
+
+        # an early incident: every request slow
+        self._observe(registry, [1.0] * 50)
+        report = evaluator.evaluate(registry, now=0.0)
+        assert report.status == "breach"
+
+        # recovery: later windows see only the fast delta
+        for step in range(1, 6):
+            self._observe(registry, [0.001] * 50)
+            report = evaluator.evaluate(registry, now=step * 60.0)
+        assert report.status == "healthy"
+        # while the lifetime totals still grade degraded-or-worse
+        assert evaluate_registry(registry, (spec,)).status != "healthy"
+
+    def test_report_carries_the_window(self):
+        evaluator = HealthEvaluator(window_s=30.0, publish=False)
+        report = evaluator.evaluate(
+            declare_standard(MetricsRegistry()), now=0.0
+        )
+        assert report.window_s == 30.0
+
+    def test_gauges_grade_current_not_delta(self):
+        registry = declare_standard(MetricsRegistry())
+        spec = SloSpec(name="q", kind="queue_depth", objective=10.0)
+        evaluator = HealthEvaluator((spec,), window_s=60.0, publish=False)
+        registry.gauge(names.QUEUE_DEPTH, {"session": "s"}).set(5)
+        evaluator.evaluate(registry, now=0.0)
+        registry.gauge(names.QUEUE_DEPTH, {"session": "s"}).set(50)
+        report = evaluator.evaluate(registry, now=1.0)
+        assert report.status == "breach"  # the gauge reads now, not a delta
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ConfigError):
+            HealthEvaluator(window_s=0.0)
+
+
+@pytest.fixture
+def lhs():
+    return repro.SparseMatrix.from_dense(
+        np.eye(64, dtype=np.int8), vector_length=8
+    )
+
+
+class TestClientHealth:
+    def test_client_health_grades_and_publishes(self, lhs):
+        registry = MetricsRegistry()
+        with repro.open_engine(metrics=registry) as client:
+            for _ in range(4):
+                client.run(api.SpmmRequest(
+                    lhs=lhs, rhs=np.ones((64, 8), dtype=np.int8)
+                ))
+            report = client.health()
+        assert len(report.results) == len(DEFAULT_SLOS)
+        assert report.status in ("healthy", "degraded", "breach")
+        assert registry.counter(
+            names.SLO_EVALUATIONS, {"objective": "wall-p95"}
+        ).value == 1
+
+    def test_custom_specs_override_the_defaults(self, lhs):
+        with repro.open_engine(metrics=MetricsRegistry()) as client:
+            client.run(api.SpmmRequest(
+                lhs=lhs, rhs=np.ones((64, 8), dtype=np.int8)
+            ))
+            impossible = SloSpec(
+                name="1ns", kind="latency", objective=1e-9, quantile=0.5,
+                degraded_burn=0.5, breach_burn=1.0,
+            )
+            report = client.health(specs=(impossible,))
+        assert [r.spec.name for r in report.results] == ["1ns"]
+        assert report.status == "breach"
