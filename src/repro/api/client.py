@@ -209,6 +209,7 @@ class Client:
                 vector_length=request.vector_length,
                 num_layers=request.num_layers,
                 d_head=request.d_head,
+                num_gpus=request.num_gpus,
                 **(
                     {"backend": request.backend}
                     if request.backend is not None

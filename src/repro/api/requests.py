@@ -134,7 +134,10 @@ class AttentionRequest:
     (same-topology requests coalesce by summing it). ``backend`` must
     be a Magicube-family runtime backend; the response carries a
     :class:`~repro.transformer.inference.LatencyResult` in ``stats``
-    and no ``output``.
+    and no ``output``. ``num_gpus > 1`` prices the tensor-parallel
+    deployment instead (heads shard evenly, Megatron-style all-reduces
+    per layer — :mod:`repro.transformer.distributed`); ``stats`` is
+    then the distributed latency breakdown dict.
 
     Example::
 
@@ -153,6 +156,7 @@ class AttentionRequest:
     vector_length: int = 8
     num_layers: int = 4
     d_head: int = 64
+    num_gpus: int = 1
     batch: int = 1
     backend: str | None = None
     device: "Device | str | None" = None
@@ -163,7 +167,8 @@ class AttentionRequest:
         """The request-class key: everything but ``batch``."""
         return (
             self.seq_len, self.num_heads, self.sparsity, tuple(self.scheme),
-            self.vector_length, self.num_layers, self.d_head, self.backend,
+            self.vector_length, self.num_layers, self.d_head, self.num_gpus,
+            self.backend,
         )
 
 

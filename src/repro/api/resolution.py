@@ -147,6 +147,13 @@ def normalize(request: Request) -> Request:
     if isinstance(request, AttentionRequest):
         if request.batch < 1:
             raise ConfigError(f"batch must be >= 1, got {request.batch}")
+        if request.num_gpus < 1:
+            raise ConfigError(f"num_gpus must be >= 1, got {request.num_gpus}")
+        if request.num_heads % request.num_gpus != 0:
+            raise ConfigError(
+                f"{request.num_heads} heads do not shard over "
+                f"{request.num_gpus} GPUs"
+            )
         return request
     raise ConfigError(f"unknown request type {type(request).__name__}")
 
@@ -444,12 +451,31 @@ def _execute_attention(
         vector_length=req.vector_length,
         device=res.device.name,
     )
-    lat = estimate_latency(
-        cfg,
-        InferenceBackend("magicube", *req.scheme),
-        planner=planner,
-        plan_backend=res.backend,
-    )
+    ib = InferenceBackend("magicube", *req.scheme)
+    if req.num_gpus > 1:
+        # tensor-parallel deployment: each GPU runs the heads/g shard
+        # (still planned through the serving cache), plus Megatron-
+        # style per-layer all-reduces over NVLink
+        from repro.transformer.distributed import (
+            TensorParallelConfig,
+            estimate_latency_distributed,
+        )
+
+        dist = estimate_latency_distributed(
+            TensorParallelConfig(base=cfg, num_gpus=req.num_gpus),
+            ib,
+            planner=planner,
+            plan_backend=res.backend,
+        )
+        return Response(
+            output=None,
+            time_s=dist["total_s"],
+            stats=dist,
+            backend=res.backend,
+            device=res.device_label,
+            precision=res.precision,
+        )
+    lat = estimate_latency(cfg, ib, planner=planner, plan_backend=res.backend)
     return Response(
         output=None,
         time_s=lat.total_s,

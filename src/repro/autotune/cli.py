@@ -8,6 +8,7 @@ Usage::
     repro autotune export serving-cache.json --out plans.json
     repro autotune verify plans.json
     repro autotune diff old-plans.json new-plans.json
+    repro autotune pack plans-a.json plans-b.json --out fleet-pack
     repro autotune watch telemetry.json --plans plans.json \\
         --out retuned/plans.json
 
@@ -186,6 +187,17 @@ def _cmd_diff(args) -> int:
     return 1
 
 
+def _cmd_pack(args) -> int:
+    from repro.fleet.pack import build_pack
+
+    pack = build_pack(args.artifacts, args.out, version=args.version)
+    summary = pack.summary()
+    print(f"packed {summary['members']} artifact(s), {summary['plans']} "
+          f"plan(s) -> {summary['root']} (version {summary['version']}, "
+          f"fingerprint {summary['fingerprint']})")
+    return 0
+
+
 def _cmd_watch(args) -> int:
     import time as _time
 
@@ -325,6 +337,18 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument("a")
     diff.add_argument("b")
     diff.set_defaults(fn=_cmd_diff)
+
+    pack = sub.add_parser(
+        "pack",
+        help="bundle artifacts into a versioned fleet pack "
+             "(alias of `repro fleet pack`)",
+    )
+    pack.add_argument("artifacts", nargs="+",
+                      help="plan-cache JSON artifacts to bundle")
+    pack.add_argument("--out", default="fleet-pack", metavar="DIR",
+                      help="pack directory to write (default: fleet-pack)")
+    pack.add_argument("--version", default="0")
+    pack.set_defaults(fn=_cmd_pack)
 
     watch = sub.add_parser(
         "watch",

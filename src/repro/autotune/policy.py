@@ -88,6 +88,12 @@ class RetunePolicy:
     retune_on_drift: bool = True
     slos: tuple[SloSpec, ...] = ()
     retune_on_slo_breach: bool = True
+    #: opt-in: also react to queue_depth / rejection_rate breaches (the
+    #: ``load-shed`` trigger). Off by default — admission pressure on a
+    #: single engine usually means overload, not a stale plan; a fleet
+    #: deployment (:func:`repro.fleet.fleet_retune_policy`) turns it on
+    #: so saturated workers re-sweep the plans carrying their traffic.
+    retune_on_load_shed: bool = False
     slo_window_s: float = 300.0
     max_keys: int = 8
     cooldown_s: float = 300.0
@@ -125,8 +131,8 @@ class RetuneTrigger:
     """One plan key one policy decided to re-sweep, and why.
 
     ``reason`` is the highest-priority trigger that fired
-    (``regression`` > ``slo-breach`` > ``cold-miss`` > ``hot`` >
-    ``drift``); ``detail`` names every one that did. ``share`` is the
+    (``regression`` > ``slo-breach`` > ``load-shed`` > ``cold-miss`` >
+    ``hot`` > ``drift``); ``detail`` names every one that did. ``share`` is the
     key's traffic share in the evaluated snapshot (the sort key for
     :func:`evaluate_snapshot`'s ``max_keys`` cap).
     """
@@ -180,7 +186,13 @@ def evaluate_snapshot(
     ``health`` is a current :class:`~repro.obs.health.HealthReport`
     (the scheduler evaluates ``policy.slos`` each cycle); a **latency**
     objective in breach marks every served key — the ``slo-breach``
-    trigger. ``exclude`` removes keys under the scheduler's cooldown.
+    trigger — and, when ``policy.retune_on_load_shed`` is on, a
+    **queue_depth** / **rejection_rate** objective in breach marks
+    them with the lower-priority ``load-shed`` trigger: the fleet
+    gateway feeding its admission signals into the policy's SLOs is
+    shedding work, so cheaper plans for the keys carrying the traffic
+    are the remedy re-tuning can offer.
+    ``exclude`` removes keys under the scheduler's cooldown.
     Triggers come back sorted by traffic share (then key), capped at
     ``policy.max_keys``.
     """
@@ -188,8 +200,14 @@ def evaluate_snapshot(
     if total < policy.min_requests or total == 0:
         return []
     breached = []
+    pressured = []
     if policy.retune_on_slo_breach and health is not None:
         breached = [r for r in health.breaches if r.spec.kind == "latency"]
+    if policy.retune_on_load_shed and health is not None:
+        pressured = [
+            r for r in health.breaches
+            if r.spec.kind in ("queue_depth", "rejection_rate")
+        ]
     triggers: list[RetuneTrigger] = []
     for key in sorted(snapshot.plans):
         if key in exclude:
@@ -215,6 +233,14 @@ def evaluate_snapshot(
                 "slo-breach",
                 f"latency objective {worst.spec.name!r} burning at "
                 f"{worst.burn:.2f}x budget ({worst.detail})",
+            ))
+        if pressured:
+            worst = max(pressured, key=lambda r: r.burn)
+            reasons.append((
+                "load-shed",
+                f"pressure objective {worst.spec.name!r} "
+                f"({worst.spec.kind}) burning at {worst.burn:.2f}x "
+                f"budget ({worst.detail})",
             ))
         if policy.retune_cold_misses and key not in baseline_keys:
             reasons.append((

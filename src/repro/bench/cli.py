@@ -469,13 +469,17 @@ def _run_replay(args) -> int:
         rate_rps=args.rate,
         seed=args.seed,
         trace_path=args.arrival_trace,
+        gateway_workers=args.gateway,
     )
     report = run_replay(config, out=args.out)
     print(render_replay_report(report))
-    print(
-        f"wrote {args.out} (+ .metrics.json, .trace.jsonl, .health.json, "
-        f".profile.json, .folded.txt)"
-    )
+    if args.gateway:
+        print(f"wrote {args.out} (+ .metrics.json, .trace.jsonl, .health.json)")
+    else:
+        print(
+            f"wrote {args.out} (+ .metrics.json, .trace.jsonl, .health.json, "
+            f".profile.json, .folded.txt)"
+        )
     return 0
 
 
@@ -514,6 +518,10 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument(
         "--arrival-trace", default=None, metavar="PATH",
         help="JSON list of arrival offsets (with --arrival trace)",
+    )
+    replay.add_argument(
+        "--gateway", type=int, default=None, metavar="N",
+        help="route through a repro.fleet gateway with N worker processes",
     )
     replay.add_argument(
         "--out", default="BENCH_serve.json", help="report artifact path"

@@ -85,6 +85,10 @@ class ReplayConfig:
     device: str = "A100"
     #: queue-depth admission bound (None admits everything)
     max_queue_depth: int | None = 64
+    #: route through a :class:`repro.fleet.Gateway` with this many
+    #: worker processes instead of a single in-process engine
+    #: (None = direct engine, the historical path)
+    gateway_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -97,6 +101,10 @@ class ReplayConfig:
             raise ConfigError("arrival='trace' needs trace_path=")
         if not self.mix or not any(w > 0 for _, w in self.mix):
             raise ConfigError("mix must carry at least one positive weight")
+        if self.gateway_workers is not None and self.gateway_workers < 1:
+            raise ConfigError(
+                f"gateway_workers must be >= 1, got {self.gateway_workers}"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -109,6 +117,7 @@ class ReplayConfig:
             "trace_path": str(self.trace_path) if self.trace_path else None,
             "device": self.device,
             "max_queue_depth": self.max_queue_depth,
+            "gateway_workers": self.gateway_workers,
         }
 
 
@@ -274,6 +283,12 @@ def run_replay(
     from repro.serve.batcher import BatchPolicy
 
     config = config if config is not None else ReplayConfig()
+    if config.gateway_workers is not None:
+        return _run_replay_gateway(
+            config, out=out, metrics_out=metrics_out, trace_out=trace_out,
+            health_out=health_out, profile_out=profile_out,
+            folded_out=folded_out,
+        )
     offsets = arrival_offsets(config)
     workload = _build_workload(config)
     rng = np.random.default_rng(config.seed + 2)
@@ -383,6 +398,154 @@ def run_replay(
     return report
 
 
+def _run_replay_gateway(
+    config: ReplayConfig,
+    *,
+    out: str | Path | None,
+    metrics_out: str | Path | None,
+    trace_out: str | Path | None,
+    health_out: str | Path | None,
+    profile_out: str | Path | None,
+    folded_out: str | Path | None,
+) -> dict:
+    """Replay the same schedule through a :class:`repro.fleet.Gateway`.
+
+    Same ``BENCH_serve.json`` shape as the direct-engine path (so
+    ``repro bench compare`` gates the two against each other), with the
+    per-worker rollups — telemetry totals, plan-cache hits — summed
+    across the fleet and an extra ``results.gateway`` section recording
+    the fleet topology and shed/retry counters. Latency stats come from
+    the gateway's merged metrics snapshot, which aggregates every
+    worker's histograms. The in-process sampling profiler and tracer
+    live inside the workers, so ``profile_out`` / ``folded_out`` are
+    not written in this mode and ``trace_out`` is an empty log.
+    """
+    from repro.fleet.gateway import FleetConfig, open_fleet
+    from repro.obs import names
+    from repro.obs.export import write_snapshot
+    from repro.obs.trace import Tracer
+    from repro.serve.batcher import BatchPolicy
+
+    offsets = arrival_offsets(config)
+    workload = _build_workload(config)
+    rng = np.random.default_rng(config.seed + 2)
+    kinds = rng.choice(
+        workload.classes, size=config.requests, p=workload.weights
+    ).tolist()
+
+    fleet_config = FleetConfig(
+        workers=config.gateway_workers,
+        device=config.device,
+        policy=BatchPolicy(max_queue_depth=config.max_queue_depth),
+    )
+    futures = []
+    rejected = 0
+    with open_fleet(fleet_config) as gateway:
+        for kind in workload.classes:  # priming pass (build placements)
+            gateway.run(_make_request(kind, workload))
+        t0 = time.perf_counter()
+        for offset, kind in zip(offsets, kinds):
+            delay = t0 + offset - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                futures.append(gateway.submit(_make_request(kind, workload)))
+            except AdmissionError:
+                rejected += 1
+        gateway.flush()
+        for f in futures:
+            f.result(fleet_config.rpc_timeout_s)
+        duration_s = time.perf_counter() - t0
+        registry = gateway.metrics_snapshot()
+        health = gateway.health()
+        status = gateway.status()
+        worker_totals = []
+        cache_hits = cache_misses = 0
+        for stats in gateway.worker_stats().values():
+            summary = stats.get("summary", {})
+            worker_totals.append(summary.get("total", {}))
+            cache = summary.get("plan_cache", {})
+            cache_hits += int(cache.get("hits", 0))
+            cache_misses += int(cache.get("misses", 0))
+
+    completed = len(futures)
+    modelled_busy_s = float(
+        sum(t.get("modelled_busy_s", 0.0) for t in worker_totals)
+    )
+    batches = int(sum(t.get("batches", 0) for t in worker_totals))
+    batched_requests = int(sum(t.get("requests", 0) for t in worker_totals))
+    cache_lookups = cache_hits + cache_misses
+    wall = _latency_stats(registry, names.REQUEST_WALL)
+    modelled = _latency_stats(registry, names.REQUEST_MODELLED)
+    queue_wait = _latency_stats(registry, names.QUEUE_WAIT)
+    report = {
+        "schema": BENCH_SCHEMA,
+        "bench": "serve-replay",
+        "config": config.to_dict(),
+        "results": {
+            "requests": {
+                "submitted": config.requests,
+                "completed": completed,
+                "rejected": rejected,
+                "rejected_metric": _counter_total(registry, names.REJECTIONS),
+            },
+            "latency_s": {
+                "wall": wall,
+                "modelled": modelled,
+                "queue_wait": queue_wait,
+            },
+            "throughput": {
+                "offered_rps": (
+                    config.requests / offsets[-1] if offsets[-1] > 0
+                    else float(config.rate_rps)
+                ),
+                "completed_rps": completed / duration_s if duration_s else 0.0,
+                "saturation_rps": (
+                    completed / modelled_busy_s if modelled_busy_s else 0.0
+                ),
+            },
+            "batching": {
+                "batches": batches,
+                "mean_batch_size": (
+                    batched_requests / batches if batches else 0.0
+                ),
+            },
+            "plan_cache": {
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": (
+                    cache_hits / cache_lookups if cache_lookups else 0.0
+                ),
+            },
+            "health": {
+                "status": health.status,
+                "objectives": len(health.results),
+                "breaches": [r.spec.name for r in health.breaches],
+            },
+            "gateway": {
+                "workers": len(status["workers"]),
+                "restarts": sum(
+                    w["restarts"] for w in status["workers"].values()
+                ),
+                "shed": _counter_total(registry, names.FLEET_SHED),
+                "retries": _counter_total(registry, names.FLEET_RETRIES),
+            },
+            "duration_s": duration_s,
+        },
+    }
+    if out is not None:
+        atomic_write_text(
+            Path(out), json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    if metrics_out is not None:
+        write_snapshot(registry, Path(metrics_out))
+    if trace_out is not None:
+        Tracer(enabled=False).export_jsonl(Path(trace_out))
+    if health_out is not None:
+        health.save(Path(health_out))
+    return report
+
+
 def render_replay_report(report: dict) -> str:
     """The human-readable summary ``repro bench serve --replay`` prints."""
     from repro.bench.report import render_table
@@ -433,6 +596,13 @@ def render_replay_report(report: dict) -> str:
         lines.append(
             f"health: {health['status']} over {health['objectives']} "
             f"objective(s){breaches}"
+        )
+    gateway = r.get("gateway")
+    if gateway:  # fleet-routed replay (config.gateway_workers)
+        lines.append(
+            f"gateway: {gateway['workers']} worker(s), "
+            f"{gateway['restarts']} restart(s), {gateway['shed']:.0f} shed, "
+            f"{gateway['retries']:.0f} retried"
         )
     profile = r.get("profile")
     if profile:

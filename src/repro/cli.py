@@ -45,6 +45,10 @@ _COMMANDS: dict[str, tuple[str, str]] = {
         "repro.obs.cli",
         "inspect metrics snapshots and request traces (summary/tail/export)",
     ),
+    "fleet": (
+        "repro.fleet.cli",
+        "sharded multi-process serving front door (serve/status/pack)",
+    ),
 }
 
 
@@ -62,7 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--version", action="store_true", help="print the version and exit"
     )
     sub = parser.add_subparsers(
-        dest="command", metavar="{serve,autotune,bench,obs}"
+        dest="command", metavar="{serve,autotune,bench,obs,fleet}"
     )
     for name, (_module, help_line) in _COMMANDS.items():
         sub.add_parser(name, help=help_line, add_help=False)

@@ -103,6 +103,26 @@ class RetuneError(MagicubeError):
     """
 
 
+class FleetError(MagicubeError):
+    """A multi-process fleet (gateway / worker pool) invariant failed.
+
+    Covers placement over an empty ring, malformed fleet packs, RPC
+    protocol violations and worker-pool misconfiguration. Worker
+    crashes surface as the more specific :class:`WorkerCrashError`.
+    """
+
+
+class WorkerCrashError(FleetError):
+    """A fleet worker died and took an in-flight request with it.
+
+    The gateway retries a request lost to a dying worker exactly once
+    (on the respawned worker, or rebalanced to the next worker on the
+    placement ring); this error is what the request's future resolves
+    to when the retry is also lost, or when the worker slot exceeded
+    its respawn budget.
+    """
+
+
 class EngineClosedError(MagicubeError, RuntimeError):
     """A request was submitted to (or redeemed from) a closed engine.
 

@@ -1,0 +1,50 @@
+"""repro.fleet — the sharded multi-process serving front door.
+
+The seventh subsystem: everything below this package serves from one
+engine in one process; :mod:`repro.fleet` shards session traffic
+across a pool of worker processes, each running a warm-started
+:func:`repro.open_engine` client behind a pipe RPC loop.
+
+- :mod:`repro.fleet.placement` — deterministic consistent-hash
+  session→worker placement (:class:`PlacementRing`);
+- :mod:`repro.fleet.pack` — versioned fleet artifact packs every
+  worker warm-starts from (:class:`FleetPack`, :func:`build_pack`);
+- :mod:`repro.fleet.worker` / :mod:`repro.fleet.pool` — the spawned
+  worker processes and their lifecycle (:class:`WorkerSpec`,
+  :class:`WorkerPool`);
+- :mod:`repro.fleet.gateway` — the Client-shaped front door with
+  failure handling, load shedding and fleet-wide metric aggregation
+  (:class:`Gateway`, :func:`open_fleet`);
+- ``repro fleet`` — the CLI (``serve --workers N --demo``, ``status``,
+  ``pack``).
+
+See ``docs/fleet.md`` for the topology, the failure model and pack
+rollout.
+"""
+
+from repro.fleet.gateway import (
+    FLEET_SLOS,
+    FleetConfig,
+    Gateway,
+    fleet_retune_policy,
+    open_fleet,
+)
+from repro.fleet.pack import FleetPack, PackMember, build_pack
+from repro.fleet.placement import PlacementRing
+from repro.fleet.pool import WorkerPool
+from repro.fleet.worker import WorkerSpec, worker_main
+
+__all__ = [
+    "FLEET_SLOS",
+    "FleetConfig",
+    "FleetPack",
+    "Gateway",
+    "PackMember",
+    "PlacementRing",
+    "WorkerPool",
+    "WorkerSpec",
+    "build_pack",
+    "fleet_retune_policy",
+    "open_fleet",
+    "worker_main",
+]

@@ -1,0 +1,111 @@
+"""Consistent-hash session placement: which worker owns a session.
+
+The gateway places every serving session on exactly one worker so that
+a session's operands are prepared once and its requests batch against
+each other. Placement must be *deterministic* (the same session name
+lands on the same worker in every process, every run — no seeded
+``hash()``) and *stable under resize* (adding or removing one worker
+moves only ~``1/n`` of the sessions, not all of them) — the classic
+consistent-hash ring with virtual nodes.
+
+Each worker contributes ``vnodes`` points on a 64-bit ring (MD5 of
+``"worker:replica"`` — a stable, platform-independent hash; this is
+placement, not security). A key maps to the first worker point at or
+after its own hash, wrapping at the top. :meth:`PlacementRing.lookup`
+takes an ``exclude`` set so the gateway can route *around* a dead
+worker without rebuilding the ring — the walk simply continues to the
+next live point, which is exactly the minimal-movement rebalance the
+failure path needs (and sessions return home when the worker does).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+from repro.errors import FleetError
+
+__all__ = ["PlacementRing"]
+
+#: ring points contributed per worker; more points = smoother spread
+DEFAULT_VNODES = 64
+
+
+def _point(token: str) -> int:
+    """A stable 64-bit ring position for ``token``."""
+    return int.from_bytes(
+        hashlib.md5(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class PlacementRing:
+    """A consistent-hash ring of named workers."""
+
+    def __init__(
+        self, workers: Iterable[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise FleetError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._workers: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for name in workers:
+            self.add(name)
+
+    # -- membership -----------------------------------------------------
+    @property
+    def workers(self) -> list[str]:
+        return sorted(self._workers)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._workers
+
+    def add(self, name: str) -> None:
+        """Add a worker's points (idempotent for a present worker)."""
+        if name in self._workers:
+            return
+        self._workers.add(name)
+        for i in range(self.vnodes):
+            bisect.insort(self._points, (_point(f"{name}:{i}"), name))
+
+    def remove(self, name: str) -> None:
+        """Drop a worker's points; keys it owned move to their next
+        point (the minimal-movement property)."""
+        if name not in self._workers:
+            return
+        self._workers.discard(name)
+        self._points = [p for p in self._points if p[1] != name]
+
+    # -- placement ------------------------------------------------------
+    def lookup(self, key: str, exclude: "set[str] | frozenset[str]" = frozenset()) -> str:
+        """The worker owning ``key``, skipping ``exclude``\\ d workers.
+
+        Walks clockwise from the key's hash to the first point whose
+        worker is not excluded; raises :class:`~repro.errors.FleetError`
+        when no live worker remains.
+        """
+        live = self._workers - set(exclude)
+        if not live:
+            raise FleetError(
+                f"placement ring has no live worker for key {key!r} "
+                f"(workers={sorted(self._workers)}, excluded={sorted(exclude)})"
+            )
+        h = _point(key)
+        start = bisect.bisect_left(self._points, (h, ""))
+        n = len(self._points)
+        for step in range(n):
+            _, worker = self._points[(start + step) % n]
+            if worker in live:
+                return worker
+        raise FleetError(f"no ring point for key {key!r}")  # pragma: no cover
+
+    def assignments(
+        self, keys: Iterable[str],
+        exclude: "set[str] | frozenset[str]" = frozenset(),
+    ) -> dict[str, str]:
+        """``{key: worker}`` for every key (the rebalance-diff helper)."""
+        return {key: self.lookup(key, exclude) for key in keys}

@@ -1,0 +1,159 @@
+"""The worker pool: spawn, watch, respawn.
+
+:class:`WorkerPool` owns N :class:`_WorkerHandle`\\ s, each a spawned
+child process running :func:`repro.fleet.worker.worker_main` plus the
+parent end of its duplex pipe. The pool is pure process plumbing — it
+knows nothing about requests or placement; the
+:class:`~repro.fleet.gateway.Gateway` layers routing, retries and
+metrics on top.
+
+The spawn context (never fork) keeps workers safe under the threaded
+gateway: a forked child would inherit the parent's locked batcher and
+registry locks mid-flight. Worker *slots* are stable: respawning
+``w1`` produces a fresh process under the same name, so the placement
+ring never changes shape on a crash — only on an operator resize.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.errors import FleetError
+from repro.fleet.worker import WorkerSpec, worker_main
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+__all__ = ["WorkerPool"]
+
+#: default grace period for a worker to boot / exit before escalation
+DEFAULT_JOIN_S = 10.0
+
+
+class _WorkerHandle:
+    """One slot: the live process + parent pipe end for a worker name."""
+
+    def __init__(self, spec: WorkerSpec, ctx) -> None:
+        self.spec = spec
+        self._ctx = ctx
+        self.process = None
+        self.conn: "Connection | None" = None
+        self.restarts = 0
+        self.started_at = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def start(self) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        self.process = self._ctx.Process(
+            target=worker_main, args=(self.spec, child),
+            name=f"repro-fleet-{self.name}", daemon=True,
+        )
+        self.process.start()
+        child.close()  # the child's end lives in the child now
+        self.conn = parent
+        self.started_at = time.time()
+
+    def stop(self, timeout: float = DEFAULT_JOIN_S) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        if self.process is not None:
+            self.process.join(timeout)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout)
+            self.process = None
+
+    def kill(self) -> None:
+        """SIGKILL the worker process (crash injection / last resort)."""
+        if self.process is not None:
+            self.process.kill()
+
+
+class WorkerPool:
+    """N named worker slots, spawned from one template spec."""
+
+    def __init__(
+        self,
+        workers: int,
+        spec: WorkerSpec,
+        max_restarts: int = 3,
+    ) -> None:
+        if workers < 1:
+            raise FleetError(f"a fleet needs >= 1 worker, got {workers}")
+        if max_restarts < 0:
+            raise FleetError(f"max_restarts must be >= 0, got {max_restarts}")
+        self._ctx = mp.get_context("spawn")
+        self.max_restarts = max_restarts
+        self._handles: dict[str, _WorkerHandle] = {}
+        for i in range(workers):
+            name = f"w{i}"
+            self._handles[name] = _WorkerHandle(
+                replace(spec, name=name), self._ctx
+            )
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._handles)
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def handle(self, name: str) -> _WorkerHandle:
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise FleetError(
+                f"unknown worker {name!r} (workers: {self.names})"
+            ) from None
+
+    def alive(self) -> list[str]:
+        return [n for n, h in sorted(self._handles.items()) if h.alive()]
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        for handle in self._handles.values():
+            if not handle.alive():
+                handle.start()
+
+    def respawn(self, name: str) -> _WorkerHandle:
+        """Replace a dead worker's process in the same slot.
+
+        Raises :class:`~repro.errors.FleetError` once the slot's
+        restart budget is spent — a worker that dies on every boot is a
+        deployment problem, and looping on it would mask that.
+        """
+        handle = self.handle(name)
+        if handle.restarts >= self.max_restarts:
+            raise FleetError(
+                f"worker {name!r} exceeded its restart budget "
+                f"({self.max_restarts}); not respawning"
+            )
+        handle.stop(timeout=1.0)
+        handle.restarts += 1
+        handle.start()
+        return handle
+
+    def stop(self, timeout: float = DEFAULT_JOIN_S) -> None:
+        for handle in self._handles.values():
+            handle.stop(timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

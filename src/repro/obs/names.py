@@ -48,6 +48,16 @@ RETUNE_TRIGGERS = "repro_retune_triggers_total"
 RETUNE_PROMOTIONS = "repro_retune_promotions_total"
 RETUNE_COOLDOWN = "repro_retune_cooldown_keys"
 
+# -- fleet gateway (multi-process serving front door) ------------------
+FLEET_REQUESTS = "repro_fleet_requests_total"
+FLEET_SHED = "repro_fleet_shed_total"
+FLEET_RETRIES = "repro_fleet_retries_total"
+FLEET_RESTARTS = "repro_fleet_worker_restarts_total"
+FLEET_INFLIGHT = "repro_fleet_inflight"
+FLEET_WORKERS = "repro_fleet_workers"
+FLEET_HEARTBEAT_AGE = "repro_fleet_heartbeat_age"
+FLEET_RPC_WALL = "repro_fleet_rpc_wall_seconds"
+
 #: batch sizes are small integers; powers of two up to the default
 #: ``BatchPolicy.max_batch_size`` neighbourhood
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
@@ -110,6 +120,25 @@ STANDARD_METRICS: tuple[tuple[str, str, str, tuple[float, ...] | None], ...] = (
      "Plan keys whose re-sweep promoted a changed plan.", None),
     (RETUNE_COOLDOWN, "gauge",
      "Plan keys currently held in re-tune cooldown.", None),
+    (FLEET_REQUESTS, "counter",
+     "Requests the fleet gateway routed to a worker, by worker.", None),
+    (FLEET_SHED, "counter",
+     "Requests the gateway shed at a worker's in-flight cap, by "
+     "worker.", None),
+    (FLEET_RETRIES, "counter",
+     "Requests re-sent after being lost to a dying worker, by worker.",
+     None),
+    (FLEET_RESTARTS, "counter",
+     "Worker processes respawned after a crash, by worker.", None),
+    (FLEET_INFLIGHT, "gauge",
+     "Requests currently in flight to a worker, by worker.", None),
+    (FLEET_WORKERS, "gauge",
+     "Worker processes currently alive in the pool.", None),
+    (FLEET_HEARTBEAT_AGE, "gauge",
+     "Seconds since a worker's last heartbeat, by worker.", None),
+    (FLEET_RPC_WALL, "histogram",
+     "Gateway-observed round-trip wall time of one routed request.",
+     DEFAULT_TIME_BUCKETS_S),
 )
 
 

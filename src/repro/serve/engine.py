@@ -268,6 +268,7 @@ class AttentionSession:
         vector_length: int = 8,
         num_layers: int = 4,
         d_head: int = 64,
+        num_gpus: int = 1,
         backend: str = "magicube-emulation",
     ) -> None:
         self.engine = engine
@@ -279,6 +280,7 @@ class AttentionSession:
         self.vector_length = vector_length
         self.num_layers = num_layers
         self.d_head = d_head
+        self.num_gpus = num_gpus
         self.backend = backend
 
     def request(self, batch: int = 1) -> AttentionRequest:
@@ -291,6 +293,7 @@ class AttentionSession:
             vector_length=self.vector_length,
             num_layers=self.num_layers,
             d_head=self.d_head,
+            num_gpus=self.num_gpus,
             batch=batch,
             backend=self.backend,
         )
@@ -509,7 +512,12 @@ class Engine:
         """
         self._check_name(name)
         probe = resolve_request(
-            AttentionRequest(seq_len=seq_len, backend=kwargs.get("backend")),
+            AttentionRequest(
+                seq_len=seq_len,
+                num_heads=kwargs.get("num_heads", 4),
+                num_gpus=kwargs.get("num_gpus", 1),
+                backend=kwargs.get("backend"),
+            ),
             device=self._device,
             backend=self.backend,
         )
@@ -821,6 +829,7 @@ class Engine:
             predicted_time_s=(
                 res.plan.predicted_time_s if res.plan is not None else None
             ),
+            shards=res.plan.shards if res.plan is not None else 1,
             wall_time_s=wall_s,
         )
         offsets = np.concatenate([[0], np.cumsum(widths)])
@@ -897,6 +906,7 @@ class Engine:
             predicted_time_s=(
                 res0.plan.predicted_time_s if res0.plan is not None else None
             ),
+            shards=res0.plan.shards if res0.plan is not None else 1,
             launches=len(items),  # sampled products execute item-by-item
             wall_time_s=time.perf_counter() - t0,
         )

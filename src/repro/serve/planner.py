@@ -260,6 +260,18 @@ class Plan:
         return self.backend.startswith(("magicube", "fastpath"))
 
     @property
+    def shards(self) -> int:
+        """Tensor-parallel width the search elected (1 = one device).
+
+        A sharded plan carries ``{"tp": g}`` in its config — the
+        planner priced the contraction-dim split plus its all-reduce
+        (:mod:`repro.transformer.distributed`) and it won. The ``tp``
+        knob is placement metadata, not a kernel parameter: each shard
+        runs the plan's ordinary kernel config on its slice.
+        """
+        return int(self.config.get("tp", 1))
+
+    @property
     def stride(self) -> int:
         """SR-BCRS stride the plan's precision requires (SpMM only)."""
         return MagicubeSpMM(self.spmm_config()).required_stride
@@ -271,12 +283,17 @@ class Plan:
                 f"Magicube kernel config"
             )
 
+    def _kernel_knobs(self) -> dict:
+        """``config`` minus placement metadata (the ``tp`` width)."""
+        return {k: v for k, v in self.config.items() if k != "tp"}
+
     def spmm_config(self, **overrides) -> SpMMConfig:
         if self.op != "spmm":
             raise ConfigError(f"plan is for {self.op}, not spmm")
         self._require_magicube()
         return SpMMConfig(
-            l_bits=self.l_bits, r_bits=self.r_bits, **{**self.config, **overrides}
+            l_bits=self.l_bits, r_bits=self.r_bits,
+            **{**self._kernel_knobs(), **overrides},
         )
 
     def sddmm_config(self, **overrides) -> SDDMMConfig:
@@ -284,7 +301,8 @@ class Plan:
             raise ConfigError(f"plan is for {self.op}, not sddmm")
         self._require_magicube()
         return SDDMMConfig(
-            l_bits=self.l_bits, r_bits=self.r_bits, **{**self.config, **overrides}
+            l_bits=self.l_bits, r_bits=self.r_bits,
+            **{**self._kernel_knobs(), **overrides},
         )
 
     # -- JSON persistence ----------------------------------------------

@@ -104,6 +104,7 @@ class _PlanStats:
     predicted_time_s: float = 0.0  # the plan's recorded cost estimate
     backend: str = ""
     device: str = ""
+    shards: int = 1  # tensor-parallel width the plan elected (1 = unsharded)
 
     def to_dict(self) -> dict:
         return {
@@ -114,6 +115,7 @@ class _PlanStats:
             "predicted_time_s": self.predicted_time_s,
             "backend": self.backend,
             "device": self.device,
+            "shards": self.shards,
         }
 
 
@@ -292,6 +294,7 @@ class Telemetry:
         predicted_time_s: float | None = None,
         launches: int = 1,
         wall_time_s: float | None = None,
+        shards: int = 1,
     ) -> None:
         """Record one batched launch serving ``len(queue_waits_s)`` requests.
 
@@ -306,7 +309,10 @@ class Telemetry:
         ``wall_time_s`` is the host wall time of the batch execution;
         when given (and a metrics registry is bound), each rider's
         wall latency — queue wait + execution — feeds the
-        ``repro_request_wall_seconds`` histogram.
+        ``repro_request_wall_seconds`` histogram. ``shards`` is the
+        plan's tensor-parallel width (``Plan.shards``; 1 = unsharded),
+        recorded per plan key so the scheduler view shows which keys a
+        sharded plan is carrying.
         """
         n = len(queue_waits_s)
         with self._lock:
@@ -334,6 +340,7 @@ class Telemetry:
                     p.backend = backend
                 if device is not None:
                     p.device = device
+                p.shards = max(1, shards)
         if self.metrics is not None:
             self._publish_batch(
                 session, n, modelled_time_s, queue_waits_s, launches,

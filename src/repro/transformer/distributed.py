@@ -53,7 +53,7 @@ def allreduce_time(bytes_: int, num_gpus: int, bandwidth_gbs: float) -> float:
 
 
 def estimate_latency_distributed(
-    cfg: TensorParallelConfig, backend: Backend
+    cfg: TensorParallelConfig, backend: Backend, planner=None, plan_backend=None
 ) -> dict:
     """Per-forward latency of the tensor-parallel model.
 
@@ -61,6 +61,12 @@ def estimate_latency_distributed(
     ``heads / g`` and the layer ends with an all-reduce of the
     activations (fp16, batch x seq x d_model) — twice per layer
     (attention output + MLP output), as in Megatron-LM.
+
+    ``planner`` / ``plan_backend`` thread through to
+    :func:`~repro.transformer.inference.estimate_latency` so the
+    per-GPU shard routes through cached serving plans — the path
+    :mod:`repro.api.resolution` takes for ``num_gpus > 1`` attention
+    requests.
     """
     base = cfg.base
     g = cfg.num_gpus
@@ -74,7 +80,9 @@ def estimate_latency_distributed(
         vector_length=base.vector_length,
         device=base.device,
     )
-    local = estimate_latency(shard, backend)
+    local = estimate_latency(
+        shard, backend, planner=planner, plan_backend=plan_backend
+    )
     act_bytes = base.batch * base.seq_len * base.d_model * 2  # fp16
     comm = 2 * base.num_layers * allreduce_time(act_bytes, g, cfg.nvlink_gbs)
     total = local.total_s + comm
@@ -82,14 +90,20 @@ def estimate_latency_distributed(
         "total_s": total,
         "compute_s": local.total_s,
         "comm_s": comm,
-        "speedup_vs_1gpu": None if g == 1 else _speedup(cfg, backend, total),
+        "speedup_vs_1gpu": (
+            None if g == 1
+            else _speedup(cfg, backend, total, planner, plan_backend)
+        ),
         "comm_fraction": comm / total if total > 0 else 0.0,
     }
 
 
-def _speedup(cfg: TensorParallelConfig, backend: Backend, total: float) -> float:
+def _speedup(
+    cfg: TensorParallelConfig, backend: Backend, total: float,
+    planner=None, plan_backend=None,
+) -> float:
     single = estimate_latency_distributed(
         TensorParallelConfig(base=cfg.base, num_gpus=1, nvlink_gbs=cfg.nvlink_gbs),
-        backend,
+        backend, planner=planner, plan_backend=plan_backend,
     )
     return single["total_s"] / total

@@ -40,9 +40,10 @@ def python_blocks(path: Path) -> list[tuple[int, str]]:
 def test_doc_files_exist():
     names = {p.name for p in DOC_FILES}
     assert "README.md" in names
-    # the six subsystem docs plus the architecture map and runbook
+    # the seven subsystem docs plus the architecture map and runbook
     for doc in ("api.md", "runtime.md", "serving.md", "autotuning.md",
-                "observability.md", "architecture.md", "operations.md"):
+                "observability.md", "fleet.md", "architecture.md",
+                "operations.md"):
         assert doc in names, f"{doc} is missing from docs/"
 
 

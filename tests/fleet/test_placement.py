@@ -1,0 +1,88 @@
+"""Consistent-hash placement: determinism, spread, minimal movement."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.placement import PlacementRing
+
+KEYS = [f"session-{i}" for i in range(300)]
+
+
+class TestDeterminism:
+    def test_same_workers_same_placement(self):
+        a = PlacementRing(["w0", "w1", "w2"])
+        b = PlacementRing(["w2", "w0", "w1"])  # insertion order is irrelevant
+        assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+
+    def test_lookup_is_stable_across_calls(self):
+        ring = PlacementRing(["w0", "w1"])
+        assert all(ring.lookup(k) == ring.lookup(k) for k in KEYS)
+
+    def test_assignments_matches_lookup(self):
+        ring = PlacementRing(["w0", "w1", "w2"])
+        assigned = ring.assignments(KEYS)
+        assert assigned == {k: ring.lookup(k) for k in KEYS}
+
+
+class TestSpread:
+    def test_every_worker_owns_traffic(self):
+        ring = PlacementRing(["w0", "w1", "w2", "w3"])
+        owners = {ring.lookup(k) for k in KEYS}
+        assert owners == {"w0", "w1", "w2", "w3"}
+
+    def test_no_worker_owns_almost_everything(self):
+        ring = PlacementRing(["w0", "w1", "w2", "w3"])
+        counts = {w: 0 for w in ring.workers}
+        for k in KEYS:
+            counts[ring.lookup(k)] += 1
+        # perfect would be 75 each; vnodes keep the spread reasonable
+        assert max(counts.values()) < len(KEYS) * 0.6
+
+
+class TestMinimalMovement:
+    def test_adding_a_worker_only_moves_keys_to_it(self):
+        before = PlacementRing(["w0", "w1", "w2"])
+        old = {k: before.lookup(k) for k in KEYS}
+        before.add("w3")
+        moved = {k for k in KEYS if before.lookup(k) != old[k]}
+        # the defining consistent-hash property: every moved key moved
+        # *to* the new worker, nothing reshuffled between survivors
+        assert moved, "a new worker should take over some sessions"
+        assert all(before.lookup(k) == "w3" for k in moved)
+        assert len(moved) < len(KEYS) * 0.5
+
+    def test_removing_a_worker_only_moves_its_keys(self):
+        ring = PlacementRing(["w0", "w1", "w2", "w3"])
+        old = {k: ring.lookup(k) for k in KEYS}
+        ring.remove("w1")
+        for k in KEYS:
+            if old[k] == "w1":
+                assert ring.lookup(k) != "w1"
+            else:
+                assert ring.lookup(k) == old[k]
+
+    def test_exclude_equals_removal_without_rebuilding(self):
+        """Routing around a dead worker lands exactly where a ring
+        without it would - so sessions come home when it respawns."""
+        full = PlacementRing(["w0", "w1", "w2"])
+        reduced = PlacementRing(["w0", "w2"])
+        for k in KEYS:
+            assert full.lookup(k, exclude=frozenset({"w1"})) == reduced.lookup(k)
+
+
+class TestEdges:
+    def test_empty_ring_raises(self):
+        with pytest.raises(FleetError):
+            PlacementRing([]).lookup("s")
+
+    def test_all_excluded_raises(self):
+        ring = PlacementRing(["w0", "w1"])
+        with pytest.raises(FleetError):
+            ring.lookup("s", exclude=frozenset({"w0", "w1"}))
+
+    def test_membership_protocol(self):
+        ring = PlacementRing(["w0"])
+        assert "w0" in ring and "w1" not in ring
+        assert len(ring) == 1
+        ring.add("w1")
+        assert len(ring) == 2 and ring.workers == ["w0", "w1"]
