@@ -2,7 +2,8 @@
 
 One stable entry point for everything the library executes: build a
 typed request (:class:`SpmmRequest`, :class:`SddmmRequest`,
-:class:`AttentionRequest`), hand it to :func:`run` for a one-shot call
+:class:`AttentionRequest`, :class:`TransformerRequest`), hand it to
+:func:`run` for a one-shot call
 or to a :func:`open_engine` client for batched serving, and get back a
 uniform :class:`Response`. Every path — one-shot, session, CLI — runs
 the same :mod:`~repro.api.resolution` pipeline (precision parse →
@@ -37,6 +38,7 @@ from repro.api.requests import (
     Response,
     SddmmRequest,
     SpmmRequest,
+    TransformerRequest,
 )
 from repro.api.resolution import (
     Resolution,
@@ -55,6 +57,7 @@ __all__ = [
     "Response",
     "SddmmRequest",
     "SpmmRequest",
+    "TransformerRequest",
     "bits_required",
     "execute",
     "normalize",

@@ -32,6 +32,7 @@ from repro.api.requests import (
     Response,
     SddmmRequest,
     SpmmRequest,
+    TransformerRequest,
 )
 from repro.api.resolution import normalize
 from repro.errors import ConfigError
@@ -171,6 +172,8 @@ class Client:
             return ("spmm", id(request.lhs), request.backend)
         if isinstance(request, SddmmRequest):
             return ("sddmm", id(request.mask), request.backend)
+        if isinstance(request, TransformerRequest):
+            return ("transformer", request.topology)
         return ("attention", request.topology)
 
     def prepare(self, request: Request):
@@ -199,6 +202,28 @@ class Client:
                 backend=request.backend,
             )
             self._retained[key] = mask
+        elif isinstance(request, TransformerRequest):
+            session = self._engine._make_transformer_session(
+                name,
+                mode=request.mode,
+                seq_len=request.seq_len,
+                d_model=request.d_model,
+                num_heads=request.num_heads,
+                num_layers=request.num_layers,
+                d_ff=request.d_ff,
+                vocab=request.vocab,
+                num_classes=request.num_classes,
+                mask_variant=request.mask_variant,
+                sparsity=request.sparsity,
+                scheme=request.scheme,
+                seed=request.seed,
+                vector_length=request.vector_length,
+                **(
+                    {"backend": request.backend}
+                    if request.backend is not None
+                    else {}
+                ),
+            )
         elif isinstance(request, AttentionRequest):
             session = self._engine._make_attention_session(
                 name,

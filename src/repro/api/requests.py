@@ -33,6 +33,7 @@ __all__ = [
     "Response",
     "SddmmRequest",
     "SpmmRequest",
+    "TransformerRequest",
 ]
 
 
@@ -172,8 +173,78 @@ class AttentionRequest:
         )
 
 
+@dataclass(eq=False)
+class TransformerRequest:
+    """One whole-model transformer inference through the serving stack.
+
+    ``mode`` picks the deliverable:
+
+    - ``"lra-classify"`` — a real forward of the synthetic-LRA
+      :class:`~repro.transformer.model.SparseTransformerClassifier`
+      (seeded by ``seed``): ``ids`` of shape ``(B, seq_len)`` in,
+      logits of shape ``(B, num_classes)`` out, every attention layer
+      executed as planned SDDMM -> quantized-softmax -> SpMM launches.
+    - ``"prefill"`` / ``"decode"`` — the Fig. 17 latency model for a
+      full-sequence prefill or a single decode step at this topology;
+      ``output`` is ``None`` and ``stats`` carries the
+      :class:`~repro.transformer.inference.LatencyResult`.
+
+    ``mask_variant`` names a pattern from the
+    :data:`repro.transformer.masks.MASK_ZOO` (``local``, ``strided``,
+    ``blocked-random``, ``global-local``, ``banded``); ``sparsity`` is
+    its density target, and the *realized* mask sparsity is what plans
+    are priced at — so mask variants are distinct plan-key dimensions.
+    ``scheme`` is the Fig. 17 ``(softmax_bits, qkv_bits)`` pair and
+    ``backend`` must be a Magicube-family runtime backend.
+
+    Example::
+
+        import numpy as np
+        from repro import api
+
+        ids = np.zeros((1, 128), dtype=np.int64)
+        r = api.run(api.TransformerRequest(ids=ids, mask_variant="local"))
+        assert r.output.shape == (1, 2)   # (B, num_classes) logits
+    """
+
+    op: ClassVar[str] = "transformer"
+
+    mode: str = "lra-classify"
+    #: token ids (B, seq_len) for ``lra-classify``; may be ``None`` for
+    #: a prepare-only request or the latency-model modes
+    ids: np.ndarray | None = None
+    seq_len: int = 128
+    d_model: int = 64
+    num_heads: int = 2
+    num_layers: int = 2
+    d_ff: int = 128
+    vocab: int = 16
+    num_classes: int = 2
+    mask_variant: str = "strided"
+    sparsity: float = 0.9
+    scheme: tuple[int, int] = (16, 8)
+    seed: int = 0
+    vector_length: int = 8
+    #: batch dimension for the latency-model modes (``lra-classify``
+    #: takes its batch from ``ids.shape[0]``)
+    batch: int = 1
+    backend: str | None = None
+    device: "Device | str | None" = None
+    session: str | None = None
+
+    @property
+    def topology(self) -> tuple:
+        """The request-class key: everything but ``ids`` / ``batch``."""
+        return (
+            self.mode, self.seq_len, self.d_model, self.num_heads,
+            self.num_layers, self.d_ff, self.vocab, self.num_classes,
+            self.mask_variant, self.sparsity, tuple(self.scheme),
+            self.seed, self.vector_length, self.backend,
+        )
+
+
 #: any v1 request
-Request = SpmmRequest | SddmmRequest | AttentionRequest
+Request = SpmmRequest | SddmmRequest | AttentionRequest | TransformerRequest
 
 
 @dataclass(eq=False)

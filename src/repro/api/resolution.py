@@ -40,6 +40,7 @@ from repro.api.requests import (
     Response,
     SddmmRequest,
     SpmmRequest,
+    TransformerRequest,
 )
 from repro.core.matrix import SparseMatrix
 from repro.core.precision import parse_precision
@@ -155,6 +156,38 @@ def normalize(request: Request) -> Request:
                 f"{request.num_gpus} GPUs"
             )
         return request
+    if isinstance(request, TransformerRequest):
+        # imported lazily: the transformer stack reaches
+        # repro.serve.topology, which this module must not drag in
+        from repro.transformer.masks import MASK_ZOO
+        from repro.transformer.serving import TRANSFORMER_MODES
+
+        if request.mode not in TRANSFORMER_MODES:
+            raise ConfigError(
+                f"unknown transformer mode {request.mode!r}; expected one "
+                f"of {TRANSFORMER_MODES}"
+            )
+        if request.mask_variant not in MASK_ZOO:
+            raise ConfigError(
+                f"unknown mask variant {request.mask_variant!r}; zoo has "
+                f"{tuple(sorted(MASK_ZOO))}"
+            )
+        if request.batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {request.batch}")
+        if request.seq_len % request.vector_length != 0:
+            raise ConfigError(
+                f"seq_len {request.seq_len} must divide by the mask "
+                f"vector length {request.vector_length}"
+            )
+        ids = request.ids
+        if ids is None:
+            return request
+        ids = np.asarray(ids)
+        if ids.ndim != 2 or ids.shape[1] != request.seq_len:
+            raise ShapeError(
+                f"ids must be (B, {request.seq_len}), got {ids.shape}"
+            )
+        return replace(request, ids=ids)
     raise ConfigError(f"unknown request type {type(request).__name__}")
 
 
@@ -200,6 +233,8 @@ def resolve(
         return _resolve_spmm(request, dev, planner, backend)
     if isinstance(request, SddmmRequest):
         return _resolve_sddmm(request, dev, planner, backend)
+    if isinstance(request, TransformerRequest):
+        return _resolve_transformer(request, dev, backend)
     return _resolve_attention(request, dev, backend)
 
 
@@ -336,6 +371,26 @@ def _resolve_attention(
     return Resolution("attention", dev, name, None, None, precision)
 
 
+def _resolve_transformer(
+    req: TransformerRequest, dev: Device, default_backend
+) -> Resolution:
+    name = req.backend
+    if name is None:
+        name = (
+            default_backend
+            if default_backend is not None
+            and default_backend.startswith(("magicube", "fastpath"))
+            else DEFAULT_BACKEND
+        )
+    if not name.startswith(("magicube", "fastpath")):
+        raise ConfigError(
+            f"transformer requests run the Magicube attention pipeline; "
+            f"backend {name!r} cannot serve it"
+        )
+    precision = f"L{req.scheme[0]}-R{req.scheme[1]}"
+    return Resolution("transformer", dev, name, None, None, precision)
+
+
 # -- execution ---------------------------------------------------------
 
 def execute(
@@ -343,6 +398,7 @@ def execute(
     request: Request,
     *,
     rhs: np.ndarray | None = None,
+    ids: np.ndarray | None = None,
     batch: int | None = None,
     planner: "ExecutionPlanner | None" = None,
     metrics: "MetricsRegistry | None" = None,
@@ -350,13 +406,14 @@ def execute(
 ) -> Response:
     """Run a resolution against its request's operands.
 
-    ``rhs`` / ``batch`` override the request's own operand — the
-    micro-batcher's coalesced launches execute one resolution against
-    the concatenated batch. ``planner`` routes the attention latency
-    model through cached serving plans (the engine path). ``metrics``
-    receives the measured kernel wall time (the global registry when
-    omitted) — the signal backend speedups show up in. ``profiler``
-    (a :class:`repro.obs.profile.Profiler`) samples the backend
+    ``rhs`` / ``ids`` / ``batch`` override the request's own operand —
+    the micro-batcher's coalesced launches execute one resolution
+    against the concatenated batch. ``planner`` routes the attention
+    latency model and the transformer kernel launches through cached
+    serving plans (the engine path). ``metrics`` receives the measured
+    kernel wall time (the global registry when omitted) — the signal
+    backend speedups show up in. ``profiler`` (a
+    :class:`repro.obs.profile.Profiler`) samples the backend
     ``execute`` call under the ``backend-execute`` phase.
     """
     if res.op == "spmm":
@@ -384,6 +441,10 @@ def execute(
             r = _timed_execute(
                 res, metrics, profiler, a=request.a, b=request.b, mask=request.mask
             )
+    elif res.op == "transformer":
+        return _execute_transformer(
+            res, request, ids=ids, batch=batch, planner=planner
+        )
     else:
         return _execute_attention(res, request, batch=batch, planner=planner)
     return Response(
@@ -483,6 +544,73 @@ def _execute_attention(
         backend=res.backend,
         device=res.device_label,
         precision=res.precision,
+    )
+
+
+def _execute_transformer(
+    res: Resolution, req: TransformerRequest, *, ids, batch, planner
+) -> Response:
+    # imported lazily: repro.transformer.serving reaches
+    # repro.serve.topology via the inference latency model
+    from repro.transformer.serving import (
+        TransformerSpec,
+        modelled_latency,
+        prepare_transformer,
+    )
+
+    spec = TransformerSpec(
+        seq_len=req.seq_len,
+        d_model=req.d_model,
+        num_heads=req.num_heads,
+        num_layers=req.num_layers,
+        d_ff=req.d_ff,
+        vocab=req.vocab,
+        num_classes=req.num_classes,
+        mask_variant=req.mask_variant,
+        sparsity=req.sparsity,
+        vector_length=req.vector_length,
+        seed=req.seed,
+    )
+    prepared = prepare_transformer(spec)
+    scheme = (int(req.scheme[0]), int(req.scheme[1]))
+    if req.mode in ("prefill", "decode"):
+        b = batch if batch is not None else req.batch
+        lat = modelled_latency(
+            prepared, req.mode, b, scheme, res.device.name,
+            planner=planner, plan_backend=res.backend,
+        )
+        return Response(
+            output=None,
+            time_s=lat.total_s,
+            stats=lat,
+            backend=res.backend,
+            device=res.device_label,
+            precision=res.precision,
+        )
+    the_ids = ids if ids is not None else req.ids
+    if the_ids is None:
+        raise ConfigError(
+            "TransformerRequest.ids is required to execute lra-classify"
+        )
+    the_ids = np.asarray(the_ids)
+    logits, plans = prepared.forward(
+        the_ids, scheme=scheme, backend=res.backend, planner=planner
+    )
+    lat = modelled_latency(
+        prepared, "prefill", the_ids.shape[0], scheme, res.device.name,
+        planner=planner, plan_backend=res.backend,
+    )
+    return Response(
+        output=logits,
+        time_s=lat.total_s,
+        stats=lat,
+        # the AV SpMM plan is the representative routed plan (the
+        # SDDMM plan shares its key topology)
+        plan=plans[1] if plans else None,
+        backend=res.backend,
+        device=res.device_label,
+        precision=res.precision,
+        batch_size=int(the_ids.shape[0]),
     )
 
 

@@ -70,6 +70,7 @@ def _sweep_config(args):
         min_bits=tuple(args.min_bits) if args.min_bits else ((4, 4), (8, 8)),
         objective=args.objective,
         latency_budget_s=args.latency_budget,
+        mask_patterns=tuple(args.mask_pattern) if args.mask_pattern else (),
     )
 
 
@@ -291,6 +292,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="vector lengths (repeatable; default 8)")
     sweep.add_argument("--sparsity", action="append", type=float, metavar="S",
                        help="sparsity grid entry (repeatable; default 0.9)")
+    sweep.add_argument("--mask-pattern", action="append", metavar="NAME",
+                       help="attention-mask zoo pattern to price (repeatable; "
+                            "sparsities become density targets and cells are "
+                            "priced at each pattern's realized sparsity)")
     sweep.add_argument("--backend", action="append", metavar="NAME",
                        help="restrict to registered backends (repeatable; "
                             "default: every plannable backend)")

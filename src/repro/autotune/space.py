@@ -58,6 +58,11 @@ class SweepPoint:
     backend: str
     device: str
     objective: Objective
+    #: the zoo mask variant this cell prices, when the sweep walked a
+    #: mask-pattern axis; ``sparsity`` is then the pattern's *realized*
+    #: sparsity at this (rows, vector_length) — the same value a served
+    #: ``TransformerRequest`` plans at, so the shipped key still hits
+    mask_pattern: str | None = None
 
     @property
     def problem(self) -> Problem:
@@ -86,9 +91,10 @@ class SweepPoint:
 
     @property
     def label(self) -> str:
+        mask = f" mask={self.mask_pattern}" if self.mask_pattern else ""
         return (
             f"{self.op} {self.rows}x{self.cols} n={self.inner} "
-            f"v={self.vector_length} s={self.sparsity:.3f} "
+            f"v={self.vector_length} s={self.sparsity:.3f}{mask} "
             f"{self.backend}@{self.device} {self.objective.token}"
         )
 
@@ -118,6 +124,12 @@ class SweepConfig:
     max_bits: tuple[tuple[int, int], ...] | None = None
     objective: str = "latency"
     latency_budget_s: float | None = None
+    #: attention-mask zoo patterns (:data:`repro.transformer.masks
+    #: .MASK_ZOO` names) to price: each ``sparsities`` entry becomes the
+    #: pattern's density *target* and the grid cell is priced at the
+    #: realized sparsity of the built mask — the extra plan-key
+    #: dimension whole-model transformer requests plan under
+    mask_patterns: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.objective not in ("latency", "accuracy"):
@@ -125,6 +137,15 @@ class SweepConfig:
         for op in self.ops:
             if op not in ("spmm", "sddmm"):
                 raise SweepError(f"unknown sweep op {op!r}")
+        if self.mask_patterns:
+            from repro.transformer.masks import MASK_ZOO
+
+            for pattern in self.mask_patterns:
+                if pattern not in MASK_ZOO:
+                    raise SweepError(
+                        f"unknown mask pattern {pattern!r}; zoo has "
+                        f"{tuple(sorted(MASK_ZOO))}"
+                    )
         if not (self.ops and self.shapes and self.vector_lengths
                 and self.sparsities and self.min_bits):
             raise SweepError("sweep config has an empty axis")
@@ -171,6 +192,7 @@ class SweepConfig:
             ),
             "objective": self.objective,
             "latency_budget_s": self.latency_budget_s,
+            "mask_patterns": list(self.mask_patterns),
         }
 
     @classmethod
@@ -195,7 +217,39 @@ class SweepConfig:
             max_bits=_tuples("max_bits", None) if max_bits is not None else None,
             objective=d.get("objective", "latency"),
             latency_budget_s=d.get("latency_budget_s"),
+            mask_patterns=tuple(d.get("mask_patterns", ())),
         )
+
+
+def _sparsity_axis(
+    config: SweepConfig, rows: int, vector_length: int
+) -> list[tuple[float, str | None]]:
+    """The (sparsity, mask_pattern) grid for one (rows, v) cell.
+
+    Without mask patterns this is just the configured sparsity axis.
+    With them, each configured sparsity is a density *target* handed to
+    each zoo builder, and the cell is priced at the built mask's
+    realized sparsity — rounded the way the planner rounds plan keys,
+    and deduplicated per pattern (two targets realizing the same mask
+    would measure the same key twice).
+    """
+    if not config.mask_patterns:
+        return [(s, None) for s in config.sparsities]
+    from repro.transformer.masks import build_mask
+
+    axis: list[tuple[float, str | None]] = []
+    for pattern in config.mask_patterns:
+        seen: set[float] = set()
+        for target in config.sparsities:
+            mask = build_mask(
+                pattern, rows, vector_length=vector_length, sparsity=target
+            )
+            realized = round(mask.sparsity, 3)
+            if realized in seen:
+                continue
+            seen.add(realized)
+            axis.append((realized, pattern))
+    return axis
 
 
 def enumerate_space(
@@ -224,7 +278,9 @@ def enumerate_space(
                     for v in config.vector_lengths:
                         if rows % v != 0:
                             continue
-                        for sparsity in config.sparsities:
+                        for sparsity, pattern in _sparsity_axis(
+                            config, rows, v
+                        ):
                             for objective in objectives:
                                 points.append(SweepPoint(
                                     op=op,
@@ -236,6 +292,7 @@ def enumerate_space(
                                     backend=backend.name,
                                     device=device.name,
                                     objective=objective,
+                                    mask_pattern=pattern,
                                 ))
     if not points:
         raise SweepError(

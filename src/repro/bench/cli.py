@@ -460,9 +460,28 @@ EXPERIMENTS = {
 }
 
 
+def _parse_mix(text: str) -> tuple[tuple[str, float], ...]:
+    """``NAME=WEIGHT,NAME=WEIGHT`` -> the ReplayConfig mix tuple."""
+    pairs = []
+    for part in text.split(","):
+        name, sep, weight = part.partition("=")
+        if not sep:
+            raise argparse.ArgumentTypeError(
+                f"bad mix entry {part!r}; expected NAME=WEIGHT"
+            )
+        try:
+            pairs.append((name.strip(), float(weight)))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad mix weight in {part!r}; expected a number"
+            ) from None
+    return tuple(pairs)
+
+
 def _run_replay(args) -> int:
     from repro.bench.loadgen import ReplayConfig, render_replay_report, run_replay
 
+    mix_kwargs = {"mix": args.mix} if args.mix else {}
     config = ReplayConfig(
         requests=args.requests,
         arrival=args.arrival,
@@ -470,6 +489,7 @@ def _run_replay(args) -> int:
         seed=args.seed,
         trace_path=args.arrival_trace,
         gateway_workers=args.gateway,
+        **mix_kwargs,
     )
     report = run_replay(config, out=args.out)
     print(render_replay_report(report))
@@ -522,6 +542,12 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument(
         "--gateway", type=int, default=None, metavar="N",
         help="route through a repro.fleet gateway with N worker processes",
+    )
+    replay.add_argument(
+        "--mix", type=_parse_mix, default=None, metavar="NAME=W,NAME=W",
+        help="request-class mix, e.g. spmm=0.5,transformer=0.5 (classes: "
+             "spmm, sddmm, attention, transformer; default "
+             "spmm=0.6,sddmm=0.25,attention=0.15)",
     )
     replay.add_argument(
         "--out", default="BENCH_serve.json", help="report artifact path"

@@ -21,8 +21,9 @@ their *schedules*; wall-clock numbers naturally vary per host):
 - ``trace``   — replay explicit arrival offsets from a JSON file.
 
 The request mix is drawn per-arrival from ``mix`` (SpMM / SDDMM /
-attention classes over fixed prepared operands), so plan-cache and
-batching behaviour matches a bounded-request-class deployment.
+attention / whole-model transformer classes over fixed prepared
+operands), so plan-cache and batching behaviour matches a
+bounded-request-class deployment.
 
 CLI::
 
@@ -172,6 +173,7 @@ class _Workload:
     spmm_rhs: object = None
     sddmm_a: object = None
     sddmm_b: object = None
+    transformer_ids: object = None
 
 
 def _build_workload(config: ReplayConfig) -> _Workload:
@@ -179,7 +181,7 @@ def _build_workload(config: ReplayConfig) -> _Workload:
 
     w = _Workload()
     for name, weight in config.mix:
-        if name not in ("spmm", "sddmm", "attention"):
+        if name not in ("spmm", "sddmm", "attention", "transformer"):
             raise ConfigError(f"unknown request class {name!r} in mix")
         if weight > 0:
             w.classes.append(name)
@@ -196,6 +198,10 @@ def _build_workload(config: ReplayConfig) -> _Workload:
         w.sddmm_mask = generate_matrix(spec, vector_length=8, bits=8)
         w.sddmm_a = rng.integers(-8, 8, size=(256, 32), dtype=np.int8)
         w.sddmm_b = rng.integers(-8, 8, size=(32, 256), dtype=np.int8)
+    if "transformer" in w.classes:
+        # one row of token ids per arrival; the batcher coalesces rows
+        # across same-class arrivals into one planned forward
+        w.transformer_ids = rng.integers(0, 16, size=(1, 64), dtype=np.int64)
     return w
 
 
@@ -209,6 +215,11 @@ def _make_request(kind: str, w: _Workload):
     if kind == "sddmm":
         return api.SddmmRequest(
             mask=w.sddmm_mask, a=w.sddmm_a, b=w.sddmm_b, session="replay-sddmm"
+        )
+    if kind == "transformer":
+        return api.TransformerRequest(
+            ids=w.transformer_ids, seq_len=64, d_model=32, num_heads=2,
+            num_layers=1, mask_variant="local", session="replay-xf",
         )
     return api.AttentionRequest(seq_len=128, num_layers=1, session="replay-attn")
 

@@ -68,6 +68,18 @@ class ConfigError(MagicubeError):
     """Invalid kernel/launch configuration (tile sizes, warp counts...)."""
 
 
+class MaskError(ConfigError):
+    """An attention-mask builder was given invalid parameters.
+
+    Raised by the :mod:`repro.transformer.masks` zoo when a sequence
+    length is not divisible by the vector length V, a sparsity target
+    falls outside ``[0, 1)``, or a window/stride/offset parameter is
+    non-positive. A subclass of :class:`ConfigError`, so pre-existing
+    ``except ConfigError`` handlers around mask construction keep
+    working.
+    """
+
+
 class AdmissionError(MagicubeError):
     """The serving layer refused to enqueue a request.
 

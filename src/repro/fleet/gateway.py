@@ -56,6 +56,7 @@ from repro.api.requests import (
     Response,
     SddmmRequest,
     SpmmRequest,
+    TransformerRequest,
 )
 from repro.errors import (
     AdmissionError,
@@ -538,6 +539,8 @@ class Gateway:
             return ("sddmm", id(request.mask), request.backend)
         if isinstance(request, AttentionRequest):
             return ("attention", request.topology)
+        if isinstance(request, TransformerRequest):
+            return ("transformer", request.topology)
         raise ConfigError(f"unknown request type {type(request).__name__}")
 
     def _session_name(self, request: Request) -> str:
@@ -560,6 +563,11 @@ class Gateway:
             elif isinstance(request, SddmmRequest):
                 prep = replace(request, session=name, a=None, b=None)
                 self._retained[name] = request.mask
+            elif isinstance(request, TransformerRequest):
+                # ids are the dense payload — they travel per run
+                # message, not in the prepare
+                prep = replace(request, session=name, ids=None)
+                self._retained[name] = None
             else:
                 prep = replace(request, session=name)
                 self._retained[name] = None

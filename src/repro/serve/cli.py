@@ -145,6 +145,32 @@ def demo(
                 f"repro.api.run "
                 f"({served.output.shape[0]}x{served.output.shape[1]})")
 
+        # -- whole-model lra-classify through the same engine ----------
+        # one TransformerRequest: every attention layer runs as planned
+        # SDDMM -> quantized-softmax -> SpMM launches; the logits must
+        # match the direct (unserved) model forward exactly
+        ids = rng.integers(0, 16, size=(2, 64))
+        xf_req = api.TransformerRequest(
+            ids=ids, seq_len=64, d_model=32, num_heads=2, num_layers=1,
+            mask_variant="local", session="lra-classify",
+        )
+        xf = client.run(xf_req)
+        from repro.transformer.serving import TransformerSpec, prepare_transformer
+
+        prepared = prepare_transformer(TransformerSpec(
+            seq_len=64, d_model=32, num_heads=2, num_layers=1,
+            mask_variant="local",
+        ))
+        direct_logits, _ = prepared.forward(
+            ids, scheme=(16, 8), backend=xf.backend, planner=client.planner
+        )
+        if not np.array_equal(xf.output, direct_logits):
+            raise AssertionError(
+                "served lra-classify logits differ from the direct model"
+            )
+        say(f"transformer: lra-classify logits {xf.output.shape} == direct "
+            f"model forward (mask=local, backend={xf.backend})")
+
         say("")
         say(client.report())
         plans = client.planner.cache

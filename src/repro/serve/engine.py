@@ -46,6 +46,7 @@ from repro.api.requests import (
     Response,
     SddmmRequest,
     SpmmRequest,
+    TransformerRequest,
 )
 from repro.api.resolution import (
     Resolution,
@@ -78,6 +79,7 @@ __all__ = [
     "SddmmSession",
     "ServeResult",
     "SpmmSession",
+    "TransformerSession",
     "bits_required",
 ]
 
@@ -340,6 +342,147 @@ class AttentionSession:
         return self.submit(batch=batch).result()
 
 
+class TransformerSession:
+    """A whole-model transformer request class served via planner routing.
+
+    The prepared state is the seeded model + zoo mask (built once at
+    session creation, shared through the
+    :mod:`repro.transformer.serving` memo). ``lra-classify`` requests
+    coalesce by concatenating their ``ids`` rows into one planned
+    forward — every layer's SDDMM/SpMM launch is a plan-cache hit on
+    the session's (variant-priced) plan pair — and the ``prefill`` /
+    ``decode`` latency modes coalesce by summing batch dimensions,
+    like attention.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        name: str,
+        mode: str = "lra-classify",
+        seq_len: int = 128,
+        d_model: int = 64,
+        num_heads: int = 2,
+        num_layers: int = 2,
+        d_ff: int = 128,
+        vocab: int = 16,
+        num_classes: int = 2,
+        mask_variant: str = "strided",
+        sparsity: float = 0.9,
+        scheme: tuple[int, int] = (16, 8),
+        seed: int = 0,
+        vector_length: int = 8,
+        backend: str = "magicube-emulation",
+    ) -> None:
+        # imported lazily: the transformer stack reaches
+        # repro.serve.topology via the inference latency model
+        from repro.transformer.serving import TransformerSpec, prepare_transformer
+
+        self.engine = engine
+        self.name = name
+        self.mode = mode
+        self.seq_len = seq_len
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.num_layers = num_layers
+        self.d_ff = d_ff
+        self.vocab = vocab
+        self.num_classes = num_classes
+        self.mask_variant = mask_variant
+        self.sparsity = sparsity
+        self.scheme = scheme
+        self.seed = seed
+        self.vector_length = vector_length
+        self.backend = backend
+        self.prepared = prepare_transformer(TransformerSpec(
+            seq_len=seq_len,
+            d_model=d_model,
+            num_heads=num_heads,
+            num_layers=num_layers,
+            d_ff=d_ff,
+            vocab=vocab,
+            num_classes=num_classes,
+            mask_variant=mask_variant,
+            sparsity=sparsity,
+            vector_length=vector_length,
+            seed=seed,
+        ))
+
+    def request(
+        self, ids: np.ndarray | None = None, batch: int = 1
+    ) -> TransformerRequest:
+        """This session's topology as a typed request."""
+        return TransformerRequest(
+            mode=self.mode,
+            ids=ids,
+            seq_len=self.seq_len,
+            d_model=self.d_model,
+            num_heads=self.num_heads,
+            num_layers=self.num_layers,
+            d_ff=self.d_ff,
+            vocab=self.vocab,
+            num_classes=self.num_classes,
+            mask_variant=self.mask_variant,
+            sparsity=self.sparsity,
+            scheme=self.scheme,
+            seed=self.seed,
+            vector_length=self.vector_length,
+            batch=batch,
+            backend=self.backend,
+        )
+
+    def submit_request(self, req: TransformerRequest) -> Future:
+        """Enqueue one typed request; resolves to a :class:`Response`.
+
+        The request's topology (mode, shape, mask variant, scheme,
+        seed) must match this prepared session — the coalesced forward
+        runs one model, so serving a mismatch would return the wrong
+        logits.
+        """
+        request_id, trace = self.engine._begin_request(self.name, "transformer")
+        with trace.span("plan-resolution") as span:
+            req = normalize(req)
+            mine = self.request().topology
+            theirs = replace(
+                req, backend=req.backend if req.backend is not None else self.backend
+            ).topology
+        if trace:
+            span.set(backend=self.backend, device=self.engine.device)
+        if theirs != mine:
+            raise ConfigError(
+                f"session {self.name!r} serves topology {mine}, not "
+                f"{theirs}; use a different session name (or let the "
+                f"client key by topology)"
+            )
+        if self.mode == "lra-classify" and req.ids is None:
+            raise ConfigError(
+                "TransformerRequest.ids is required for an lra-classify "
+                "session"
+            )
+        key = ("transformer", self.name)
+        return self.engine._enqueue(
+            self.name, key, {"ids": req.ids, "batch": req.batch},
+            request_id=request_id, trace=trace,
+        )
+
+    def submit(
+        self, ids: np.ndarray | None = None, batch: int = 1
+    ) -> Future:
+        """Enqueue one forward (``ids``) or latency-model request."""
+        return self.submit_request(self.request(ids=ids, batch=batch))
+
+    def submit_async(
+        self, ids: np.ndarray | None = None, batch: int = 1
+    ) -> RequestHandle:
+        """Like :meth:`submit`, returning an awaitable ticketed handle."""
+        return self.engine._track(self.submit(ids=ids, batch=batch))
+
+    def run(
+        self, ids: np.ndarray | None = None, batch: int = 1
+    ) -> Response:
+        return self.submit(ids=ids, batch=batch).result()
+
+
 class Engine:
     """Batched serving engine over the runtime backend registry."""
 
@@ -413,7 +556,10 @@ class Engine:
         #: monotonic request ids (also the ticket ids `submit` hands out)
         self._request_ids = itertools.count(1)
         self._batch_ids = itertools.count(1)
-        self._sessions: dict[str, SpmmSession | SddmmSession | AttentionSession] = {}
+        self._sessions: dict[
+            str,
+            SpmmSession | SddmmSession | AttentionSession | TransformerSession,
+        ] = {}
         self._batcher = MicroBatcher(
             self._execute_batch, policy=policy, max_workers=max_workers,
             profiler=self.profiler,
@@ -526,6 +672,32 @@ class Engine:
         self._sessions[name] = session
         return session
 
+    def _make_transformer_session(
+        self, name: str, **kwargs
+    ) -> TransformerSession:
+        """Prepare a whole-model transformer session.
+
+        The model + zoo mask are built once here (and memoized across
+        sessions with the same spec); the backend must be a
+        Magicube-family one — validation runs through the shared
+        resolution pipeline, exactly like attention.
+        """
+        self._check_name(name)
+        probe = resolve_request(
+            TransformerRequest(
+                mode=kwargs.get("mode", "lra-classify"),
+                seq_len=kwargs.get("seq_len", 128),
+                mask_variant=kwargs.get("mask_variant", "strided"),
+                backend=kwargs.get("backend"),
+            ),
+            device=self._device,
+            backend=self.backend,
+        )
+        kwargs["backend"] = probe.backend
+        session = TransformerSession(self, name, **kwargs)
+        self._sessions[name] = session
+        return session
+
     def spmm_session(
         self,
         name: str,
@@ -572,7 +744,9 @@ class Engine:
         )
         return self._make_attention_session(name, seq_len, **kwargs)
 
-    def session(self, name: str) -> "SpmmSession | SddmmSession | AttentionSession":
+    def session(
+        self, name: str
+    ) -> "SpmmSession | SddmmSession | AttentionSession | TransformerSession":
         return self._sessions[name]
 
     def _check_name(self, name: str) -> None:
@@ -791,6 +965,8 @@ class Engine:
             return self._execute_sddmm(session, items)
         if kind == "attention":
             return self._execute_attention(session, items)
+        if kind == "transformer":
+            return self._execute_transformer(session, items)
         raise ConfigError(f"unknown request kind {kind!r}")
 
     def _execute_spmm(
@@ -947,6 +1123,80 @@ class Engine:
                 device=res.device_label,
                 precision=res.precision,
                 request_time_s=r.time_s * b / total,
+                queue_wait_s=item.queue_wait_s,
+                batch_size=len(items),
+                request_id=request_id,
+                trace=trace,
+            ))
+        return responses
+
+    def _execute_transformer(
+        self, session: TransformerSession, items: Sequence[BatchItem]
+    ) -> list[Response]:
+        t0 = time.perf_counter()
+        if session.mode == "lra-classify":
+            ids_list = [item.payload["ids"] for item in items]
+            rows = [a.shape[0] for a in ids_list]
+            ids = np.concatenate(ids_list, axis=0)
+            total = int(ids.shape[0])
+            req = session.request(ids=ids)
+            res = resolve_request(
+                req, device=self._device, backend=session.backend
+            )
+            r = execute_resolution(
+                res, req, ids=ids, planner=self.planner,
+                metrics=self.metrics, profiler=self.profiler,
+            )
+        else:
+            rows = [item.payload["batch"] for item in items]
+            total = sum(rows)
+            req = session.request(batch=total)
+            res = resolve_request(
+                req, device=self._device, backend=session.backend
+            )
+            r = execute_resolution(
+                res, req, batch=total, planner=self.planner,
+                metrics=self.metrics, profiler=self.profiler,
+            )
+        wall_s = time.perf_counter() - t0
+        batch_id = next(self._batch_ids)
+        plan_key = r.plan.key if r.plan is not None else None
+        launches = (
+            session.prepared.launches_per_forward(total)
+            if session.mode == "lra-classify"
+            else 1
+        )
+        self.telemetry.record_batch(
+            session.name, "transformer", r.time_s,
+            [i.queue_wait_s for i in items],
+            backend=res.backend, device=res.device_label,
+            plan_key=plan_key,
+            launches=launches,
+            wall_time_s=wall_s,
+        )
+        offsets = np.concatenate([[0], np.cumsum(rows)])
+        responses = []
+        for i, item in enumerate(items):
+            request_id, trace = self._finalize_item(
+                item, wall_s=wall_s, modelled_s=r.time_s,
+                batch_id=batch_id, batch_size=len(items),
+                plan_key=plan_key,
+                backend=res.backend, device=res.device_label,
+            )
+            output = (
+                r.output[offsets[i]: offsets[i + 1]]
+                if r.output is not None
+                else None
+            )
+            responses.append(Response(
+                output=output,
+                time_s=r.time_s,
+                stats=r.stats,
+                plan=r.plan,
+                backend=res.backend,
+                device=res.device_label,
+                precision=res.precision,
+                request_time_s=r.time_s * rows[i] / total,
                 queue_wait_s=item.queue_wait_s,
                 batch_size=len(items),
                 request_id=request_id,

@@ -6,34 +6,59 @@ per Fig. 16 (int SDDMM -> fp16 softmax -> int SpMM with fused
 (de)quantization).
 
 - :mod:`repro.transformer.masks` — sparse attention masks with the 8x1
-  vector constraint (strided/local patterns after Child et al.).
+  vector constraint (strided/local patterns after Child et al.), plus
+  the named :data:`~repro.transformer.masks.MASK_ZOO` variant zoo
+  (``local``, ``strided``, ``blocked-random``, ``global-local``,
+  ``banded``) behind :func:`~repro.transformer.masks.build_mask`.
 - :mod:`repro.transformer.layers` — NumPy layers with manual backprop.
 - :mod:`repro.transformer.attention` — dense, masked-sparse, and
-  quantized sparse multi-head attention.
+  quantized sparse multi-head attention (with
+  :class:`~repro.transformer.attention.KernelPipeline` backend/config
+  injection for planned serving launches).
 - :mod:`repro.transformer.model` — encoder + classifier.
 - :mod:`repro.transformer.training` — training loop and post-training
   quantization for the Table V accuracy study.
 - :mod:`repro.transformer.lra` — the synthetic long-range classification
   task standing in for LRA text classification.
 - :mod:`repro.transformer.inference` — the Fig. 17 end-to-end latency
-  model (PyTorch-dense vs vectorSparse vs Magicube, incl. dense OOM).
+  model (PyTorch-dense vs vectorSparse vs Magicube, incl. dense OOM),
+  plus :func:`~repro.transformer.inference.estimate_decode_latency`
+  for single-step decode pricing.
+- :mod:`repro.transformer.serving` — whole-model serving support for
+  ``TransformerRequest`` (memoized prepared models, planned kernel
+  pipelines, modelled prefill/decode latency).
 """
 
-from repro.transformer.masks import strided_vector_mask, random_vector_mask
+from repro.transformer.masks import (
+    MASK_ZOO,
+    build_mask,
+    global_local_vector_mask,
+    local_vector_mask,
+    mask_variants,
+    random_vector_mask,
+    strided_vector_mask,
+)
 from repro.transformer.model import SparseTransformerClassifier, TransformerConfig
 from repro.transformer.inference import (
     InferenceConfig,
+    estimate_decode_latency,
     estimate_latency,
     Backend,
     DenseOOM,
 )
 
 __all__ = [
+    "MASK_ZOO",
+    "build_mask",
+    "global_local_vector_mask",
+    "local_vector_mask",
+    "mask_variants",
     "strided_vector_mask",
     "random_vector_mask",
     "SparseTransformerClassifier",
     "TransformerConfig",
     "InferenceConfig",
+    "estimate_decode_latency",
     "estimate_latency",
     "Backend",
     "DenseOOM",

@@ -15,6 +15,8 @@ Three execution paths over the same weights:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+
 import numpy as np
 
 from repro.errors import ShapeError
@@ -27,6 +29,25 @@ from repro.kernels.softmax import sparse_softmax_quantized
 from repro.kernels.spmm import MagicubeSpMM, SpMMConfig
 from repro.lowp.quantize import int_range, symmetric_quantize
 from repro.transformer.layers import Layer, Linear, softmax, softmax_backward
+
+
+@dataclass(frozen=True)
+class KernelPipeline:
+    """Injected kernel classes + configs for the Fig. 16 launches.
+
+    The serving layer resolves a backend (whose ``sddmm_kernel`` /
+    ``spmm_kernel`` class attributes may be fastpath variants) and a
+    plan (whose tile knobs ride in the configs); injecting them here
+    makes the model's attention launches use exactly that stack. Tile
+    knobs never change the integer numerics — the bit-critical fields
+    are re-pinned per launch — so a planned forward stays bit-identical
+    to the default pipeline.
+    """
+
+    sddmm_cls: type[MagicubeSDDMM] = MagicubeSDDMM
+    spmm_cls: type[MagicubeSpMM] = MagicubeSpMM
+    sddmm_config: SDDMMConfig | None = None
+    spmm_config: SpMMConfig | None = None
 
 
 class MultiHeadAttention(Layer):
@@ -94,12 +115,17 @@ class MultiHeadAttention(Layer):
         softmax_bits: int = 16,
         qkv_bits: int = 8,
         use_kernels: bool = False,
+        kernels: KernelPipeline | None = None,
     ) -> np.ndarray:
         """Quantized sparse attention.
 
         ``mask`` is the (L, L) BCRS attention topology. ``softmax_bits``
-        / ``qkv_bits`` are the Fig. 17 ``xb-yb`` knobs.
+        / ``qkv_bits`` are the Fig. 17 ``xb-yb`` knobs. ``kernels``
+        (implies ``use_kernels``) injects the kernel classes and
+        plan-derived configs the launches should use.
         """
+        if kernels is not None:
+            use_kernels = True
         b, l, _ = x.shape
         if mask.shape != (l, l):
             raise ShapeError(f"mask {mask.shape} does not match sequence {l}")
@@ -118,7 +144,7 @@ class MultiHeadAttention(Layer):
             for h in range(self.num_heads):
                 ctx[bi, h] = self._attend_one_quantized(
                     q[bi, h], k[bi, h], v[bi, h], mask, dense_keep, scale,
-                    softmax_bits, qkv_bits, use_kernels,
+                    softmax_bits, qkv_bits, use_kernels, kernels,
                 )
         return self.wo.forward(self._merge_heads(ctx))
 
@@ -171,6 +197,7 @@ class MultiHeadAttention(Layer):
         softmax_bits: int,
         qkv_bits: int,
         use_kernels: bool,
+        kernels: KernelPipeline | None = None,
     ) -> np.ndarray:
         # quantize Q, K, V (Fig. 16 top row)
         qq, qp = symmetric_quantize(q, qkv_bits)
@@ -180,7 +207,8 @@ class MultiHeadAttention(Layer):
 
         if use_kernels:
             return self._attend_kernels(
-                qq, kq, vq, mask, score_scale, vp.scale, softmax_bits, qkv_bits
+                qq, kq, vq, mask, score_scale, vp.scale, softmax_bits,
+                qkv_bits, kernels,
             )
 
         # fake-quant dense math — numerically identical to the kernels'
@@ -206,16 +234,26 @@ class MultiHeadAttention(Layer):
         v_scale: float,
         softmax_bits: int,
         qkv_bits: int,
+        kernels: KernelPipeline | None = None,
     ) -> np.ndarray:
         """The real kernel pipeline: SDDMM -> softmax -> SpMM."""
-        sddmm = MagicubeSDDMM(SDDMMConfig(l_bits=qkv_bits, r_bits=qkv_bits))
+        pipe = kernels or KernelPipeline()
+        sddmm_cfg = pipe.sddmm_config or SDDMMConfig()
+        # tile knobs ride along; the bit-critical fields are re-pinned
+        # so an injected plan config can never change the numerics
+        sddmm_cfg = replace(sddmm_cfg, l_bits=qkv_bits, r_bits=qkv_bits)
+        sddmm = pipe.sddmm_cls(sddmm_cfg)
         scores = sddmm(qq, kq.T, mask).output  # BCRS of integer scores
         sm = sparse_softmax_quantized(scores, scale=score_scale, out_bits=softmax_bits)
-        spmm = MagicubeSpMM(
-            SpMMConfig(
-                l_bits=softmax_bits, r_bits=qkv_bits, l_signed=False, fuse_dequant=True
-            )
+        spmm_cfg = pipe.spmm_config or SpMMConfig()
+        spmm_cfg = replace(
+            spmm_cfg,
+            l_bits=softmax_bits,
+            r_bits=qkv_bits,
+            l_signed=False,
+            fuse_dequant=True,
         )
+        spmm = pipe.spmm_cls(spmm_cfg)
         stride = mma_shape_for(plan_for(softmax_bits, qkv_bits).native_bits).k
         probs_sr = bcrs_to_srbcrs(sm.output, stride=stride)
         res = spmm(probs_sr, vq, scale=sm.params.scale * v_scale)

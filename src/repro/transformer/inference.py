@@ -334,3 +334,34 @@ def estimate_latency(
         components=components,
         peak_attention_bytes=peak,
     )
+
+
+def estimate_decode_latency(
+    cfg: InferenceConfig, backend: Backend, planner=None, plan_backend=None
+) -> LatencyResult:
+    """Latency of one decode step against a ``cfg.seq_len`` KV context.
+
+    Derived from the prefill accounting: a decode step projects one
+    V-row query strip instead of the full sequence (projections/MLP
+    scale by ``V / L``) and its attention touches one strip's share of
+    the mask (``V / L`` of the prefill SDDMM/softmax/SpMM work). The
+    kernel *count* is unchanged — every layer still dispatches the same
+    launches — so the host-dispatch floor stays, which is exactly why
+    small decode steps are dispatch-bound in the paper's eager harness.
+    """
+    full = estimate_latency(
+        cfg, backend, planner=planner, plan_backend=plan_backend
+    )
+    share = cfg.vector_length / cfg.seq_len
+    components = {
+        "projections+mlp": full.components["projections+mlp"] * share,
+        "attention": full.components["attention"] * share,
+        "host_dispatch": full.components["host_dispatch"],
+    }
+    return LatencyResult(
+        backend=backend,
+        config=cfg,
+        total_s=sum(components.values()),
+        components=components,
+        peak_attention_bytes=full.peak_attention_bytes,
+    )

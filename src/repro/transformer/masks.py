@@ -10,15 +10,46 @@ use the 1-D-block kernels. Patterns provided:
   positions, rounded to whole V-row strips.
 - :func:`random_vector_mask` — uniformly random vector positions at a
   target sparsity (for workload sweeps).
+- :func:`local_vector_mask` — pure sliding-window attention (the
+  Longformer/xformers ``local`` component), V-rounded.
+- :func:`global_local_vector_mask` — sliding window plus a few
+  always-attended global token blocks (the Longformer hybrid).
+
+The named zoo (:data:`MASK_ZOO` / :func:`build_mask`) exposes every
+pattern behind one ``(length, vector_length, sparsity, seed)``
+signature so mask variants can ride in configs, plan keys and
+autotune sweep axes by name.
+
+All builders validate their inputs and raise the typed
+:class:`~repro.errors.MaskError` (a :class:`~repro.errors.ConfigError`
+subclass) on a sequence length not divisible by V, a sparsity outside
+``[0, 1)``, or non-positive window/stride parameters.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import MaskError
 from repro.formats.bcrs import BCRSMatrix
 from repro.gpu.warp import ceil_div
+
+
+def _validate_grid(length: int, v: int) -> None:
+    """The (length, V) pair every mask builder must honour."""
+    if v <= 0:
+        raise MaskError(f"vector length must be positive, got {v}")
+    if length <= 0:
+        raise MaskError(f"sequence length must be positive, got {length}")
+    if length % v != 0:
+        raise MaskError(f"sequence length {length} not divisible by V={v}")
+
+
+def _validate_sparsity(sparsity: float) -> None:
+    if not 0.0 <= sparsity < 1.0:
+        raise MaskError(f"sparsity must be in [0, 1), got {sparsity}")
 
 
 def _to_bcrs(keep: np.ndarray, v: int, length: int) -> BCRSMatrix:
@@ -53,8 +84,12 @@ def strided_vector_mask(
     after the strip (decoder-style).
     """
     v = vector_length
-    if length % v != 0:
-        raise ConfigError(f"sequence length {length} not divisible by V={v}")
+    _validate_grid(length, v)
+    if local_window <= 0 or stride <= 0:
+        raise MaskError(
+            f"local_window and stride must be positive, got "
+            f"local_window={local_window}, stride={stride}"
+        )
     strips = length // v
     keep = np.zeros((strips, length), dtype=bool)
     cols = np.arange(length)
@@ -78,10 +113,8 @@ def random_vector_mask(
 ) -> BCRSMatrix:
     """Random V x 1 mask at a target sparsity (diagonal always kept)."""
     v = vector_length
-    if length % v != 0:
-        raise ConfigError(f"sequence length {length} not divisible by V={v}")
-    if not 0.0 <= sparsity < 1.0:
-        raise ConfigError(f"sparsity must be in [0, 1), got {sparsity}")
+    _validate_grid(length, v)
+    _validate_sparsity(sparsity)
     strips = length // v
     rng = np.random.default_rng(seed)
     per_strip = max(1, round((1.0 - sparsity) * length))
@@ -112,10 +145,8 @@ def banded_vector_mask(
     accuracy), then random columns up to the target sparsity.
     """
     v = vector_length
-    if length % v != 0:
-        raise ConfigError(f"sequence length {length} not divisible by V={v}")
-    if not 0.0 <= sparsity < 1.0:
-        raise ConfigError(f"sparsity must be in [0, 1), got {sparsity}")
+    _validate_grid(length, v)
+    _validate_sparsity(sparsity)
     strips = length // v
     rng = np.random.default_rng(seed)
     budget = max(1, round((1.0 - sparsity) * length))
@@ -134,6 +165,152 @@ def banded_vector_mask(
             pick = rng.choice(pool, size=min(remaining, pool.size), replace=False)
             keep[s, pick] = True
     return _to_bcrs(keep, v, length)
+
+
+def local_vector_mask(
+    length: int,
+    vector_length: int = 8,
+    window: int = 64,
+    causal: bool = False,
+) -> BCRSMatrix:
+    """Pure sliding-window attention, rounded to V x 1 vectors.
+
+    The Longformer / xformers ``local`` component: each V-row strip of
+    queries attends only to the ``window`` columns centred on it (plus
+    its own diagonal block). ``causal`` removes columns after the strip.
+    """
+    v = vector_length
+    _validate_grid(length, v)
+    if window <= 0:
+        raise MaskError(f"window must be positive, got {window}")
+    strips = length // v
+    keep = np.zeros((strips, length), dtype=bool)
+    cols = np.arange(length)
+    for s in range(strips):
+        center = s * v + v // 2
+        keep[s, np.abs(cols - center) <= window // 2] = True
+        if causal:
+            keep[s, cols > s * v + v - 1] = False
+        keep[s, s * v : s * v + v] = True  # self-attention
+    return _to_bcrs(keep, v, length)
+
+
+def global_local_vector_mask(
+    length: int,
+    vector_length: int = 8,
+    window: int = 64,
+    num_global: int = 2,
+    causal: bool = False,
+) -> BCRSMatrix:
+    """Sliding window plus always-attended global token blocks.
+
+    The Longformer hybrid: every strip keeps its local ``window`` and
+    additionally attends to ``num_global`` evenly-spaced V-aligned
+    column blocks (the "global tokens" every position can read).
+    """
+    v = vector_length
+    _validate_grid(length, v)
+    if window <= 0:
+        raise MaskError(f"window must be positive, got {window}")
+    if num_global < 0:
+        raise MaskError(f"num_global must be non-negative, got {num_global}")
+    strips = length // v
+    keep = np.zeros((strips, length), dtype=bool)
+    cols = np.arange(length)
+    global_starts = [
+        (i * strips // max(1, num_global)) * v for i in range(num_global)
+    ]
+    for s in range(strips):
+        center = s * v + v // 2
+        keep[s, np.abs(cols - center) <= window // 2] = True
+        for g0 in global_starts:
+            keep[s, g0 : g0 + v] = True
+        if causal:
+            keep[s, cols > s * v + v - 1] = False
+        keep[s, s * v : s * v + v] = True  # self-attention
+    return _to_bcrs(keep, v, length)
+
+
+def _column_budget(length: int, sparsity: float) -> int:
+    """Kept columns per strip implied by a density target."""
+    return max(1, round((1.0 - sparsity) * length))
+
+
+def _zoo_local(length: int, v: int, sparsity: float, seed: int) -> BCRSMatrix:
+    return local_vector_mask(length, v, window=_column_budget(length, sparsity))
+
+
+def _zoo_strided(length: int, v: int, sparsity: float, seed: int) -> BCRSMatrix:
+    budget = _column_budget(length, sparsity)
+    window = max(v, budget // 2)
+    stride = max(v, length // max(1, budget - window))
+    return strided_vector_mask(length, v, local_window=window, stride=stride)
+
+
+def _zoo_blocked_random(
+    length: int, v: int, sparsity: float, seed: int
+) -> BCRSMatrix:
+    return random_vector_mask(length, sparsity, v, seed=seed)
+
+
+def _zoo_global_local(
+    length: int, v: int, sparsity: float, seed: int
+) -> BCRSMatrix:
+    budget = _column_budget(length, sparsity)
+    window = max(v, budget // 2)
+    num_global = max(1, (budget - window) // v)
+    return global_local_vector_mask(
+        length, v, window=window, num_global=num_global
+    )
+
+
+def _zoo_banded(length: int, v: int, sparsity: float, seed: int) -> BCRSMatrix:
+    return banded_vector_mask(
+        length, sparsity, v, offsets=(0, v, length - v), seed=seed
+    )
+
+
+#: the named variant zoo: every builder behind one
+#: ``(length, vector_length, sparsity, seed)`` signature, so a variant
+#: name can ride in a ``TransformerConfig``, a plan key or a sweep axis
+MASK_ZOO: dict[str, Callable[[int, int, float, int], BCRSMatrix]] = {
+    "local": _zoo_local,
+    "strided": _zoo_strided,
+    "blocked-random": _zoo_blocked_random,
+    "global-local": _zoo_global_local,
+    "banded": _zoo_banded,
+}
+
+
+def mask_variants() -> tuple[str, ...]:
+    """The zoo's variant names, stable-sorted."""
+    return tuple(sorted(MASK_ZOO))
+
+
+def build_mask(
+    name: str,
+    length: int,
+    *,
+    vector_length: int = 8,
+    sparsity: float = 0.9,
+    seed: int = 0,
+) -> BCRSMatrix:
+    """Build a zoo mask by variant name.
+
+    ``sparsity`` is the density *target*; the realized sparsity of the
+    returned mask depends on the variant's structure (window rounding,
+    forced diagonal, global blocks) — read it back from
+    ``mask.sparsity`` when pricing plans.
+    """
+    try:
+        builder = MASK_ZOO[name]
+    except KeyError:
+        raise MaskError(
+            f"unknown mask variant {name!r}; zoo has {mask_variants()}"
+        ) from None
+    _validate_grid(length, vector_length)
+    _validate_sparsity(sparsity)
+    return builder(length, vector_length, sparsity, seed)
 
 
 def mask_to_additive(mask: BCRSMatrix) -> np.ndarray:

@@ -11,9 +11,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigError, ShapeError
+from repro.errors import ConfigError, MaskError, ShapeError
 from repro.formats.bcrs import BCRSMatrix
 from repro.transformer.attention import MultiHeadAttention
+from repro.transformer.masks import MASK_ZOO, build_mask
 from repro.transformer.layers import (
     Adam,
     Embedding,
@@ -36,10 +37,29 @@ class TransformerConfig:
     num_layers: int = 2
     d_ff: int = 128
     num_classes: int = 2
+    #: named attention pattern from the :data:`repro.transformer.masks.MASK_ZOO`
+    mask_variant: str = "strided"
 
     def __post_init__(self) -> None:
         if self.d_model % self.num_heads != 0:
             raise ConfigError("d_model must divide by num_heads")
+        if self.mask_variant not in MASK_ZOO:
+            raise MaskError(
+                f"unknown mask variant {self.mask_variant!r}; "
+                f"zoo has {tuple(sorted(MASK_ZOO))}"
+            )
+
+    def attention_mask(
+        self, *, sparsity: float = 0.9, vector_length: int = 8, seed: int = 0
+    ) -> BCRSMatrix:
+        """The config's zoo mask at a density target (see :func:`build_mask`)."""
+        return build_mask(
+            self.mask_variant,
+            self.seq_len,
+            vector_length=vector_length,
+            sparsity=sparsity,
+            seed=seed,
+        )
 
 
 class EncoderLayer(Layer):
@@ -128,12 +148,24 @@ class SparseTransformerClassifier(Layer):
 
 
 def make_quantized_kwargs(
-    mask: BCRSMatrix, softmax_bits: int, qkv_bits: int, use_kernels: bool = False
+    mask: BCRSMatrix,
+    softmax_bits: int,
+    qkv_bits: int,
+    use_kernels: bool = False,
+    kernels=None,
 ) -> dict:
-    """The ``quantized=`` dict for one Fig. 17 precision scheme."""
-    return {
+    """The ``quantized=`` dict for one Fig. 17 precision scheme.
+
+    ``kernels`` optionally injects a
+    :class:`~repro.transformer.attention.KernelPipeline` (resolved
+    backend kernel classes + plan-derived configs) into the launches.
+    """
+    out = {
         "mask": mask,
         "softmax_bits": softmax_bits,
         "qkv_bits": qkv_bits,
         "use_kernels": use_kernels,
     }
+    if kernels is not None:
+        out["kernels"] = kernels
+    return out

@@ -115,6 +115,135 @@ class TestBandedMask:
             banded_vector_mask(64, 1.5)
 
 
+class TestMaskErrorBoundaries:
+    """Every builder raises the typed :class:`MaskError` — which IS a
+    :class:`ConfigError`, so pre-existing handlers keep working — on
+    out-of-contract parameters, never silently accepting them."""
+
+    def test_mask_error_is_config_error(self):
+        from repro.errors import MaskError
+
+        assert issubclass(MaskError, ConfigError)
+
+    @pytest.mark.parametrize("length", (0, -8, 7, 100))
+    def test_bad_length_every_builder(self, length):
+        from repro.errors import MaskError
+        from repro.transformer.masks import MASK_ZOO, build_mask
+
+        for variant in MASK_ZOO:
+            with pytest.raises(MaskError):
+                build_mask(variant, length, vector_length=8)
+
+    @pytest.mark.parametrize("sparsity", (-0.1, 1.0, 1.5))
+    def test_bad_sparsity_every_builder(self, sparsity):
+        from repro.errors import MaskError
+        from repro.transformer.masks import MASK_ZOO, build_mask
+
+        for variant in MASK_ZOO:
+            with pytest.raises(MaskError):
+                build_mask(variant, 64, sparsity=sparsity)
+
+    def test_sparsity_boundaries_accepted(self):
+        """The contract is [0, 1): exactly 0.0 is a legal (dense-ish)
+        target; exactly 1.0 is not."""
+        from repro.errors import MaskError
+        from repro.transformer.masks import build_mask
+
+        assert build_mask("local", 64, sparsity=0.0).sparsity < 1.0
+        with pytest.raises(MaskError):
+            build_mask("local", 64, sparsity=1.0)
+
+    def test_bad_vector_length(self):
+        from repro.errors import MaskError
+        from repro.transformer.masks import (
+            local_vector_mask,
+            strided_vector_mask,
+        )
+
+        with pytest.raises(MaskError):
+            strided_vector_mask(64, vector_length=0)
+        with pytest.raises(MaskError):
+            local_vector_mask(64, vector_length=-8)
+
+    def test_bad_window_and_stride(self):
+        from repro.errors import MaskError
+        from repro.transformer.masks import (
+            global_local_vector_mask,
+            local_vector_mask,
+            strided_vector_mask,
+        )
+
+        with pytest.raises(MaskError):
+            strided_vector_mask(64, local_window=0)
+        with pytest.raises(MaskError):
+            strided_vector_mask(64, stride=-1)
+        with pytest.raises(MaskError):
+            local_vector_mask(64, window=0)
+        with pytest.raises(MaskError):
+            global_local_vector_mask(64, window=-1)
+
+    def test_unknown_zoo_name(self):
+        from repro.errors import MaskError
+        from repro.transformer.masks import build_mask
+
+        with pytest.raises(MaskError, match="unknown mask"):
+            build_mask("dense", 64)
+
+    def test_legacy_config_error_handlers_still_catch(self):
+        """The fix must not break callers written against ConfigError."""
+        from repro.transformer.masks import strided_vector_mask
+
+        with pytest.raises(ConfigError):
+            strided_vector_mask(100)
+
+
+class TestMaskZoo:
+    def test_variants_sorted_and_complete(self):
+        from repro.transformer.masks import MASK_ZOO, mask_variants
+
+        assert mask_variants() == tuple(sorted(MASK_ZOO))
+        assert set(mask_variants()) == {
+            "local", "strided", "blocked-random", "global-local", "banded",
+        }
+
+    def test_zoo_masks_deterministic(self):
+        from repro.transformer.masks import build_mask, mask_variants
+
+        for variant in mask_variants():
+            a = build_mask(variant, 64, sparsity=0.9, seed=5)
+            b = build_mask(variant, 64, sparsity=0.9, seed=5)
+            assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_zoo_realized_sparsities_distinct(self):
+        """The property that makes variants plan-key dimensions: at one
+        (length, target) point, the realized sparsities differ."""
+        from repro.transformer.masks import build_mask, mask_variants
+
+        realized = {
+            v: round(build_mask(v, 128, sparsity=0.9).sparsity, 3)
+            for v in mask_variants()
+        }
+        assert len(set(realized.values())) == len(realized), realized
+
+    def test_local_is_sliding_window(self):
+        from repro.transformer.masks import local_vector_mask
+
+        m = local_vector_mask(64, window=16).to_dense()
+        rows, cols = np.nonzero(m)
+        # every kept column lies within the window of its strip, after
+        # V-rounding (strip centers +- window/2, rounded out to strips)
+        centers = (rows // 8) * 8 + 4
+        assert (np.abs(cols - centers) <= 16 // 2 + 8).all()
+
+    def test_global_local_has_global_columns(self):
+        from repro.transformer.masks import global_local_vector_mask
+
+        m = global_local_vector_mask(64, window=8, num_global=2).to_dense()
+        # a global column block is attended by every strip
+        full_cols = (m != 0).all(axis=0)
+        assert full_cols.any()
+
+
 class TestHelpers:
     def test_additive_mask(self):
         m = random_vector_mask(64, 0.8, seed=2)
